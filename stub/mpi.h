@@ -1,0 +1,97 @@
+/* Minimal MPI declarations sufficient to type-check Siesta-generated
+ * proxy applications without an MPI installation.  Link against a real
+ * MPI (OpenMPI/MPICH/MVAPICH) to actually run a proxy. */
+#ifndef SIESTA_STUB_MPI_H
+#define SIESTA_STUB_MPI_H
+
+typedef int MPI_Comm;
+typedef int MPI_Request;
+typedef int MPI_Datatype;
+typedef int MPI_Op;
+typedef struct { int MPI_SOURCE, MPI_TAG, MPI_ERROR; } MPI_Status;
+
+#define MPI_COMM_WORLD 0
+#define MPI_BYTE 1
+#define MPI_INT 2
+#define MPI_FLOAT 3
+#define MPI_DOUBLE 4
+#define MPI_SUM 1
+#define MPI_MAX 2
+#define MPI_MIN 3
+#define MPI_PROD 4
+#define MPI_ANY_SOURCE (-1)
+#define MPI_ANY_TAG (-1)
+#define MPI_STATUS_IGNORE ((MPI_Status *)0)
+#define MPI_STATUSES_IGNORE ((MPI_Status *)0)
+
+int MPI_Init(int *argc, char ***argv);
+int MPI_Finalize(void);
+int MPI_Abort(MPI_Comm comm, int errorcode);
+int MPI_Comm_rank(MPI_Comm comm, int *rank);
+int MPI_Comm_size(MPI_Comm comm, int *size);
+double MPI_Wtime(void);
+int MPI_Send(const void *buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm);
+int MPI_Recv(void *buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm,
+             MPI_Status *status);
+int MPI_Isend(const void *buf, int count, MPI_Datatype dt, int dest, int tag, MPI_Comm comm,
+              MPI_Request *request);
+int MPI_Irecv(void *buf, int count, MPI_Datatype dt, int source, int tag, MPI_Comm comm,
+              MPI_Request *request);
+int MPI_Wait(MPI_Request *request, MPI_Status *status);
+int MPI_Waitall(int count, MPI_Request reqs[], MPI_Status statuses[]);
+int MPI_Sendrecv(const void *sendbuf, int sendcount, MPI_Datatype sendtype, int dest,
+                 int sendtag, void *recvbuf, int recvcount, MPI_Datatype recvtype, int source,
+                 int recvtag, MPI_Comm comm, MPI_Status *status);
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void *buffer, int count, MPI_Datatype dt, int root, MPI_Comm comm);
+int MPI_Reduce(const void *sendbuf, void *recvbuf, int count, MPI_Datatype dt, MPI_Op op,
+               int root, MPI_Comm comm);
+int MPI_Allreduce(const void *sendbuf, void *recvbuf, int count, MPI_Datatype dt, MPI_Op op,
+                  MPI_Comm comm);
+int MPI_Alltoall(const void *sendbuf, int sendcount, MPI_Datatype sendtype, void *recvbuf,
+                 int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Alltoallv(const void *sendbuf, const int sendcounts[], const int sdispls[],
+                  MPI_Datatype sendtype, void *recvbuf, const int recvcounts[],
+                  const int rdispls[], MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Allgather(const void *sendbuf, int sendcount, MPI_Datatype sendtype, void *recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Gather(const void *sendbuf, int sendcount, MPI_Datatype sendtype, void *recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Scatter(const void *sendbuf, int sendcount, MPI_Datatype sendtype, void *recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm *newcomm);
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm *newcomm);
+int MPI_Comm_free(MPI_Comm *comm);
+
+int MPI_Scan(const void *sendbuf, void *recvbuf, int count, MPI_Datatype dt, MPI_Op op,
+             MPI_Comm comm);
+int MPI_Exscan(const void *sendbuf, void *recvbuf, int count, MPI_Datatype dt, MPI_Op op,
+               MPI_Comm comm);
+int MPI_Reduce_scatter_block(const void *sendbuf, void *recvbuf, int recvcount,
+                             MPI_Datatype dt, MPI_Op op, MPI_Comm comm);
+
+typedef int MPI_File;
+typedef long long MPI_Offset;
+typedef int MPI_Info;
+#define MPI_INFO_NULL 0
+#define MPI_MODE_CREATE 1
+#define MPI_MODE_RDWR 2
+#define MPI_MODE_RDONLY 4
+
+int MPI_File_open(MPI_Comm comm, const char *filename, int amode, MPI_Info info, MPI_File *fh);
+int MPI_File_close(MPI_File *fh);
+int MPI_File_write_all(MPI_File fh, const void *buf, int count, MPI_Datatype dt,
+                       MPI_Status *status);
+int MPI_File_read_all(MPI_File fh, void *buf, int count, MPI_Datatype dt, MPI_Status *status);
+int MPI_File_write_at(MPI_File fh, MPI_Offset offset, const void *buf, int count,
+                      MPI_Datatype dt, MPI_Status *status);
+int MPI_File_read_at(MPI_File fh, MPI_Offset offset, void *buf, int count, MPI_Datatype dt,
+                     MPI_Status *status);
+
+int MPI_Ibarrier(MPI_Comm comm, MPI_Request *request);
+int MPI_Ibcast(void *buffer, int count, MPI_Datatype dt, int root, MPI_Comm comm,
+               MPI_Request *request);
+int MPI_Iallreduce(const void *sendbuf, void *recvbuf, int count, MPI_Datatype dt, MPI_Op op,
+                   MPI_Comm comm, MPI_Request *request);
+
+#endif /* SIESTA_STUB_MPI_H */
