@@ -1,0 +1,1 @@
+bench/exp_ablate.ml: Array Engine Evaluate Exp_common List Pipeline Printf Recorder Registry Siesta_blocks Siesta_grammar Siesta_merge Siesta_synth Siesta_trace Siesta_util

@@ -1,0 +1,1 @@
+bench/exp_common.ml: List Printf Siesta Siesta_mpi Siesta_platform Siesta_trace Siesta_util Siesta_workloads String

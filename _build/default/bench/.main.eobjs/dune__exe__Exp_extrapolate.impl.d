@@ -1,0 +1,1 @@
+bench/exp_extrapolate.ml: Array Engine Exp_common List Mpi_impl Pipeline Printf Siesta_extrapolate Siesta_merge Siesta_synth Siesta_trace Spec String

@@ -1,0 +1,1 @@
+bench/exp_fig45.ml: Array Engine Evaluate Exp_common List Pipeline Printf Recorder Registry Siesta_baselines Siesta_perf Siesta_synth Siesta_trace

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Array Engine Evaluate Exp_common List Option Pipeline Printf Recorder Registry Siesta_baselines

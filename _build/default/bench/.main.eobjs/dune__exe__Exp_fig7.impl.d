@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Array Engine Evaluate Exp_common List Mpi_impl Option Pipeline Printf Recorder Registry Siesta_baselines

@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Array Engine Evaluate Exp_common List Option Pipeline Printf Recorder Siesta_baselines Spec

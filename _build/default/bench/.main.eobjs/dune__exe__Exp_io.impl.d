@@ -1,0 +1,1 @@
+bench/exp_io.ml: Array Engine Exp_common List Pipeline Printf Recorder Siesta_synth Siesta_trace Siesta_util Spec

@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Array Exp_common List Pipeline Printf Recorder Siesta_merge Siesta_util

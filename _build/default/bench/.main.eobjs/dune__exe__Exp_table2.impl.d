@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Exp_common Format Siesta_platform

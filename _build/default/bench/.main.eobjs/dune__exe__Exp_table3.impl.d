@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Evaluate Exp_common List Pipeline Printf Registry Siesta_util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablate Exp_bechamel Exp_common Exp_extrapolate Exp_fig45 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_io Exp_scaling Exp_table2 Exp_table3 List Printf String Sys

@@ -1,0 +1,25 @@
+(* Shared plumbing for the experiment drivers. *)
+
+module Pipeline = Siesta.Pipeline
+module Evaluate = Siesta.Evaluate
+module Engine = Siesta_mpi.Engine
+module Spec = Siesta_platform.Spec
+module Mpi_impl = Siesta_platform.Mpi_impl
+module Registry = Siesta_workloads.Registry
+module Recorder = Siesta_trace.Recorder
+
+let quick = ref false
+
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+let secs x = Printf.sprintf "%.4f" x
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+let table ~header ~rows = Siesta_util.Pretty_table.print ~header ~rows
+
+(* Per-paper process counts, reduced under --quick. *)
+let procs_of (w : Registry.t) = if !quick then [ List.hd w.Registry.procs ] else w.Registry.procs
+
+let time_err ~estimated ~original = Evaluate.time_error ~estimated ~original

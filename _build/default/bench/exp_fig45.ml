@@ -1,0 +1,69 @@
+(* Figures 4 and 5: computation mimicry versus MINIME.
+
+   Fig. 4 treats a program's whole computation as a single event and
+   synthesizes one proxy for it; Fig. 5 mimics every computation event
+   (cluster) separately and sums the results.  Both are scored on the
+   three metrics MINIME itself optimizes — IPC, CMR, and BMR — so the
+   comparison cannot favour Siesta by construction; Siesta's advantage is
+   the one-shot QP over all six counters versus greedy iteration. *)
+
+open Exp_common
+module Counters = Siesta_perf.Counters
+module Compute_table = Siesta_trace.Compute_table
+module Proxy_search = Siesta_synth.Proxy_search
+module Minime = Siesta_baselines.Minime
+
+let nranks = 64
+
+let mean_totals (res : Engine.result) =
+  let n = Array.length res.Engine.per_rank_counters in
+  let sum = Array.fold_left Counters.add Counters.zero res.Engine.per_rank_counters in
+  Counters.scale (1.0 /. float_of_int n) sum
+
+let run_one (w : Registry.t) =
+  let s = Pipeline.spec ~workload:w.Registry.name ~nranks () in
+  let traced = Pipeline.trace s in
+  let target = mean_totals traced.Pipeline.original in
+  let platform = s.Pipeline.platform in
+  (* Fig. 4: one event *)
+  let siesta1 = Proxy_search.search ~platform target in
+  let minime1 = Minime.search ~platform ~target in
+  let fig4_siesta =
+    Minime.ratio_error ~actual:siesta1.Proxy_search.predicted ~reference:target
+  in
+  let fig4_minime = minime1.Minime.ratio_error in
+  (* Fig. 5: per-event, summed, weighted by cluster population per rank *)
+  let ct = Recorder.compute_table traced.Pipeline.recorder in
+  let weight cid = float_of_int (Compute_table.members ct cid) /. float_of_int nranks in
+  let sum_over search_pred =
+    let acc = ref Counters.zero in
+    for cid = 0 to Compute_table.cluster_count ct - 1 do
+      let c = search_pred (Compute_table.centroid ct cid) in
+      acc := Counters.add !acc (Counters.scale (weight cid) c)
+    done;
+    !acc
+  in
+  let siesta_seq =
+    sum_over (fun tgt -> (Proxy_search.search ~platform tgt).Proxy_search.predicted)
+  in
+  let minime_seq = sum_over (fun tgt -> (Minime.search ~platform ~target:tgt).Minime.achieved) in
+  let fig5_siesta = Minime.ratio_error ~actual:siesta_seq ~reference:target in
+  let fig5_minime = Minime.ratio_error ~actual:minime_seq ~reference:target in
+  (w.Registry.name, fig4_siesta, fig4_minime, fig5_siesta, fig5_minime)
+
+let run () =
+  heading "Figures 4 & 5: IPC/CMR/BMR error vs MINIME (single event | per-event sequence)";
+  let results = List.map run_one Registry.paper_workloads in
+  table
+    ~header:[ "Program"; "Fig4 Siesta"; "Fig4 MINIME"; "Fig5 Siesta"; "Fig5 MINIME" ]
+    ~rows:
+      (List.map
+         (fun (name, f4s, f4m, f5s, f5m) -> [ name; pct f4s; pct f4m; pct f5s; pct f5m ])
+         results);
+  let mean f = Evaluate.mean (List.map f results) in
+  Printf.printf
+    "\nmeans: Fig4 Siesta %s vs MINIME %s | Fig5 Siesta %s vs MINIME %s\n"
+    (pct (mean (fun (_, a, _, _, _) -> a)))
+    (pct (mean (fun (_, _, a, _, _) -> a)))
+    (pct (mean (fun (_, _, _, a, _) -> a)))
+    (pct (mean (fun (_, _, _, _, a) -> a)))

@@ -1,0 +1,7 @@
+(* Table 2: the evaluation platform specification (configuration, not an
+   experiment — printed for completeness). *)
+
+let run () =
+  Exp_common.heading "Table 2: Platform specification";
+  Siesta_platform.Spec.pp_table2 Format.std_formatter;
+  Format.pp_print_flush Format.std_formatter ()

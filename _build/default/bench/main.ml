@@ -1,0 +1,52 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus the ablations and Bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table3 fig6  # selected experiments
+     dune exec bench/main.exe -- --quick all  # reduced process counts *)
+
+let experiments =
+  [
+    ("table2", Exp_table2.run);
+    ("table3", Exp_table3.run);
+    ("fig4", Exp_fig45.run);
+    ("fig5", Exp_fig45.run);
+    ("fig6", Exp_fig6.run);
+    ("fig7", Exp_fig7.run);
+    ("fig8", Exp_fig8.run);
+    ("fig9", Exp_fig9.run);
+    ("ablate", Exp_ablate.run);
+    ("io", Exp_io.run);
+    ("extrapolate", Exp_extrapolate.run);
+    ("scaling", Exp_scaling.run);
+    ("bechamel", Exp_bechamel.run);
+  ]
+
+let default_order =
+  [ "table2"; "table3"; "fig4"; "fig6"; "fig7"; "fig8"; "fig9"; "ablate"; "io"; "extrapolate"; "scaling"; "bechamel" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          Exp_common.quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected = match args with [] | [ "all" ] -> default_order | l -> l in
+  let t0 = Sys.time () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    selected;
+  Printf.printf "\n[bench] completed in %.1f s (cpu)\n" (Sys.time () -. t0)

@@ -1,0 +1,364 @@
+(* siesta — command-line front end.
+
+   Subcommands:
+     list                         catalog of workloads and platforms
+     run         <workload>       execute a workload on the simulated runtime
+     trace       <workload>       execute under the tracer; --dump/--report
+     synth       <workload>       full pipeline; write the C proxy-app
+     replay      <workload>       synthesize, replay, and score the proxy
+     analyze     <workload>       communication matrix, topology, mpiP stats
+     report      <workload>       markdown quality report of a full run
+     extrapolate <workload>       proxy for an untraced process count *)
+
+open Cmdliner
+module Pipeline = Siesta.Pipeline
+module Evaluate = Siesta.Evaluate
+module Engine = Siesta_mpi.Engine
+module Recorder = Siesta_trace.Recorder
+module Registry = Siesta_workloads.Registry
+module Spec = Siesta_platform.Spec
+module Mpi_impl = Siesta_platform.Mpi_impl
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                     *)
+
+let workload_arg =
+  let doc = "Workload name (see `siesta list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let nranks_arg =
+  let doc = "Number of MPI ranks to simulate." in
+  Arg.(value & opt int 64 & info [ "n"; "ranks" ] ~docv:"N" ~doc)
+
+let iters_arg =
+  let doc = "Override the workload's iteration/timestep count." in
+  Arg.(value & opt (some int) None & info [ "iters" ] ~docv:"I" ~doc)
+
+let platform_conv =
+  let parse s =
+    match Spec.by_name (String.uppercase_ascii s) with
+    | p -> Ok p
+    | exception Not_found -> Error (`Msg (Printf.sprintf "unknown platform %S (A, B or C)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf p.Spec.name)
+
+let impl_conv =
+  let parse s =
+    match Mpi_impl.by_name (String.lowercase_ascii s) with
+    | i -> Ok i
+    | exception Not_found ->
+        Error (`Msg (Printf.sprintf "unknown MPI implementation %S (openmpi, mpich, mvapich)" s))
+  in
+  Arg.conv (parse, fun ppf i -> Format.pp_print_string ppf i.Mpi_impl.name)
+
+let platform_arg =
+  let doc = "Evaluation platform: A (Xeon cluster), B (Xeon Phi cluster) or C (single node)." in
+  Arg.(value & opt platform_conv Spec.platform_a & info [ "platform" ] ~docv:"P" ~doc)
+
+let impl_arg =
+  let doc = "MPI implementation cost profile." in
+  Arg.(value & opt impl_conv Mpi_impl.openmpi & info [ "impl" ] ~docv:"IMPL" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let spec_of workload nranks iters platform impl seed =
+  match
+    Pipeline.spec ?iters ~platform ~impl ~seed ~workload ~nranks ()
+  with
+  | s -> s
+  | exception Not_found ->
+      Printf.eprintf "unknown workload %S; try `siesta list`\n" workload;
+      exit 2
+  | exception Invalid_argument m ->
+      Printf.eprintf "%s\n" m;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                          *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "Workloads:\n";
+    List.iter
+      (fun (w : Registry.t) ->
+        Printf.printf "  %-9s %s%s (scales: %s)\n" w.Registry.name w.Registry.describe
+          (if w.Registry.extension then " [extension]" else "")
+          (String.concat ", " (List.map string_of_int w.Registry.procs)))
+      Registry.all;
+    Printf.printf "\nPlatforms:\n";
+    List.iter
+      (fun (p : Spec.t) ->
+        Printf.printf "  %-2s %s, %d cores/node, %s\n" p.Spec.name
+          p.Spec.cpu.Siesta_platform.Cpu.name p.Spec.cores_per_node
+          p.Spec.network.Siesta_platform.Network.name)
+      Spec.all;
+    Printf.printf "\nMPI implementations: %s\n"
+      (String.concat ", " (List.map (fun i -> i.Mpi_impl.name) Mpi_impl.all))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, platforms and MPI implementations")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run workload nranks iters platform impl seed =
+    let s = spec_of workload nranks iters platform impl seed in
+    let res = Pipeline.run_original s ~platform ~impl in
+    Printf.printf "%s on %d ranks (platform %s, %s): %.4f s, %d MPI calls\n" workload nranks
+      platform.Spec.name impl.Mpi_impl.name res.Engine.elapsed res.Engine.total_calls
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a workload on the simulated MPI runtime")
+    Term.(const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg)
+
+let trace_cmd =
+  let dump_arg =
+    let doc = "Save the encoded trace to $(docv) (reload with `siesta synth --from`)." in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+  in
+  let report_arg =
+    let doc = "Print an mpiP-style aggregate statistics report." in
+    Arg.(value & flag & info [ "report" ] ~doc)
+  in
+  let run workload nranks iters platform impl seed dump report =
+    let s = spec_of workload nranks iters platform impl seed in
+    let traced = Pipeline.trace s in
+    let r = traced.Pipeline.recorder in
+    Printf.printf "%s on %d ranks: %.4f s original, %.4f s traced (overhead %.2f%%)\n" workload
+      nranks traced.Pipeline.original.Engine.elapsed traced.Pipeline.instrumented.Engine.elapsed
+      (100.0 *. traced.Pipeline.overhead);
+    Printf.printf "events: %d (%s raw), computation clusters: %d\n" (Recorder.total_events r)
+      (Siesta_util.Bytes_fmt.to_string (Recorder.raw_trace_bytes r))
+      (Siesta_trace.Compute_table.cluster_count (Recorder.compute_table r));
+    if report then Siesta_trace.Mpip_report.print (Siesta_trace.Mpip_report.build r);
+    match dump with
+    | Some path ->
+        Siesta_trace.Trace_io.save (Siesta_trace.Trace_io.of_recorder r) ~path;
+        Printf.printf "trace saved to %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Execute a workload under the PMPI tracer")
+    Term.(
+      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
+      $ dump_arg $ report_arg)
+
+let synth_cmd =
+  let output_arg =
+    let doc = "Write the generated C proxy-app to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let factor_arg =
+    let doc = "Scaling factor for a shrunk proxy (Section 2.7)." in
+    Arg.(value & opt float 1.0 & info [ "factor" ] ~docv:"K" ~doc)
+  in
+  let from_arg =
+    let doc = "Synthesize from a trace file saved by `siesta trace --dump` instead of re-running the workload." in
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"FILE" ~doc)
+  in
+  let bundle_arg =
+    let doc = "Write a ready-to-build bundle (proxy.c, Makefile, README) into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "bundle" ] ~docv:"DIR" ~doc)
+  in
+  let emit ~proxy ~merged ~path ~bundle =
+    Printf.printf "merged grammar: %s\n" (Siesta_merge.Merged.stats merged);
+    Printf.printf "size_C: %s | mean computation-proxy error: %.2f%%\n"
+      (Siesta_util.Bytes_fmt.to_string (Siesta_synth.Proxy_ir.size_c_bytes proxy))
+      (100.0 *. Siesta_synth.Proxy_ir.mean_combo_error proxy);
+    match bundle with
+    | Some dir ->
+        let name = Filename.remove_extension (Filename.basename path) in
+        Siesta_synth.Codegen_c.write_bundle proxy ~dir ~name;
+        Printf.printf "wrote %s/{%s.c, Makefile, README}\n" dir name
+    | None ->
+        Siesta_synth.Codegen_c.write_file proxy ~path;
+        Printf.printf "wrote %s\n" path
+  in
+  let run workload nranks iters platform impl seed output factor from bundle =
+    match from with
+    | Some trace_path ->
+        let t = Siesta_trace.Trace_io.load ~path:trace_path in
+        let merged =
+          Siesta_merge.Pipeline.merge_streams ~nranks:t.Siesta_trace.Trace_io.nranks
+            t.Siesta_trace.Trace_io.streams
+        in
+        let proxy =
+          Siesta_synth.Proxy_ir.synthesize ~platform ~impl ~factor ~merged
+            ~compute_table:(Siesta_trace.Trace_io.compute_table t) ()
+        in
+        let path = Option.value ~default:(trace_path ^ ".proxy.c") output in
+        emit ~proxy ~merged ~path ~bundle
+    | None ->
+        let s = spec_of workload nranks iters platform impl seed in
+        let traced = Pipeline.trace s in
+        let art = Pipeline.synthesize ~factor traced in
+        let path =
+          match output with
+          | Some p -> p
+          | None -> Printf.sprintf "%s_%d_proxy.c" (String.lowercase_ascii workload) nranks
+        in
+        emit ~proxy:art.Pipeline.proxy ~merged:art.Pipeline.merged ~path ~bundle
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesize a C proxy-app from a traced execution")
+    Term.(
+      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
+      $ output_arg $ factor_arg $ from_arg $ bundle_arg)
+
+let replay_cmd =
+  let target_platform_arg =
+    let doc = "Platform to replay the proxy on (default: the generation platform)." in
+    Arg.(value & opt (some platform_conv) None & info [ "to-platform" ] ~docv:"P" ~doc)
+  in
+  let target_impl_arg =
+    let doc = "MPI implementation to replay under (default: the generation one)." in
+    Arg.(value & opt (some impl_conv) None & info [ "to-impl" ] ~docv:"IMPL" ~doc)
+  in
+  let factor_arg =
+    let doc = "Scaling factor (reported estimate is multiplied back)." in
+    Arg.(value & opt float 1.0 & info [ "factor" ] ~docv:"K" ~doc)
+  in
+  let run workload nranks iters platform impl seed to_platform to_impl factor =
+    let s = spec_of workload nranks iters platform impl seed in
+    let target_platform = Option.value ~default:platform to_platform in
+    let target_impl = Option.value ~default:impl to_impl in
+    let traced = Pipeline.trace s in
+    let art = Pipeline.synthesize ~factor traced in
+    let original = (Pipeline.run_original s ~platform:target_platform ~impl:target_impl).Engine.elapsed in
+    let proxy_run = Pipeline.run_proxy art ~platform:target_platform ~impl:target_impl in
+    let estimate = factor *. proxy_run.Engine.elapsed in
+    Printf.printf
+      "generated on %s/%s, replayed on %s/%s\noriginal: %.4f s | proxy: %.4f s | estimate: %.4f s | time error: %.2f%%\n"
+      platform.Spec.name impl.Mpi_impl.name target_platform.Spec.name target_impl.Mpi_impl.name
+      original proxy_run.Engine.elapsed estimate
+      (100.0 *. Evaluate.time_error ~estimated:estimate ~original);
+    if target_platform.Spec.name = platform.Spec.name && factor = 1.0 then
+      Printf.printf "six-counter error: %.2f%%\n"
+        (100.0 *. Evaluate.counter_error ~original:traced.Pipeline.original ~proxy:proxy_run)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Synthesize a proxy and replay it, possibly elsewhere")
+    Term.(
+      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
+      $ target_platform_arg $ target_impl_arg $ factor_arg)
+
+let analyze_cmd =
+  let heatmap_arg =
+    let doc = "Also print the point-to-point volume heat map." in
+    Arg.(value & flag & info [ "heatmap" ] ~doc)
+  in
+  let run workload nranks iters platform impl seed heatmap =
+    let s = spec_of workload nranks iters platform impl seed in
+    let traced = Pipeline.trace s in
+    let m = Siesta_analysis.Comm_matrix.of_recorder traced.Pipeline.recorder in
+    Printf.printf "%s on %d ranks:\n" workload nranks;
+    Printf.printf "  p2p traffic : %d messages, %s\n"
+      (Siesta_analysis.Comm_matrix.total_messages m)
+      (Siesta_util.Bytes_fmt.to_string (Siesta_analysis.Comm_matrix.total_bytes m));
+    Printf.printf "  topology    : %s\n"
+      (Siesta_analysis.Topology.to_string (Siesta_analysis.Topology.classify m));
+    let offsets = Siesta_analysis.Comm_matrix.offsets m in
+    Printf.printf "  top offsets : %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (off, c) -> Printf.sprintf "%+d (%d msgs)" off c)
+            (List.filteri (fun i _ -> i < 6) offsets)));
+    if heatmap then print_string (Siesta_analysis.Comm_matrix.render m);
+    let merged = Siesta_merge.Pipeline.merge_recorder traced.Pipeline.recorder in
+    print_string (Siesta_analysis.Phases.render merged);
+    Siesta_trace.Mpip_report.print (Siesta_trace.Mpip_report.build traced.Pipeline.recorder)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Trace a workload and report its communication structure")
+    Term.(
+      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
+      $ heatmap_arg)
+
+let report_cmd =
+  let output_arg =
+    let doc = "Write the markdown report to $(docv) (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let factor_arg =
+    let doc = "Scaling factor for a shrunk proxy." in
+    Arg.(value & opt float 1.0 & info [ "factor" ] ~docv:"K" ~doc)
+  in
+  let run workload nranks iters platform impl seed output factor =
+    let s = spec_of workload nranks iters platform impl seed in
+    let traced = Pipeline.trace s in
+    let art = Pipeline.synthesize ~factor traced in
+    match output with
+    | Some path ->
+        Siesta.Report.write_file art ~path;
+        Printf.printf "wrote %s\n" path
+    | None -> print_string (Siesta.Report.generate art)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Run the full pipeline and produce a markdown quality report")
+    Term.(
+      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
+      $ output_arg $ factor_arg)
+
+let extrapolate_cmd =
+  let scales_arg =
+    let doc = "Comma-separated process counts to trace and fit (at least three)." in
+    Arg.(value & opt (list int) [ 16; 36; 64 ] & info [ "scales" ] ~docv:"P1,P2,P3" ~doc)
+  in
+  let target_arg =
+    let doc = "Untraced process count to generate the proxy for." in
+    Arg.(required & opt (some int) None & info [ "target" ] ~docv:"P" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the generated C proxy-app to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run workload iters platform impl seed scales target output =
+    let trace_at nranks =
+      let s = spec_of workload nranks iters platform impl seed in
+      let traced = Pipeline.trace s in
+      Siesta_trace.Trace_io.of_recorder traced.Pipeline.recorder
+    in
+    Printf.printf "tracing %s at %s ranks...\n%!" workload
+      (String.concat ", " (List.map string_of_int scales));
+    match Siesta_extrapolate.Scale_model.fit (List.map trace_at scales) with
+    | exception Siesta_extrapolate.Scale_model.Unsupported msg ->
+        Printf.eprintf "not scale-regular: %s\n" msg;
+        exit 1
+    | model -> begin
+        match Siesta_extrapolate.Scale_model.instantiate model ~nranks:target with
+        | exception Siesta_extrapolate.Scale_model.Unsupported msg ->
+            Printf.eprintf "cannot instantiate at %d ranks: %s\n" target msg;
+            exit 1
+        | predicted ->
+            let merged =
+              Siesta_merge.Pipeline.merge_streams ~nranks:target
+                predicted.Siesta_trace.Trace_io.streams
+            in
+            let proxy =
+              Siesta_synth.Proxy_ir.synthesize ~platform ~impl ~merged
+                ~compute_table:(Siesta_trace.Trace_io.compute_table predicted) ()
+            in
+            Printf.printf "extrapolated to %d ranks (%d boundary classes): %s\n" target
+              (Siesta_extrapolate.Scale_model.classes model)
+              (Siesta_merge.Merged.stats merged);
+            let path =
+              Option.value
+                ~default:(Printf.sprintf "%s_%d_extrapolated_proxy.c"
+                            (String.lowercase_ascii workload) target)
+                output
+            in
+            Siesta_synth.Codegen_c.write_file proxy ~path;
+            Printf.printf "wrote %s\n" path
+      end
+  in
+  Cmd.v
+    (Cmd.info "extrapolate"
+       ~doc:"Fit a scale model from several traced scales and emit a proxy for an untraced one")
+    Term.(
+      const run $ workload_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg $ scales_arg
+      $ target_arg $ output_arg)
+
+let () =
+  let doc = "synthesize proxy applications for MPI programs (Siesta)" in
+  let info = Cmd.info "siesta" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; trace_cmd; synth_cmd; replay_cmd; analyze_cmd; report_cmd; extrapolate_cmd ]))

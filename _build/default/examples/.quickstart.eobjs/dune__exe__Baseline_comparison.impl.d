@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: Array List Printf Siesta Siesta_baselines Siesta_mpi Siesta_platform Siesta_trace Siesta_util

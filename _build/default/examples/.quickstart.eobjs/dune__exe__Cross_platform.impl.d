@@ -1,0 +1,1 @@
+examples/cross_platform.ml: List Printf Siesta Siesta_mpi Siesta_platform Siesta_synth Siesta_util

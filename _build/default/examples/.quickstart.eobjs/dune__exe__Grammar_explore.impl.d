@@ -1,0 +1,1 @@
+examples/grammar_explore.ml: Array Format List Printf Siesta Siesta_grammar Siesta_merge Siesta_trace

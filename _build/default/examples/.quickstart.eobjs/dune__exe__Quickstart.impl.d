@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Printf Siesta Siesta_merge Siesta_mpi Siesta_synth Siesta_trace Siesta_util

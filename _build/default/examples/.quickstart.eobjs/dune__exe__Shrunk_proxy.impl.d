@@ -1,0 +1,1 @@
+examples/shrunk_proxy.ml: List Printf Siesta Siesta_mpi Siesta_util

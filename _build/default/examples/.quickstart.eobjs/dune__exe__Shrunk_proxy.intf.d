@@ -1,0 +1,1 @@
+examples/shrunk_proxy.mli:

@@ -1,0 +1,62 @@
+(* Proxies for machine sizes you never traced.
+
+     dune exec examples/scale_extrapolation.exe
+
+   The paper's conclusion notes that a synthesized proxy reproduces one
+   fixed scale.  For scale-regular SPMD programs the scale model lifts
+   that: trace BT at 16/36/64 ranks, fit, and generate proxies for 100,
+   144 and 196 ranks — validating each against the real program. *)
+
+module Scale_model = Siesta_extrapolate.Scale_model
+module Trace_io = Siesta_trace.Trace_io
+module Proxy_ir = Siesta_synth.Proxy_ir
+module E = Siesta_mpi.Engine
+module Spec = Siesta_platform.Spec
+module Impl = Siesta_platform.Mpi_impl
+
+let workload = "BT"
+
+let trace_at nranks =
+  let s = Siesta.Pipeline.spec ~workload ~nranks () in
+  Trace_io.of_recorder (Siesta.Pipeline.trace s).Siesta.Pipeline.recorder
+
+let () =
+  let fit_scales = [ 16; 36; 64 ] in
+  Printf.printf "tracing %s at %s ranks and fitting the scale model...\n%!" workload
+    (String.concat ", " (List.map string_of_int fit_scales));
+  let model = Scale_model.fit (List.map trace_at fit_scales) in
+  Printf.printf "fitted %d boundary classes\n\n" (Scale_model.classes model);
+  let rows =
+    List.map
+      (fun target ->
+        let predicted = Scale_model.instantiate model ~nranks:target in
+        let merged =
+          Siesta_merge.Pipeline.merge_streams ~nranks:target predicted.Trace_io.streams
+        in
+        let proxy =
+          Proxy_ir.synthesize ~platform:Spec.platform_a ~impl:Impl.openmpi ~merged
+            ~compute_table:(Trace_io.compute_table predicted) ()
+        in
+        let replayed =
+          (E.run ~platform:Spec.platform_a ~impl:Impl.openmpi ~nranks:target
+             (Proxy_ir.program proxy))
+            .E.elapsed
+        in
+        let s = Siesta.Pipeline.spec ~workload ~nranks:target () in
+        let original =
+          (Siesta.Pipeline.run_original s ~platform:Spec.platform_a ~impl:Impl.openmpi)
+            .E.elapsed
+        in
+        [
+          string_of_int target;
+          Printf.sprintf "%.4f" original;
+          Printf.sprintf "%.4f" replayed;
+          Printf.sprintf "%.2f%%"
+            (100.0 *. Siesta.Evaluate.time_error ~estimated:replayed ~original);
+        ])
+      [ 100; 144; 196 ]
+  in
+  Siesta_util.Pretty_table.print
+    ~header:[ "untraced ranks"; "original(s)"; "extrapolated proxy(s)"; "error" ]
+    ~rows;
+  print_endline "\n(The originals above are run only to score the prediction.)"

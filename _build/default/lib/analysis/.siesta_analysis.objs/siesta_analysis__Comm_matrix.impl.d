@@ -1,0 +1,1 @@
+lib/analysis/comm_matrix.ml: Array Buffer Char Hashtbl List Option Printf Siesta_mpi Siesta_trace

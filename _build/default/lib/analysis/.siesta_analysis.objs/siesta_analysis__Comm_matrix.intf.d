@@ -1,0 +1,1 @@
+lib/analysis/comm_matrix.mli: Siesta_trace

@@ -1,0 +1,1 @@
+lib/analysis/phases.ml: Array Buffer Format List Printf Siesta_grammar Siesta_merge Siesta_trace

@@ -1,0 +1,1 @@
+lib/analysis/phases.mli: Siesta_merge

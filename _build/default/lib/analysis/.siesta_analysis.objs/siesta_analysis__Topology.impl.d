@@ -1,0 +1,1 @@
+lib/analysis/topology.ml: Comm_matrix Fun List Printf

@@ -1,0 +1,1 @@
+lib/analysis/topology.mli: Comm_matrix

@@ -1,0 +1,22 @@
+(** Iterative-phase detection from the merged grammar.
+
+    HPC programs are dominated by outer iteration loops (the premise of
+    APPRIME-style phase modeling, which the paper cites).  After Sequitur
+    compression those loops are visible for free: a main-rule entry with a
+    large repetition count IS the iteration structure, and its rule's
+    expansion length is the per-iteration event count.  This module
+    surfaces that structure for humans. *)
+
+type phase = {
+  iterations : int;  (** repetition count of the main-rule entry *)
+  events_per_iteration : int;  (** expanded terminal events per repeat *)
+  ranks : Siesta_merge.Rank_list.t;  (** who executes it *)
+  leading_event : string;  (** name of the first event in the body *)
+}
+
+val detect : ?min_iterations:int -> Siesta_merge.Merged.t -> phase list
+(** Main-rule entries repeated at least [min_iterations] times (default
+    4), across all rank clusters, largest first. *)
+
+val render : Siesta_merge.Merged.t -> string
+(** Human-readable phase summary. *)

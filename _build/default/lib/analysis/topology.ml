@@ -1,0 +1,92 @@
+type t =
+  | Ring
+  | Grid2d of int * int
+  | Grid3d of int * int * int
+  | Butterfly
+  | Dense
+  | Irregular
+  | NoP2p
+
+let to_string = function
+  | Ring -> "ring"
+  | Grid2d (x, y) -> Printf.sprintf "2-D grid (%d x %d)" x y
+  | Grid3d (x, y, z) -> Printf.sprintf "3-D grid (%d x %d x %d)" x y z
+  | Butterfly -> "butterfly (power-of-two exchanges)"
+  | Dense -> "dense"
+  | Irregular -> "irregular"
+  | NoP2p -> "no point-to-point traffic"
+
+let divisors p =
+  let rec go d acc = if d > p then List.rev acc else go (d + 1) (if p mod d = 0 then d :: acc else acc) in
+  go 1 []
+
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let classify m =
+  let p = Comm_matrix.nranks m in
+  let offs = Comm_matrix.offsets m in
+  if offs = [] then NoP2p
+  else begin
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 offs in
+    (* dominant offsets: the smallest prefix covering 90% of messages *)
+    let dominant =
+      let rec take acc seen = function
+        | [] -> List.rev acc
+        | (off, c) :: rest ->
+            if seen * 10 >= total * 9 then List.rev acc
+            else take (off :: acc) (seen + c) rest
+      in
+      take [] 0 offs
+    in
+    let subset_of allowed = List.for_all (fun o -> List.mem o allowed) dominant in
+    (* an axis of stride [s] and extent [e], with its periodic wrap *)
+    let axis s e = [ s mod p; (p - s) mod p; s * (e - 1) mod p; (p - (s * (e - 1) mod p)) mod p ] in
+    (* butterfly first: the fingerprint {1, 2, 4, ..., 2^k} of xor-partner
+       reduction chains also fits degenerate grids, so it must win ties *)
+    let normalized = List.sort_uniq compare (List.map (fun o -> min o (p - o)) dominant) in
+    let consecutive_powers =
+      List.length normalized >= 2
+      && List.for_all is_pow2 normalized
+      && List.mapi (fun i v -> v = 1 lsl i) normalized |> List.for_all Fun.id
+    in
+    (* dense next: with most pairs talking, small process counts would
+       otherwise fit some degenerate grid whose wrap offsets cover all of
+       Z_p *)
+    let nnz = List.length (Comm_matrix.edges m) in
+    if consecutive_powers then Butterfly
+    else if 2 * nnz >= p * p then Dense
+    else if subset_of (axis 1 p) then Ring
+    else begin
+      let grid2 =
+        List.find_opt
+          (fun nx ->
+            let ny = p / nx in
+            nx > 1 && ny > 1 && subset_of (axis 1 nx @ axis nx ny))
+          (divisors p)
+      in
+      match grid2 with
+      | Some nx -> Grid2d (nx, p / nx)
+      | None -> begin
+          let grid3 =
+            List.concat_map
+              (fun nx ->
+                List.filter_map
+                  (fun ny ->
+                    if (p / nx) mod ny = 0 then Some (nx, ny, p / nx / ny) else None)
+                  (divisors (p / nx)))
+              (divisors p)
+            |> List.find_opt (fun (nx, ny, nz) ->
+                   nx > 1 && ny > 1 && nz > 1
+                   && subset_of (axis 1 nx @ axis nx ny @ axis (nx * ny) nz))
+          in
+          match grid3 with
+          | Some (nx, ny, nz) -> Grid3d (nx, ny, nz)
+          | None ->
+              if List.for_all (fun o -> is_pow2 o || is_pow2 (p - o)) dominant then Butterfly
+              else begin
+                let nnz = List.length (Comm_matrix.edges m) in
+                if 2 * nnz >= p * p then Dense else Irregular
+              end
+        end
+    end
+  end

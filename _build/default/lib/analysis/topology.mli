@@ -1,0 +1,19 @@
+(** Communication-topology detection.
+
+    Classifies a {!Comm_matrix} by its offset fingerprint: mesh codes
+    talk to fixed relative neighbours, rings to +-1, transpose-style
+    kernels to power-of-two partners, and sorting codes to everyone.
+    Useful for sanity-checking that a workload skeleton communicates the
+    way its real counterpart does. *)
+
+type t =
+  | Ring  (** dominated by the +-1 offsets *)
+  | Grid2d of int * int  (** +-1 and +-nx offsets, nx * ny = P *)
+  | Grid3d of int * int * int
+  | Butterfly  (** power-of-two offsets (reduction/transpose exchanges) *)
+  | Dense  (** most pairs communicate *)
+  | Irregular
+  | NoP2p  (** collectives only *)
+
+val classify : Comm_matrix.t -> t
+val to_string : t -> string

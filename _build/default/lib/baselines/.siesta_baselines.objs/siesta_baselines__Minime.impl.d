@@ -1,0 +1,1 @@
+lib/baselines/minime.ml: Array Float List Siesta_blocks Siesta_perf Siesta_platform

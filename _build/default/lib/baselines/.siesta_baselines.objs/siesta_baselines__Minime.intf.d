@@ -1,0 +1,1 @@
+lib/baselines/minime.mli: Siesta_perf Siesta_platform

@@ -1,0 +1,1 @@
+lib/baselines/pilgrim.ml: Array Siesta_blocks Siesta_merge Siesta_synth Siesta_trace

@@ -1,0 +1,1 @@
+lib/baselines/pilgrim.mli: Siesta_merge Siesta_mpi

@@ -1,0 +1,1 @@
+lib/baselines/scalabench.ml: Array Digest Float Hashtbl List Printf Siesta_mpi Siesta_perf Siesta_platform Siesta_trace String

@@ -1,0 +1,1 @@
+lib/baselines/scalabench.mli: Siesta_mpi Siesta_platform Siesta_trace

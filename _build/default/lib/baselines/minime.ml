@@ -1,0 +1,87 @@
+module Counters = Siesta_perf.Counters
+module Spec = Siesta_platform.Spec
+module Block = Siesta_blocks.Block
+
+type solution = {
+  x : float array;
+  achieved : Counters.t;
+  ratio_error : float;
+}
+
+let safe_rel a r = if r = 0.0 then (if a = 0.0 then 0.0 else 1.0) else abs_float (a -. r) /. r
+
+let ratio_error ~actual ~reference =
+  (safe_rel (Counters.ipc actual) (Counters.ipc reference)
+  +. safe_rel (Counters.cmr actual) (Counters.cmr reference)
+  +. safe_rel (Counters.bmr actual) (Counters.bmr reference))
+  /. 3.0
+
+let achieved_of platform x =
+  List.fold_left
+    (fun acc w -> Counters.add acc (Counters.of_work platform.Spec.cpu w))
+    Counters.zero
+    (Block.works_of_combination x)
+
+(* Greedy pattern-directed search, following MINIME's loop: start from a
+   seed pattern, then repeatedly try multiplicative adjustments of single
+   block counts and keep the best improvement of the three-ratio error.
+   Steps shrink 2.0 -> 1.5 -> 1.2 -> 1.1; the search stops when no single
+   adjustment helps (a local optimum — the structural reason MINIME trails
+   the QP). *)
+let search ~platform ~target =
+  let x = Array.make Block.count 0.0 in
+  (* seed: a balanced pattern with every behaviour represented *)
+  Array.iteri (fun j _ -> x.(j) <- (if j <= 8 then 32.0 else 64.0)) x;
+  let fix_wrapper x =
+    let s = ref 0.0 in
+    for j = 0 to 8 do
+      s := !s +. x.(j)
+    done;
+    if x.(10) < !s then x.(10) <- !s
+  in
+  fix_wrapper x;
+  let err x = ratio_error ~actual:(achieved_of platform x) ~reference:target in
+  let current = ref (err x) in
+  let steps = [ 2.0; 1.5; 1.2; 1.1 ] in
+  List.iter
+    (fun step ->
+      let improved = ref true in
+      let guard = ref 0 in
+      while !improved && !guard < 200 do
+        incr guard;
+        improved := false;
+        let best_j = ref (-1) and best_mult = ref 1.0 and best_err = ref !current in
+        for j = 0 to Block.count - 1 do
+          List.iter
+            (fun mult ->
+              let trial = Array.copy x in
+              trial.(j) <- max 0.0 (Float.round (trial.(j) *. mult));
+              if trial.(j) = x.(j) then trial.(j) <- trial.(j) +. (if mult > 1.0 then 1.0 else -1.0);
+              if trial.(j) >= 0.0 then begin
+                fix_wrapper trial;
+                let e = err trial in
+                if e < !best_err -. 1e-9 then begin
+                  best_err := e;
+                  best_j := j;
+                  best_mult := mult
+                end
+              end)
+            [ step; 1.0 /. step ]
+        done;
+        if !best_j >= 0 then begin
+          x.(!best_j) <- max 0.0 (Float.round (x.(!best_j) *. !best_mult));
+          fix_wrapper x;
+          current := err x;
+          improved := true
+        end
+      done)
+    steps;
+  (* scale the whole pattern to the target instruction count (duration
+     calibration), which leaves the ratios unchanged *)
+  let ach = achieved_of platform x in
+  if ach.Counters.ins > 0.0 then begin
+    let k = target.Counters.ins /. ach.Counters.ins in
+    Array.iteri (fun j v -> x.(j) <- Float.round (v *. k)) x
+  end;
+  let achieved = achieved_of platform x in
+  { x; achieved; ratio_error = ratio_error ~actual:achieved ~reference:target }

@@ -1,0 +1,30 @@
+(** MINIME-style computation synthesizer (Deniz et al., the comparator of
+    Figs. 4–5).
+
+    MINIME builds multicore benchmarks by {e iteratively} adjusting code
+    block counts until the synthetic program's IPC (instructions per
+    cycle), CMR (cache miss rate) and BMR (branch misprediction rate)
+    approach the target's.  Unlike Siesta's one-shot constrained QP over
+    all six counters, it is a greedy search over three derived ratios —
+    which converges close but not exactly, and accumulates error when
+    events are mimicked one at a time.
+
+    The reimplementation shares Siesta's block set so the comparison
+    isolates the search strategy, as the paper's does. *)
+
+type solution = {
+  x : float array;  (** block repetition counts *)
+  achieved : Siesta_perf.Counters.t;
+  ratio_error : float;  (** mean relative error over IPC, CMR, BMR *)
+}
+
+val search :
+  platform:Siesta_platform.Spec.t ->
+  target:Siesta_perf.Counters.t ->
+  solution
+(** Greedy multiplicative coordinate search on the three ratios, scaled to
+    the target instruction count. *)
+
+val ratio_error :
+  actual:Siesta_perf.Counters.t -> reference:Siesta_perf.Counters.t -> float
+(** Mean relative error of IPC/CMR/BMR — the metric of Figs. 4–5. *)

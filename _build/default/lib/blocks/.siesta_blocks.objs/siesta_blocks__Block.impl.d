@@ -1,0 +1,1 @@
+lib/blocks/block.ml: Array Printf Siesta_platform

@@ -1,0 +1,1 @@
+lib/blocks/block.mli: Siesta_platform

@@ -1,0 +1,1 @@
+lib/blocks/microbench.ml: Array Block Siesta_numerics Siesta_perf Siesta_platform

@@ -1,0 +1,1 @@
+lib/blocks/microbench.mli: Block Siesta_numerics Siesta_perf Siesta_platform

@@ -1,0 +1,165 @@
+module Cpu = Siesta_platform.Cpu
+
+type t = {
+  id : int;
+  name : string;
+  description : string;
+  work : Cpu.work;
+  c_source : string;
+}
+
+let w ?(ins = 0.0) ?(loads = 0.0) ?(stores = 0.0) ?(branches = 0.0) ?(msp = 0.0) ?(l1 = 0.0)
+    ?(div = 0.0) ?(ws = 8192.0) () : Cpu.work =
+  {
+    ins;
+    loads;
+    stores;
+    branches;
+    mispredicts = msp;
+    l1_misses = l1;
+    div_ops = div;
+    working_set_bytes = ws;
+  }
+
+(* The miss-sweep blocks make 1024 cache-line-strided references per unit
+   (2x the L1's line count), wrapping through a buffer sized well past any
+   L2 on the evaluation platforms, so a miss costs a memory access — the
+   same pricing traced computation events with large working sets see. *)
+let sweep_iters = 1024.0
+let sweep_ws = 8.0 *. 1024.0 *. 1024.0
+
+let all =
+  [|
+    {
+      id = 1;
+      name = "add";
+      description = "simple add for high ipc";
+      work = w ~ins:4.0 ~loads:2.0 ~stores:1.0 ();
+      c_source = "i1 = i2 + i3;";
+    };
+    {
+      id = 2;
+      name = "add_reg";
+      description = "add with low LST/INS";
+      work = w ~ins:5.0 ~stores:1.0 ();
+      c_source = "i1 = i2 + i3 + i4 + i5 + i6;";
+    };
+    {
+      id = 3;
+      name = "div";
+      description = "simple div for low ipc";
+      work = w ~ins:3.0 ~loads:2.0 ~stores:1.0 ~div:1.0 ();
+      c_source = "d1 = d1 / d2;";
+    };
+    {
+      id = 4;
+      name = "div_reg";
+      description = "div with low LST/INS";
+      work = w ~ins:5.0 ~stores:1.0 ~div:4.0 ();
+      c_source = "d1 = d2 / d3 / d4 / d5 / d6;";
+    };
+    {
+      id = 5;
+      name = "msp_add";
+      description = "msp with high ipc";
+      work = w ~ins:130.0 ~loads:4.0 ~stores:2.0 ~branches:40.0 ~msp:10.0 ();
+      c_source =
+        "i4 = rand() % (1 << 20);\n\
+         for (register long j = 0; j < 20; j++)\n\
+        \  if ((i4 >> j) & 1) i1 = i2 + i3 + i4;";
+    };
+    {
+      id = 6;
+      name = "msp_div";
+      description = "msp with low ipc";
+      work = w ~ins:130.0 ~loads:4.0 ~stores:2.0 ~branches:40.0 ~msp:10.0 ~div:20.0 ();
+      c_source =
+        "i4 = rand() % (1 << 20);\n\
+         for (register long j = 0; j < 20; j++)\n\
+        \  if ((i4 >> j) & 1) d1 = d2 / d3 / d4;";
+    };
+    {
+      id = 7;
+      name = "miss";
+      description = "get cache miss";
+      work =
+        w ~ins:(5.0 *. sweep_iters) ~stores:sweep_iters ~branches:sweep_iters ~msp:2.0
+          ~l1:sweep_iters ~ws:sweep_ws ();
+      c_source =
+        "for (j = 0; j < 2 * L1_CACHE_SIZE / CACHELINE; j++) {\n\
+        \  a[i0] = i1;\n\
+        \  i0 += CACHELINE;\n\
+         }";
+    };
+    {
+      id = 8;
+      name = "miss_add";
+      description = "cache miss with high ipc";
+      work =
+        w ~ins:(8.0 *. sweep_iters) ~stores:sweep_iters ~branches:sweep_iters ~msp:2.0
+          ~l1:sweep_iters ~ws:sweep_ws ();
+      c_source =
+        "for (j = 0; j < 2 * L1_CACHE_SIZE / CACHELINE; j++) {\n\
+        \  a[i0] = i1 + i2 + i3 + i4;\n\
+        \  i0 += CACHELINE;\n\
+         }";
+    };
+    {
+      id = 9;
+      name = "miss_div";
+      description = "cache miss with low ipc";
+      work =
+        w ~ins:(7.0 *. sweep_iters) ~stores:sweep_iters ~branches:sweep_iters ~msp:2.0
+          ~l1:sweep_iters ~div:(2.0 *. sweep_iters) ~ws:sweep_ws ();
+      c_source =
+        "for (j = 0; j < 2 * L1_CACHE_SIZE / CACHELINE; j++) {\n\
+        \  a[i0] = i1 / i2 / i3;\n\
+        \  i0 += CACHELINE;\n\
+         }";
+    };
+    {
+      id = 10;
+      name = "branch";
+      description = "empty cycle for branch";
+      work = w ~ins:4.0 ~loads:1.0 ~stores:1.0 ~branches:1.0 ~msp:0.001 ();
+      c_source = "for (long i = 0; i < x10; i++);";
+    };
+    {
+      id = 11;
+      name = "wrapper";
+      description = "loop achieving the linear combination of blocks 1-9";
+      work = w ~ins:2.0 ~branches:1.0 ~msp:0.001 ();
+      c_source = "for (register long i = 0; i < x11; i++) { /* blocks 1-9 */ }";
+    };
+  |]
+
+let count = Array.length all
+
+let work_of_combination x =
+  if Array.length x <> count then invalid_arg "Block.work_of_combination: expected 11 entries";
+  let acc = ref Cpu.zero_work in
+  Array.iteri (fun j xj -> if xj > 0.0 then acc := Cpu.add_work !acc (Cpu.scale_work xj all.(j).work)) x;
+  !acc
+
+let works_of_combination x =
+  if Array.length x <> count then invalid_arg "Block.works_of_combination: expected 11 entries";
+  let out = ref [] in
+  for j = count - 1 downto 0 do
+    if x.(j) > 0.0 then out := Cpu.scale_work x.(j) all.(j).work :: !out
+  done;
+  !out
+
+let validate_combination x =
+  if Array.length x <> count then Error "expected 11 entries"
+  else if Array.exists (fun v -> v < 0.0) x then Error "negative repetition count"
+  else begin
+    let sum19 = ref 0.0 in
+    for j = 0 to 8 do
+      sum19 := !sum19 +. x.(j)
+    done;
+    if x.(10) +. 1e-6 < !sum19 then
+      Error
+        (Printf.sprintf "loop-overhead constraint violated: x11=%.3f < sum(x1..x9)=%.3f" x.(10)
+           !sum19)
+    else Ok ()
+  end

@@ -1,0 +1,54 @@
+(** The 11 predefined code blocks of Figure 2.
+
+    Computation proxies are non-negative linear combinations of these
+    blocks.  Each block has a per-unit work signature chosen to move the
+    six metrics in a distinct direction:
+
+    - 1: memory-operand integer add — high IPC, LST-heavy;
+    - 2: register add chain — high IPC, low LST/INS;
+    - 3: memory-operand double divide — low IPC;
+    - 4: register divide chain — low IPC, low LST/INS;
+    - 5: data-dependent branch loop over adds — mispredictions at high IPC;
+    - 6: data-dependent branch loop over divides — mispredictions, low IPC;
+    - 7: strided store sweep of 2x the L1 — pure L1 misses;
+    - 8: miss sweep with adds — misses at high IPC;
+    - 9: miss sweep with divides — misses at low IPC;
+    - 10: empty counting loop with a memory induction variable — BR_CN
+      with LST;
+    - 11: register counting loop — the wrapper whose iterations also pay
+      for the per-repetition loop overhead of blocks 1–9 (hence the
+      QP constraint x11 >= x1 + ... + x9).
+
+    A combination [x] executes block [j] [x.(j)] times; blocks 10 and 11
+    interpret [x] as their trip count. *)
+
+type t = {
+  id : int;  (** 1-based, matching Figure 2 *)
+  name : string;
+  description : string;
+  work : Siesta_platform.Cpu.work;  (** per unit (one repetition / trip) *)
+  c_source : string;  (** C body text for the generated proxy-app *)
+}
+
+val count : int
+(** 11. *)
+
+val all : t array
+(** In id order; [all.(j)] has id j+1. *)
+
+val work_of_combination : float array -> Siesta_platform.Cpu.work
+(** Total work of a combination (length {!count}); a rounded version of
+    the QP solution.  Fractional repetitions are allowed and priced
+    proportionally (the engine integrates work, not syntax). *)
+
+val works_of_combination : float array -> Siesta_platform.Cpu.work list
+(** Per-block scaled work units (blocks with zero repetitions omitted).
+    Executing these one by one prices the combination {e additively} —
+    cycles are exactly linear under scaling of a single block, so the
+    result matches the QP's additive model [B x]; pricing the summed work
+    instead would let one block's instruction slack hide another block's
+    load/store bound. *)
+
+val validate_combination : float array -> (unit, string) result
+(** Checks length, non-negativity and the loop-overhead constraint
+    [x11 >= sum(x1..x9)] up to rounding slack. *)

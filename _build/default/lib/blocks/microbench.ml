@@ -1,0 +1,14 @@
+module Counters = Siesta_perf.Counters
+module Matrix = Siesta_numerics.Matrix
+
+let measure (platform : Siesta_platform.Spec.t) (b : Block.t) =
+  Counters.of_work platform.Siesta_platform.Spec.cpu b.Block.work
+
+let matrix platform =
+  let m = Matrix.create ~rows:6 ~cols:Block.count in
+  Array.iteri
+    (fun j b ->
+      let c = Counters.to_array (measure platform b) in
+      Array.iteri (fun i v -> Matrix.set m i j v) c)
+    Block.all;
+  m

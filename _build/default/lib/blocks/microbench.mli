@@ -1,0 +1,13 @@
+(** Per-platform block measurement (the matrix B of Section 2.4).
+
+    On a real system Siesta runs each code block in a micro-benchmark loop
+    and reads the counters; here "measurement" prices the block's work
+    signature under the platform's CPU model — the same instrument the
+    tracer uses for real computation events, so B and t are consistent. *)
+
+val measure : Siesta_platform.Spec.t -> Block.t -> Siesta_perf.Counters.t
+(** The six metrics of one unit of a block on the platform. *)
+
+val matrix : Siesta_platform.Spec.t -> Siesta_numerics.Matrix.t
+(** The 6 x 11 matrix B: column j holds block j+1's metrics, rows in
+    {!Siesta_perf.Counters.all_metrics} order. *)

@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Array List Pipeline Siesta_mpi Siesta_perf Siesta_synth Siesta_trace Siesta_workloads

@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Pipeline Siesta_mpi Siesta_perf

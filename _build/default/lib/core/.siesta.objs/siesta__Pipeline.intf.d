@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Siesta_merge Siesta_mpi Siesta_platform Siesta_synth Siesta_trace Siesta_workloads

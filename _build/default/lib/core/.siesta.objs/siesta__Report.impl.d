@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Evaluate List Pipeline Printf Siesta_analysis Siesta_merge Siesta_mpi Siesta_perf Siesta_platform Siesta_synth Siesta_trace Siesta_util Siesta_workloads String

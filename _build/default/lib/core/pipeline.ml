@@ -1,0 +1,90 @@
+module Engine = Siesta_mpi.Engine
+module Recorder = Siesta_trace.Recorder
+module Registry = Siesta_workloads.Registry
+module Merged = Siesta_merge.Merged
+module Merge_pipeline = Siesta_merge.Pipeline
+module Proxy_ir = Siesta_synth.Proxy_ir
+module Spec_p = Siesta_platform.Spec
+module Mpi_impl = Siesta_platform.Mpi_impl
+
+type spec = {
+  workload : Registry.t;
+  nranks : int;
+  iters : int option;
+  platform : Spec_p.t;
+  impl : Mpi_impl.t;
+  seed : int;
+  cluster_threshold : float;
+}
+
+let default_spec =
+  {
+    workload = Registry.find "CG";
+    nranks = 64;
+    iters = None;
+    platform = Spec_p.platform_a;
+    impl = Mpi_impl.openmpi;
+    seed = 42;
+    cluster_threshold = 0.05;
+  }
+
+let spec ?iters ?(platform = Spec_p.platform_a) ?(impl = Mpi_impl.openmpi) ?(seed = 42)
+    ?(cluster_threshold = 0.05) ~workload ~nranks () =
+  let w = Registry.find workload in
+  if not (w.Registry.valid_procs nranks) then
+    invalid_arg (Printf.sprintf "%s cannot run on %d processes" w.Registry.name nranks);
+  { workload = w; nranks; iters; platform; impl; seed; cluster_threshold }
+
+type traced = {
+  run_spec : spec;
+  original : Engine.result;
+  instrumented : Engine.result;
+  recorder : Recorder.t;
+  overhead : float;
+}
+
+let program_of s = s.workload.Registry.program ~nranks:s.nranks ~iters:s.iters
+
+let trace s =
+  let program = program_of s in
+  let original =
+    Engine.run ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed program
+  in
+  let recorder =
+    Recorder.create ~nranks:s.nranks ~cluster_threshold:s.cluster_threshold ()
+  in
+  let instrumented =
+    Engine.run ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed
+      ~hook:(Recorder.hook recorder) program
+  in
+  let overhead =
+    if original.Engine.elapsed = 0.0 then 0.0
+    else (instrumented.Engine.elapsed -. original.Engine.elapsed) /. original.Engine.elapsed
+  in
+  { run_spec = s; original; instrumented; recorder; overhead }
+
+type artifact = {
+  traced : traced;
+  merged : Merged.t;
+  proxy : Proxy_ir.t;
+  factor : float;
+}
+
+let synthesize ?(factor = 1.0) ?(rle = true) traced =
+  let config = { Merge_pipeline.default_config with rle } in
+  let merged = Merge_pipeline.merge_recorder ~config traced.recorder in
+  let proxy =
+    Proxy_ir.synthesize ~platform:traced.run_spec.platform ~impl:traced.run_spec.impl ~factor
+      ~merged
+      ~compute_table:(Recorder.compute_table traced.recorder)
+      ()
+  in
+  { traced; merged; proxy; factor }
+
+let run_proxy artifact ~platform ~impl =
+  Engine.run ~platform ~impl ~nranks:artifact.traced.run_spec.nranks
+    ~seed:artifact.traced.run_spec.seed
+    (Proxy_ir.program artifact.proxy)
+
+let run_original s ~platform ~impl =
+  Engine.run ~platform ~impl ~nranks:s.nranks ~seed:s.seed (program_of s)

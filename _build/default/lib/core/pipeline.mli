@@ -1,0 +1,79 @@
+(** End-to-end Siesta pipeline: trace -> compress -> merge -> synthesize
+    -> (generate C | replay).
+
+    This is the library's primary entry point.  A typical use:
+    {[
+      let spec = Pipeline.{ default_spec with workload = Registry.find "CG" } in
+      let traced = Pipeline.trace spec in
+      let artifact = Pipeline.synthesize traced in
+      let c_code = Siesta_synth.Codegen_c.generate artifact.proxy in
+      let replayed = Pipeline.run_proxy artifact ~platform ~impl in
+    ]} *)
+
+type spec = {
+  workload : Siesta_workloads.Registry.t;
+  nranks : int;
+  iters : int option;  (** [None] = the workload's default iteration count *)
+  platform : Siesta_platform.Spec.t;
+  impl : Siesta_platform.Mpi_impl.t;
+  seed : int;
+  cluster_threshold : float;  (** computation-event clustering (Section 2.3) *)
+}
+
+val default_spec : spec
+(** CG at 64 ranks on platform A under openmpi, seed 42. *)
+
+val spec :
+  ?iters:int ->
+  ?platform:Siesta_platform.Spec.t ->
+  ?impl:Siesta_platform.Mpi_impl.t ->
+  ?seed:int ->
+  ?cluster_threshold:float ->
+  workload:string ->
+  nranks:int ->
+  unit ->
+  spec
+(** Convenience constructor; resolves the workload by name.
+    @raise Not_found for an unknown workload
+    @raise Invalid_argument if [nranks] is invalid for the workload. *)
+
+type traced = {
+  run_spec : spec;
+  original : Siesta_mpi.Engine.result;  (** uninstrumented run *)
+  instrumented : Siesta_mpi.Engine.result;  (** run under the tracer *)
+  recorder : Siesta_trace.Recorder.t;
+  overhead : float;  (** (instrumented - original) / original elapsed *)
+}
+
+val trace : spec -> traced
+(** Run the workload twice — bare and instrumented — on the generation
+    platform. *)
+
+type artifact = {
+  traced : traced;
+  merged : Siesta_merge.Merged.t;
+  proxy : Siesta_synth.Proxy_ir.t;
+  factor : float;
+}
+
+val synthesize : ?factor:float -> ?rle:bool -> traced -> artifact
+(** Compress, merge and search computation proxies.  [factor] (default 1)
+    produces a shrunk proxy; [rle] (default true) controls the Sequitur
+    run-length constraint (ablation). *)
+
+val run_proxy :
+  artifact ->
+  platform:Siesta_platform.Spec.t ->
+  impl:Siesta_platform.Mpi_impl.t ->
+  Siesta_mpi.Engine.result
+(** Execute the proxy on an arbitrary platform/implementation pair.  The
+    returned elapsed time is the raw proxy time; multiply by
+    [artifact.factor] to estimate the original. *)
+
+val run_original :
+  spec ->
+  platform:Siesta_platform.Spec.t ->
+  impl:Siesta_platform.Mpi_impl.t ->
+  Siesta_mpi.Engine.result
+(** Re-run the traced program itself elsewhere (the evaluation's ground
+    truth for portability experiments). *)

@@ -1,0 +1,88 @@
+module Engine = Siesta_mpi.Engine
+module Recorder = Siesta_trace.Recorder
+module Compute_table = Siesta_trace.Compute_table
+module Mpip = Siesta_trace.Mpip_report
+module Merged = Siesta_merge.Merged
+module Proxy_ir = Siesta_synth.Proxy_ir
+module Comm_matrix = Siesta_analysis.Comm_matrix
+module Topology = Siesta_analysis.Topology
+module Counters = Siesta_perf.Counters
+module Registry = Siesta_workloads.Registry
+module Spec = Siesta_platform.Spec
+module Mpi_impl = Siesta_platform.Mpi_impl
+module Bytes_fmt = Siesta_util.Bytes_fmt
+
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+
+let generate (art : Pipeline.artifact) =
+  let traced = art.Pipeline.traced in
+  let spec = traced.Pipeline.run_spec in
+  let recorder = traced.Pipeline.recorder in
+  let table = Recorder.compute_table recorder in
+  let mpip = Mpip.build recorder in
+  let matrix = Comm_matrix.of_recorder recorder in
+  let proxy_run =
+    Pipeline.run_proxy art ~platform:spec.Pipeline.platform ~impl:spec.Pipeline.impl
+  in
+  let buf = Buffer.create 8192 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "# Siesta proxy report: %s @ %d ranks\n\n" spec.Pipeline.workload.Registry.name
+    spec.Pipeline.nranks;
+  p "- generation platform: %s (%s), MPI profile: %s, seed %d\n"
+    spec.Pipeline.platform.Spec.name spec.Pipeline.platform.Spec.cpu.Siesta_platform.Cpu.name
+    spec.Pipeline.impl.Mpi_impl.name spec.Pipeline.seed;
+  p "- scaling factor: %.0f\n\n" art.Pipeline.factor;
+  p "## Trace\n\n";
+  p "- original run: %.4f s, %d MPI calls\n" traced.Pipeline.original.Engine.elapsed
+    traced.Pipeline.original.Engine.total_calls;
+  p "- instrumentation overhead: %s\n" (pct traced.Pipeline.overhead);
+  p "- events: %d (%d communication, %d computation), raw size %s\n"
+    mpip.Mpip.total_events mpip.Mpip.comm_events mpip.Mpip.compute_events
+    (Bytes_fmt.to_string (Recorder.raw_trace_bytes recorder));
+  p "- point-to-point topology: %s (%d messages, %s)\n\n"
+    (Topology.to_string (Topology.classify matrix))
+    (Comm_matrix.total_messages matrix)
+    (Bytes_fmt.to_string (Comm_matrix.total_bytes matrix));
+  p "## Compression\n\n";
+  p "- merged grammar: %s\n" (Merged.stats art.Pipeline.merged);
+  p "- exported size_C: %s (%.0fx below the raw trace)\n\n"
+    (Bytes_fmt.to_string (Proxy_ir.size_c_bytes art.Pipeline.proxy))
+    (float_of_int (Recorder.raw_trace_bytes recorder)
+    /. float_of_int (max 1 (Proxy_ir.size_c_bytes art.Pipeline.proxy)));
+  p "## Computation proxies\n\n";
+  p "- %d clusters over %d computation events; mean search error %s\n\n"
+    (Compute_table.cluster_count table) (Compute_table.total_assigned table)
+    (pct (Proxy_ir.mean_combo_error art.Pipeline.proxy));
+  p "| cluster | members | INS | CYC | search error |\n|---|---|---|---|---|\n";
+  let shown = min 8 (Compute_table.cluster_count table) in
+  for cid = 0 to shown - 1 do
+    let c = Compute_table.centroid table cid in
+    p "| %d | %d | %.3g | %.3g | %s |\n" cid (Compute_table.members table cid) c.Counters.ins
+      c.Counters.cyc
+      (pct art.Pipeline.proxy.Proxy_ir.combo_errors.(cid))
+  done;
+  if Compute_table.cluster_count table > shown then
+    p "| ... | | | | (%d more) |\n" (Compute_table.cluster_count table - shown);
+  p "\n## Validation (replay on the generation platform)\n\n";
+  let t_orig = traced.Pipeline.original.Engine.elapsed in
+  let t_proxy = art.Pipeline.factor *. proxy_run.Engine.elapsed in
+  p "- proxy time: %.4f s raw%s vs original %.4f s — error %s\n" proxy_run.Engine.elapsed
+    (if art.Pipeline.factor = 1.0 then ""
+     else Printf.sprintf " (x%.0f = %.4f s estimated)" art.Pipeline.factor t_proxy)
+    t_orig
+    (pct (Evaluate.time_error ~estimated:t_proxy ~original:t_orig));
+  (if art.Pipeline.factor = 1.0 then begin
+     p "- six-counter error over ranks: %s\n"
+       (pct (Evaluate.counter_error ~original:traced.Pipeline.original ~proxy:proxy_run));
+     p "- per metric: %s\n"
+       (String.concat ", "
+          (List.map
+             (fun (m, e) -> Printf.sprintf "%s %s" (Counters.metric_name m) (pct e))
+             (Evaluate.per_metric_errors ~original:traced.Pipeline.original ~proxy:proxy_run)))
+   end);
+  Buffer.contents buf
+
+let write_file art ~path =
+  let oc = open_out path in
+  output_string oc (generate art);
+  close_out oc

@@ -1,0 +1,12 @@
+(** One-page run report.
+
+    Summarizes a full pipeline run — trace statistics, communication
+    structure, grammar compression, computation-proxy quality, and the
+    replay validation — as markdown, for humans deciding whether to trust
+    a generated proxy. *)
+
+val generate : Pipeline.artifact -> string
+(** Builds the report; runs the proxy once on the generation platform for
+    the validation section. *)
+
+val write_file : Pipeline.artifact -> path:string -> unit

@@ -1,0 +1,1 @@
+lib/extrapolate/scale_model.ml: Array Float Hashtbl List Marshal Option Printf Siesta_analysis Siesta_mpi Siesta_numerics Siesta_perf Siesta_trace String

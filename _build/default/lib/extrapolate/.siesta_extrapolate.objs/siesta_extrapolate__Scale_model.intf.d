@@ -1,0 +1,1 @@
+lib/extrapolate/scale_model.mli: Siesta_trace

@@ -1,0 +1,49 @@
+(** Scale extrapolation for regular SPMD traces (extension).
+
+    The paper's conclusion names the limitation: "Siesta can only reproduce
+    program behaviors from a certain execution path with fixed input and
+    scale."  For the class of programs whose communication is a fixed
+    pattern on a process grid (BT/SP's ADI pipelines, SWEEP3D's wavefront,
+    stencils in general — the same class ScalaExtrap targets), the traces
+    at a few scales determine the trace at any scale:
+
+    + the process grid (nx x ny) is detected from each trace's
+      communication matrix ({!Siesta_analysis.Topology});
+    + ranks are classified by their boundary position (left/right column,
+      top/bottom row); relative-rank encoding makes every rank of a class
+      emit an {e identical} event stream, which must align 1:1 across
+      scales (same call shapes in the same order) — programs where the
+      stream structure itself changes with scale (CG's log-P reduction
+      chains, MG's depth, IS's per-peer vectors) are rejected;
+    + every varying parameter — message counts, collective sizes, and the
+      six metrics of each computation event — is fitted as a power law
+      [c = exp(a + b ln nx + c ln ny)] over the traced scales;
+    + point-to-point peers are resolved to symbolic grid displacements
+      [(dx, dy)] (with periodic wrap) that must explain the observed
+      relative ranks at every scale.
+
+    {!instantiate} then emits the full per-rank event streams and
+    computation-event table for an untraced process count, ready for the
+    standard merge -> synthesize -> codegen pipeline. *)
+
+exception Unsupported of string
+(** The traces are not scale-regular (see above for the causes; the
+    message names the first violation). *)
+
+type t
+
+val fit : Siesta_trace.Trace_io.t list -> t
+(** [fit traces] learns a scale model from at least three traced scales
+    (more improve the fits).  @raise Unsupported as described above;
+    @raise Invalid_argument with fewer than three scales. *)
+
+val classes : t -> int
+(** Number of distinct boundary classes observed (9 for an interior-rich
+    2-D grid). *)
+
+val instantiate : t -> nranks:int -> Siesta_trace.Trace_io.t
+(** Predict the full trace at an untraced scale.  The result feeds
+    {!Siesta_merge.Pipeline.merge_streams} and
+    {!Siesta_synth.Proxy_ir.synthesize} like a recorded trace.
+    @raise Unsupported if the target grid has boundary classes never
+    observed during fitting. *)

@@ -1,0 +1,1 @@
+lib/grammar/grammar.ml: Array Buffer Format Hashtbl List Printf String

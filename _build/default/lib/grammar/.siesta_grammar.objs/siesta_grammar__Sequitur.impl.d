@@ -1,0 +1,1 @@
+lib/grammar/sequitur.ml: Array Grammar Hashtbl List Option Printf

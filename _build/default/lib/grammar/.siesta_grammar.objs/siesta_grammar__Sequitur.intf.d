@@ -1,0 +1,1 @@
+lib/grammar/sequitur.mli: Grammar

@@ -1,0 +1,56 @@
+(** Context-free grammars over integer terminals (Section 2.5.1).
+
+    A grammar produced by the {!Sequitur} builder: the main rule plus a set
+    of numbered auxiliary rules.  Every symbol occurrence carries a
+    repetition count — the space optimization of Section 2.5.2, which turns
+    the O(log n) grammar of a regular loop into O(1). *)
+
+type symbol = T of int | N of int
+(** [T id] is a terminal (an event id); [N i] references [rules.(i)]. *)
+
+type entry = { sym : symbol; reps : int }
+(** One body position: [sym] repeated [reps >= 1] times. *)
+
+type rule = entry list
+
+type t = { main : rule; rules : rule array }
+
+val expand : t -> int array
+(** The terminal sequence the grammar derives — the inverse of
+    construction.  @raise Invalid_argument on a malformed grammar (rule
+    reference out of range). *)
+
+val expand_rule : t -> rule -> int array
+
+val entry_count : t -> int
+(** Total number of body entries across the main rule and all rules — the
+    grammar's size in symbols. *)
+
+val rule_count : t -> int
+(** Number of auxiliary rules (excluding main). *)
+
+val expanded_length : t -> int
+(** Length of {!expand}'s result, computed without materializing it. *)
+
+val depth : t -> int array
+(** [depth g] gives, for each rule, the height of its derivation tree
+    (terminals have height 0, a rule is 1 + max over its body).  Used by
+    the inter-process non-terminal merge, which only merges equal-depth
+    rules. *)
+
+val serialized_bytes : t -> int
+(** Export size of the grammar structure: 6 bytes per entry (4-byte symbol
+    id + 2-byte repetition count) plus an 8-byte rule header each.  The
+    terminal and computation tables are accounted separately. *)
+
+val validate : t -> unit
+(** Checks that rule references are in range and the rule graph is acyclic
+    (Sequitur grammars always are).  @raise Invalid_argument otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?terminal_label:(int -> string) -> t -> string
+(** Graphviz rendering of the derivation structure: one node per rule
+    (main included), edges to referenced rules and terminals, edge labels
+    carrying repetition counts.  [terminal_label] maps terminal ids to
+    display strings (default ["t<i>"]). *)

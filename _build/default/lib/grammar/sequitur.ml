@@ -1,0 +1,312 @@
+(* Implementation notes.
+   This follows Nevill-Manning & Witten's original doubly-linked-list
+   construction: each rule body is a circular list around a guard node, and
+   a hash table maps digrams to their (unique) indexed occurrence.  On top
+   of the two classic constraints (digram uniqueness, rule utility) we add
+   the run-length constraint of Section 2.5.2: adjacent equal symbols are
+   merged by summing their repetition counts, and a digram's hash key
+   includes both symbols' repetition counts, so only exactly-equal digrams
+   unify.  Rule utility under run-length encoding reads: a rule is useful
+   if it has >= 2 referencing occurrences, or one occurrence with
+   repetition count >= 2. *)
+
+type kind = Guard of rule | Sym of sym
+and sym = Term of int | Nonterm of rule
+
+and node = {
+  mutable kind : kind;
+  mutable reps : int;
+  mutable prev : node;
+  mutable next : node;
+}
+
+and rule = { rid : int; guard : node; mutable refcount : int }
+
+type t = {
+  digrams : (int * int * int * int, node) Hashtbl.t;
+  live_rules : (int, rule) Hashtbl.t;
+  mutable next_rid : int;
+  s : rule;
+  rle : bool;
+}
+
+let is_guard n = match n.kind with Guard _ -> true | Sym _ -> false
+
+let enc n =
+  match n.kind with
+  | Sym (Term v) -> 2 * v
+  | Sym (Nonterm r) -> (2 * r.rid) + 1
+  | Guard _ -> invalid_arg "Sequitur.enc: guard"
+
+let same_sym a b =
+  match (a.kind, b.kind) with
+  | Sym (Term x), Sym (Term y) -> x = y
+  | Sym (Nonterm r1), Sym (Nonterm r2) -> r1 == r2
+  | _ -> false
+
+let key_of n = (enc n, n.reps, enc n.next, n.next.reps)
+
+let make_rule rid =
+  let rec guard = { kind = Sym (Term 0); reps = 1; prev = guard; next = guard }
+  and r = { rid; guard; refcount = 0 } in
+  guard.kind <- Guard r;
+  r
+
+let new_rule t =
+  let r = make_rule t.next_rid in
+  t.next_rid <- t.next_rid + 1;
+  Hashtbl.replace t.live_rules r.rid r;
+  r
+
+let create ?(rle = true) () =
+  {
+    digrams = Hashtbl.create 1024;
+    live_rules = Hashtbl.create 64;
+    next_rid = 0;
+    s = make_rule (-1);
+    rle;
+  }
+
+(* Make a node; referencing a rule bumps its refcount. *)
+let new_node kind reps =
+  (match kind with Sym (Nonterm r) -> r.refcount <- r.refcount + 1 | Sym (Term _) | Guard _ -> ());
+  let rec x = { kind; reps; prev = x; next = x } in
+  x
+
+let delete_digram t n =
+  if not (is_guard n || is_guard n.next) then begin
+    match Hashtbl.find_opt t.digrams (key_of n) with
+    | Some m when m == n -> Hashtbl.remove t.digrams (key_of n)
+    | Some _ | None -> ()
+  end
+
+(* Insert the fresh, unlinked node [x] right after [y]. *)
+let insert_after t y x =
+  let z = y.next in
+  delete_digram t y;
+  x.next <- z;
+  z.prev <- x;
+  y.next <- x;
+  x.prev <- y
+
+(* Unlink [x], retiring the digrams it participates in. *)
+let remove_node t x =
+  delete_digram t x.prev;
+  delete_digram t x;
+  (match x.kind with Sym (Nonterm r) -> r.refcount <- r.refcount - 1 | Sym (Term _) | Guard _ -> ());
+  x.prev.next <- x.next;
+  x.next.prev <- x.prev
+
+(* Append an already-constructed node at the end of a rule body without
+   digram bookkeeping (used to build fresh rule bodies; the caller indexes
+   the body digram explicitly, as the classic algorithm does). *)
+let append_raw r x =
+  let last = r.guard.prev in
+  x.next <- r.guard;
+  r.guard.prev <- x;
+  last.next <- x;
+  x.prev <- last
+
+let full_rule m = is_guard m.prev && is_guard m.next.next
+
+let rule_of_guard g = match g.kind with Guard r -> r | Sym _ -> invalid_arg "rule_of_guard"
+
+(* [check t n] (re)establishes the invariants for the digram starting at
+   [n].  Returns true if it changed the structure (in which case [n] or
+   its neighbours may no longer be linked). *)
+let rec check t n =
+  if is_guard n || is_guard n.next then false
+  else if t.rle && same_sym n n.next then begin
+    rle_merge t n;
+    true
+  end
+  else begin
+    let key = key_of n in
+    match Hashtbl.find_opt t.digrams key with
+    | None ->
+        Hashtbl.replace t.digrams key n;
+        false
+    | Some m when m == n || m.next == n || n.next == m -> false
+    | Some m ->
+        process_match t n m;
+        true
+  end
+
+(* Merge [n] with its equal successor, then re-establish invariants around
+   the merged node. *)
+and rle_merge t n =
+  let m = n.next in
+  delete_digram t n.prev;
+  delete_digram t n;
+  delete_digram t m;
+  n.reps <- n.reps + m.reps;
+  (match m.kind with Sym (Nonterm r) -> r.refcount <- r.refcount - 1 | Sym (Term _) | Guard _ -> ());
+  n.next <- m.next;
+  m.next.prev <- n;
+  if not (check t n.prev) then ignore (check t n)
+
+(* Replace the digram at [node] (two nodes) by a reference to rule [r]. *)
+and substitute t node r =
+  let q = node.prev in
+  remove_node t node.next;
+  remove_node t node;
+  let x = new_node (Sym (Nonterm r)) 1 in
+  insert_after t q x;
+  if not (check t q) then ignore (check t x)
+
+(* The new digram at [n] equals the indexed digram at [m]. *)
+and process_match t n m =
+  let r =
+    if full_rule m then begin
+      let r = rule_of_guard m.prev in
+      substitute t n r;
+      r
+    end
+    else begin
+      let r = new_rule t in
+      let c1 = new_node m.kind m.reps in
+      let c2 = new_node m.next.kind m.next.reps in
+      append_raw r c1;
+      append_raw r c2;
+      substitute t m r;
+      substitute t n r;
+      Hashtbl.replace t.digrams (key_of c1) c1;
+      r
+    end
+  in
+  enforce_utility t r
+
+(* Expand underused rules referenced from [r]'s body.  A reference node
+   with reps >= 2 keeps its rule useful even when it is the only one. *)
+and enforce_utility t r =
+  let body_first = r.guard.next in
+  if not (is_guard body_first) then maybe_expand t body_first;
+  let body_last = r.guard.prev in
+  if (not (is_guard body_last)) && body_last != r.guard.next then maybe_expand t body_last
+
+and maybe_expand t node =
+  match node.kind with
+  | Sym (Nonterm x) when x.refcount = 1 && node.reps = 1 -> expand_reference t node x
+  | Sym _ | Guard _ -> ()
+
+(* [node] is the sole reference to rule [x]: splice [x]'s body in place of
+   [node] and retire the rule. *)
+and expand_reference t node x =
+  let q = node.prev and nxt = node.next in
+  let f = x.guard.next and l = x.guard.prev in
+  delete_digram t q;
+  delete_digram t node;
+  q.next <- f;
+  f.prev <- q;
+  l.next <- nxt;
+  nxt.prev <- l;
+  x.refcount <- 0;
+  Hashtbl.remove t.live_rules x.rid;
+  if not (check t l) then ignore (check t q)
+
+let append t v =
+  let lastn = t.s.guard.prev in
+  let x = new_node (Sym (Term v)) 1 in
+  append_raw t.s x;
+  ignore (check t lastn)
+
+let append_seq t a = Array.iter (append t) a
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                               *)
+
+let body_nodes r =
+  let rec walk acc n = if is_guard n then List.rev acc else walk (n :: acc) n.next in
+  walk [] r.guard.next
+
+let to_grammar t =
+  let rids = Hashtbl.fold (fun rid _ acc -> rid :: acc) t.live_rules [] in
+  let rids = List.sort compare rids in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i rid -> Hashtbl.replace index rid i) rids;
+  let entry_of n : Grammar.entry =
+    match n.kind with
+    | Sym (Term v) -> { sym = Grammar.T v; reps = n.reps }
+    | Sym (Nonterm r) -> { sym = Grammar.N (Hashtbl.find index r.rid); reps = n.reps }
+    | Guard _ -> assert false
+  in
+  let body_of r = List.map entry_of (body_nodes r) in
+  {
+    Grammar.main = body_of t.s;
+    rules = Array.of_list (List.map (fun rid -> body_of (Hashtbl.find t.live_rules rid)) rids);
+  }
+
+let of_seq ?rle a =
+  let t = create ?rle () in
+  append_seq t a;
+  to_grammar t
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (test support)                                    *)
+
+let check_invariants t =
+  let rules = t.s :: Hashtbl.fold (fun _ r acc -> r :: acc) t.live_rules [] in
+  (* digram uniqueness, allowing physically-overlapping duplicates *)
+  let seen = Hashtbl.create 256 in
+  let violation = ref None in
+  let note fmt = Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt in
+  List.iter
+    (fun r ->
+      let nodes = body_nodes r in
+      (* In plain (non-RLE) mode, runs of equal symbols legitimately leave
+         latent equal-symbol digrams behind (the classic algorithm skips
+         overlapping digrams and does not revisit them when a neighbouring
+         substitution unblocks them), so equal-symbol duplicates are only a
+         violation when run-length merging is on — where they cannot occur
+         at all. *)
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+            let key = key_of a in
+            (match Hashtbl.find_opt seen key with
+            | Some (other : node) when other != a && other.next != a && a.next != other ->
+                if t.rle || not (same_sym a b) then note "duplicate digram in rule %d" r.rid
+            | Some _ -> ()
+            | None -> Hashtbl.replace seen key a);
+            pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs nodes;
+      (* run-length invariant *)
+      if t.rle then begin
+        let rec adj = function
+          | a :: (b :: _ as rest) ->
+              if same_sym a b then note "unmerged adjacent symbols in rule %d" r.rid;
+              adj rest
+          | [ _ ] | [] -> ()
+        in
+        adj nodes
+      end)
+    rules;
+  (* utility + refcount consistency *)
+  let counts = Hashtbl.create 64 in
+  let reps_total = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun n ->
+          match n.kind with
+          | Sym (Nonterm x) ->
+              Hashtbl.replace counts x.rid (1 + Option.value ~default:0 (Hashtbl.find_opt counts x.rid));
+              Hashtbl.replace reps_total x.rid
+                (n.reps + Option.value ~default:0 (Hashtbl.find_opt reps_total x.rid))
+          | Sym (Term _) | Guard _ -> ())
+        (body_nodes r))
+    rules;
+  Hashtbl.iter
+    (fun rid r ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts rid) in
+      let apps = Option.value ~default:0 (Hashtbl.find_opt reps_total rid) in
+      if c <> r.refcount then note "rule %d refcount %d but %d references found" rid r.refcount c;
+      if apps < 2 then note "rule %d applied only %d time(s)" rid apps)
+    t.live_rules;
+  match !violation with
+  | Some v -> Error v
+  | None ->
+      Ok
+        (Printf.sprintf "%d rules, %d digrams indexed" (Hashtbl.length t.live_rules)
+           (Hashtbl.length t.digrams))

@@ -1,0 +1,39 @@
+(** Space-optimized Sequitur (Sections 2.5.2).
+
+    Online construction of a context-free grammar from a symbol stream,
+    maintaining three invariants after every appended symbol:
+
+    + {e digram uniqueness} — no pair of adjacent symbols (including their
+      repetition counts) occurs twice in the grammar;
+    + {e rule utility} — every auxiliary rule is referenced at least twice
+      (a single reference with repetition count >= 2 also counts, since the
+      rule is then applied more than once);
+    + {e run-length merging} (the optimization of Dorier et al. adopted by
+      the paper) — adjacent equal symbols [a^i a^j] collapse to [a^(i+j)],
+      so a loop that repeats one body n times costs O(1) grammar space
+      instead of O(log n).
+
+    Construction is amortized O(1) per appended symbol. *)
+
+type t
+
+val create : ?rle:bool -> unit -> t
+(** [rle:false] disables constraint 3 (plain Sequitur), used by the
+    ablation benchmark. *)
+
+val append : t -> int -> unit
+(** Feed the next terminal of the stream. *)
+
+val append_seq : t -> int array -> unit
+
+val to_grammar : t -> Grammar.t
+(** Export the current grammar with rules compacted to a dense [0..n-1]
+    numbering.  The builder remains usable afterwards. *)
+
+val of_seq : ?rle:bool -> int array -> Grammar.t
+(** One-shot convenience: feed the whole sequence and export. *)
+
+val check_invariants : t -> (string, string) result
+(** Verify digram uniqueness and rule utility on the current state —
+    [Ok] with a summary, or [Error] describing the violation.  O(grammar
+    size); exposed for the test suite. *)

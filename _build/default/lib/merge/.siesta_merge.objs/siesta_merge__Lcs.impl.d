@@ -1,0 +1,1 @@
+lib/merge/lcs.ml: Array

@@ -1,0 +1,1 @@
+lib/merge/merged.ml: Array List Printf Rank_list Siesta_grammar Siesta_trace Siesta_util

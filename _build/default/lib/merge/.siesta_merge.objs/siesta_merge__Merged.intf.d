@@ -1,0 +1,1 @@
+lib/merge/merged.mli: Rank_list Siesta_grammar Siesta_trace

@@ -1,0 +1,1 @@
+lib/merge/pipeline.ml: Array Hashtbl Lcs List Merged Printf Rank_list Siesta_grammar Siesta_trace String Terminal_table

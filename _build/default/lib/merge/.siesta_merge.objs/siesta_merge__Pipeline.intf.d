@@ -1,0 +1,1 @@
+lib/merge/pipeline.mli: Merged Siesta_trace

@@ -1,0 +1,1 @@
+lib/merge/rank_list.mli: Format

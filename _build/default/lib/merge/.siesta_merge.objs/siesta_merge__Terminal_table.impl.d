@@ -1,0 +1,1 @@
+lib/merge/terminal_table.ml: Array Hashtbl List Siesta_trace

@@ -1,0 +1,1 @@
+lib/merge/terminal_table.mli: Siesta_trace

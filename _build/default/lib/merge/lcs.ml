@@ -1,0 +1,49 @@
+let cell_budget = 16_000_000
+
+(* LCS length with O(min(n,m)) memory. *)
+let length ~eq a b =
+  let a, b = if Array.length a >= Array.length b then (a, b) else (b, a) in
+  let n = Array.length a and m = Array.length b in
+  if m = 0 then 0
+  else begin
+    let prev = Array.make (m + 1) 0 in
+    let cur = Array.make (m + 1) 0 in
+    for i = 1 to n do
+      for j = 1 to m do
+        cur.(j) <-
+          (if eq a.(i - 1) b.(j - 1) then prev.(j - 1) + 1 else max prev.(j) cur.(j - 1))
+      done;
+      Array.blit cur 0 prev 0 (m + 1)
+    done;
+    prev.(m)
+  end
+
+let pairs ~eq a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 || n * m > cell_budget then []
+  else begin
+    (* full DP table for backtracking *)
+    let dp = Array.make_matrix (n + 1) (m + 1) 0 in
+    for i = 1 to n do
+      for j = 1 to m do
+        dp.(i).(j) <-
+          (if eq a.(i - 1) b.(j - 1) then dp.(i - 1).(j - 1) + 1
+           else max dp.(i - 1).(j) dp.(i).(j - 1))
+      done
+    done;
+    let rec back i j acc =
+      if i = 0 || j = 0 then acc
+      else if eq a.(i - 1) b.(j - 1) && dp.(i).(j) = dp.(i - 1).(j - 1) + 1 then
+        back (i - 1) (j - 1) ((i - 1, j - 1) :: acc)
+      else if dp.(i - 1).(j) >= dp.(i).(j - 1) then back (i - 1) j acc
+      else back i (j - 1) acc
+    in
+    back n m []
+  end
+
+let indel_distance ~eq a b =
+  Array.length a + Array.length b - (2 * length ~eq a b)
+
+let normalized_distance ~eq a b =
+  let total = Array.length a + Array.length b in
+  if total = 0 then 0.0 else float_of_int (indel_distance ~eq a b) /. float_of_int total

@@ -1,0 +1,23 @@
+(** Longest common subsequence and insert/delete edit distance, used by the
+    main-rule merge (Section 2.6.2).
+
+    Main rules after Sequitur compression are short (tens to a few hundred
+    entries), so a quadratic DP is ample.  A safety valve degrades
+    gracefully on pathological inputs: above the cell budget, {!pairs}
+    returns no matches (the merge then simply concatenates, which is
+    correct, just less compact). *)
+
+val length : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** Length of an LCS. *)
+
+val pairs : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> (int * int) list
+(** Matched index pairs [(i, j)] of one LCS, strictly increasing in both
+    components. *)
+
+val indel_distance : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** Minimum insertions+deletions turning one array into the other:
+    [n + m - 2 * lcs]. *)
+
+val normalized_distance : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> float
+(** {!indel_distance} / (n + m); 0 for identical, 1 for disjoint.  Two
+    empty arrays have distance 0. *)

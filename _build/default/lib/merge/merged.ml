@@ -1,0 +1,83 @@
+module Grammar = Siesta_grammar.Grammar
+module Event = Siesta_trace.Event
+
+type mentry = { sym : Grammar.symbol; reps : int; ranks : Rank_list.t }
+
+type t = {
+  nranks : int;
+  terminals : Event.t array;
+  rules : Grammar.rule array;
+  mains : mentry list array;
+  main_ranks : Rank_list.t array;
+}
+
+let cluster_of_rank t rank =
+  let rec find i =
+    if i >= Array.length t.main_ranks then raise Not_found
+    else if Rank_list.mem t.main_ranks.(i) rank then i
+    else find (i + 1)
+  in
+  find 0
+
+let expand_for_rank t rank =
+  let cluster = cluster_of_rank t rank in
+  let g = { Grammar.main = []; rules = t.rules } in
+  let out = ref [] in
+  let push_rule i =
+    let expanded = Grammar.expand_rule g t.rules.(i) in
+    out := expanded :: !out
+  in
+  List.iter
+    (fun { sym; reps; ranks } ->
+      if Rank_list.mem ranks rank then
+        for _ = 1 to reps do
+          match sym with T v -> out := [| v |] :: !out | N i -> push_rule i
+        done)
+    t.mains.(cluster);
+  Array.concat (List.rev !out)
+
+let serialized_bytes t =
+  let terminal_bytes =
+    Array.fold_left (fun acc ev -> acc + Event.serialized_bytes ev) 0 t.terminals
+  in
+  let rule_bytes =
+    Array.fold_left (fun acc body -> acc + 8 + (6 * List.length body)) 0 t.rules
+  in
+  let main_bytes =
+    Array.fold_left
+      (fun acc entries ->
+        List.fold_left (fun acc e -> acc + 6 + Rank_list.serialized_bytes e.ranks) acc entries)
+      0 t.mains
+  in
+  terminal_bytes + rule_bytes + main_bytes
+
+let stats t =
+  Printf.sprintf "%d terminals, %d rules, %d main cluster(s), %d main entries, %s"
+    (Array.length t.terminals) (Array.length t.rules) (Array.length t.mains)
+    (Array.fold_left (fun acc m -> acc + List.length m) 0 t.mains)
+    (Siesta_util.Bytes_fmt.to_string (serialized_bytes t))
+
+let validate t =
+  let covered = Array.make t.nranks 0 in
+  Array.iter
+    (fun rl -> List.iter (fun r ->
+         if r < 0 || r >= t.nranks then invalid_arg "Merged: rank out of range";
+         covered.(r) <- covered.(r) + 1)
+        (Rank_list.to_list rl))
+    t.main_ranks;
+  Array.iteri
+    (fun r c ->
+      if c <> 1 then
+        invalid_arg (Printf.sprintf "Merged: rank %d covered by %d main rules" r c))
+    covered;
+  let g = { Grammar.main = []; rules = t.rules } in
+  Grammar.validate g;
+  let nrules = Array.length t.rules in
+  Array.iter
+    (List.iter (fun { sym; reps; ranks } ->
+         if reps < 1 then invalid_arg "Merged: non-positive repetition";
+         if Rank_list.cardinal ranks = 0 then invalid_arg "Merged: empty rank list";
+         match sym with
+         | Grammar.N i when i < 0 || i >= nrules -> invalid_arg "Merged: rule ref out of range"
+         | Grammar.N _ | Grammar.T _ -> ()))
+    t.mains

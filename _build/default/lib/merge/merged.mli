@@ -1,0 +1,46 @@
+(** The merged, program-wide grammar (output of Section 2.6).
+
+    After inter-process merging the whole MPI program is represented by:
+    - one global terminal table (shared event definitions);
+    - one global set of non-terminal rules (identical rules from different
+      ranks merged, matched depth-by-depth);
+    - a small number of merged {e main rules}, one per cluster of similar
+      ranks, whose symbols carry rank lists saying which ranks execute
+      them.
+
+    The representation is lossless: {!expand_for_rank} recovers every
+    rank's original event-id sequence exactly. *)
+
+type mentry = {
+  sym : Siesta_grammar.Grammar.symbol;
+  reps : int;
+  ranks : Rank_list.t;  (** ranks that execute this symbol *)
+}
+
+type t = {
+  nranks : int;
+  terminals : Siesta_trace.Event.t array;
+  rules : Siesta_grammar.Grammar.rule array;  (** global numbering *)
+  mains : mentry list array;  (** one merged main rule per rank cluster *)
+  main_ranks : Rank_list.t array;  (** ranks covered by each main; disjoint *)
+}
+
+val cluster_of_rank : t -> int -> int
+(** Index into [mains] for a rank.  @raise Not_found if uncovered. *)
+
+val expand_for_rank : t -> int -> int array
+(** The rank's terminal-id sequence, reconstructed from the merged
+    grammar. *)
+
+val serialized_bytes : t -> int
+(** Export size of terminals + rules + merged mains (the grammar part of
+    Table 3's [size_C]; the computation-proxy table is accounted by the
+    synthesis layer). *)
+
+val stats : t -> string
+(** One-line human-readable summary. *)
+
+val validate : t -> unit
+(** Structural checks: disjoint main coverage of all ranks, rule
+    references in range, positive repetitions.
+    @raise Invalid_argument on violation. *)

@@ -1,0 +1,208 @@
+module Grammar = Siesta_grammar.Grammar
+module Sequitur = Siesta_grammar.Sequitur
+module Recorder = Siesta_trace.Recorder
+
+type config = { rle : bool; cluster_threshold : float }
+
+let default_config = { rle = true; cluster_threshold = 0.35 }
+
+(* ------------------------------------------------------------------ *)
+(* Non-terminal merging (Section 2.6.2, first half)                     *)
+
+type nt_merge = {
+  global_rules : Grammar.rule array;
+  (* per rank: local rule id -> global rule id *)
+  rule_maps : int array array;
+}
+
+let body_key body =
+  String.concat " "
+    (List.map
+       (fun { Grammar.sym; reps } ->
+         match sym with
+         | Grammar.T v -> Printf.sprintf "T%d^%d" v reps
+         | Grammar.N i -> Printf.sprintf "N%d^%d" i reps)
+       body)
+
+let merge_nonterminals (grammars : Grammar.t array) =
+  let table : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let bodies_rev = ref [] in
+  let count = ref 0 in
+  let depths = Array.map Grammar.depth grammars in
+  let max_depth = Array.fold_left (fun acc d -> Array.fold_left max acc d) 0 depths in
+  let rule_maps = Array.map (fun g -> Array.make (Array.length g.Grammar.rules) (-1)) grammars in
+  let remap_body rank body =
+    List.map
+      (fun ({ Grammar.sym; _ } as e) ->
+        match sym with
+        | Grammar.T _ -> e
+        | Grammar.N local ->
+            let g = rule_maps.(rank).(local) in
+            assert (g >= 0);
+            { e with Grammar.sym = Grammar.N g })
+      body
+  in
+  for d = 1 to max_depth do
+    Array.iteri
+      (fun rank g ->
+        Array.iteri
+          (fun local body ->
+            if depths.(rank).(local) = d then begin
+              let body' = remap_body rank body in
+              let key = body_key body' in
+              match Hashtbl.find_opt table key with
+              | Some gid -> rule_maps.(rank).(local) <- gid
+              | None ->
+                  let gid = !count in
+                  incr count;
+                  Hashtbl.replace table key gid;
+                  bodies_rev := body' :: !bodies_rev;
+                  rule_maps.(rank).(local) <- gid
+            end)
+          g.Grammar.rules)
+      grammars
+  done;
+  { global_rules = Array.of_list (List.rev !bodies_rev); rule_maps }
+
+(* ------------------------------------------------------------------ *)
+(* Main-rule merging (Section 2.6.2, second half)                       *)
+
+(* A main-rule position before rank attribution. *)
+type pos = { p_sym : Grammar.symbol; p_reps : int }
+
+let pos_eq a b = a.p_sym = b.p_sym && a.p_reps = b.p_reps
+
+let positions_of_main rule_map main =
+  Array.of_list
+    (List.map
+       (fun { Grammar.sym; reps } ->
+         let sym =
+           match sym with
+           | Grammar.T _ -> sym
+           | Grammar.N local -> Grammar.N rule_map.(local)
+         in
+         { p_sym = sym; p_reps = reps })
+       main)
+
+let mentry_pos (e : Merged.mentry) = { p_sym = e.Merged.sym; p_reps = e.Merged.reps }
+
+(* Merge a variant (with its rank set) into an already-merged entry list:
+   LCS positions get the union of rank lists; the rest interleaves in
+   original order (a's gap before b's gap between anchors). *)
+let lcs_merge (merged : Merged.mentry list) (variant : pos array) (vranks : Rank_list.t) :
+    Merged.mentry list =
+  let a = Array.of_list merged in
+  let a_pos = Array.map mentry_pos a in
+  let matches = Lcs.pairs ~eq:pos_eq a_pos variant in
+  let out = ref [] in
+  let emit_a i = out := a.(i) :: !out in
+  let emit_b j =
+    out := { Merged.sym = variant.(j).p_sym; reps = variant.(j).p_reps; ranks = vranks } :: !out
+  in
+  let emit_match i =
+    out := { a.(i) with Merged.ranks = Rank_list.union a.(i).Merged.ranks vranks } :: !out
+  in
+  let ai = ref 0 and bj = ref 0 in
+  List.iter
+    (fun (mi, mj) ->
+      while !ai < mi do
+        emit_a !ai;
+        incr ai
+      done;
+      while !bj < mj do
+        emit_b !bj;
+        incr bj
+      done;
+      emit_match mi;
+      ai := mi + 1;
+      bj := mj + 1)
+    matches;
+  while !ai < Array.length a do
+    emit_a !ai;
+    incr ai
+  done;
+  while !bj < Array.length variant do
+    emit_b !bj;
+    incr bj
+  done;
+  List.rev !out
+
+type cluster = {
+  mutable representative : pos array;  (* first variant seen *)
+  mutable entries : Merged.mentry list;
+  mutable ranks : Rank_list.t;
+}
+
+let merge_mains ~threshold (mains : pos array array) =
+  (* Group exactly-equal mains first: in SPMD programs the overwhelming
+     majority of ranks share one main verbatim, so the LCS only ever runs
+     on the handful of distinct variants. *)
+  let exact : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let key_of_positions ps =
+    String.concat " "
+      (Array.to_list
+         (Array.map
+            (fun p ->
+              match p.p_sym with
+              | Grammar.T v -> Printf.sprintf "T%d^%d" v p.p_reps
+              | Grammar.N i -> Printf.sprintf "N%d^%d" i p.p_reps)
+            ps))
+  in
+  Array.iteri
+    (fun rank ps ->
+      let key = key_of_positions ps in
+      match Hashtbl.find_opt exact key with
+      | Some l -> l := rank :: !l
+      | None -> Hashtbl.add exact key (ref [ rank ]))
+    mains;
+  (* distinct variants, each with its rank set, in first-rank order *)
+  let variants =
+    Hashtbl.fold (fun _ ranks acc -> !ranks :: acc) exact []
+    |> List.map (fun ranks ->
+           let ranks = List.sort compare ranks in
+           (mains.(List.hd ranks), Rank_list.of_list ranks))
+    |> List.sort (fun (_, r1) (_, r2) -> compare (Rank_list.to_list r1) (Rank_list.to_list r2))
+  in
+  let clusters : cluster list ref = ref [] in
+  List.iter
+    (fun (ps, ranks) ->
+      let close c = Lcs.normalized_distance ~eq:pos_eq c.representative ps <= threshold in
+      match List.find_opt close !clusters with
+      | Some c ->
+          c.entries <- lcs_merge c.entries ps ranks;
+          c.ranks <- Rank_list.union c.ranks ranks
+      | None ->
+          let entries =
+            Array.to_list
+              (Array.map (fun p -> { Merged.sym = p.p_sym; reps = p.p_reps; ranks }) ps)
+          in
+          clusters := !clusters @ [ { representative = ps; entries; ranks } ])
+    variants;
+  ( Array.of_list (List.map (fun c -> c.entries) !clusters),
+    Array.of_list (List.map (fun c -> c.ranks) !clusters) )
+
+(* ------------------------------------------------------------------ *)
+
+let merge_streams ?(config = default_config) ~nranks streams =
+  if Array.length streams <> nranks then invalid_arg "Pipeline.merge_streams: stream count";
+  let table = Terminal_table.build streams in
+  let grammars =
+    Array.map (fun seq -> Sequitur.of_seq ~rle:config.rle seq) (Terminal_table.sequences table)
+  in
+  let { global_rules; rule_maps } = merge_nonterminals grammars in
+  let mains =
+    Array.mapi (fun r g -> positions_of_main rule_maps.(r) g.Grammar.main) grammars
+  in
+  let mains, main_ranks = merge_mains ~threshold:config.cluster_threshold mains in
+  {
+    Merged.nranks;
+    terminals = Terminal_table.terminals table;
+    rules = global_rules;
+    mains;
+    main_ranks;
+  }
+
+let merge_recorder ?config recorder =
+  let nranks = Recorder.nranks recorder in
+  let streams = Array.init nranks (fun r -> Recorder.events recorder r) in
+  merge_streams ?config ~nranks streams

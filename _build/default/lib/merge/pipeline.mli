@@ -1,0 +1,29 @@
+(** Inter-process merging pipeline (Sections 2.5–2.6).
+
+    From per-rank encoded event streams to the program-wide {!Merged.t}:
+
+    + intern all streams in a global {!Terminal_table};
+    + run space-optimized {!Siesta_grammar.Sequitur} per rank over the
+      global-id sequences;
+    + merge non-terminal rules across ranks, shallow depths first, so
+      deeper rules can refer to already-merged ids;
+    + group main rules into clusters by normalized edit distance (merging
+      dissimilar mains would inflate branch statements — Section 2.6.2),
+      then LCS-merge each cluster's mains, attaching rank lists. *)
+
+type config = {
+  rle : bool;  (** run-length constraint in Sequitur (default true) *)
+  cluster_threshold : float;
+      (** max normalized edit distance for two main rules to share a
+          cluster (default 0.35) *)
+}
+
+val default_config : config
+
+val merge_streams :
+  ?config:config -> nranks:int -> Siesta_trace.Event.t array array -> Merged.t
+(** [merge_streams ~nranks streams] with [streams.(r)] the encoded event
+    stream of rank [r]. *)
+
+val merge_recorder : ?config:config -> Siesta_trace.Recorder.t -> Merged.t
+(** Convenience over a finished {!Siesta_trace.Recorder}. *)

@@ -1,0 +1,74 @@
+type t = int array (* sorted ascending, no duplicates *)
+
+let singleton r = [| r |]
+
+let of_list l = Array.of_list (List.sort_uniq compare l)
+
+let union a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let rec go i j k =
+    if i = la && j = lb then k
+    else if j = lb || (i < la && a.(i) < b.(j)) then begin
+      out.(k) <- a.(i);
+      go (i + 1) j (k + 1)
+    end
+    else if i = la || b.(j) < a.(i) then begin
+      out.(k) <- b.(j);
+      go i (j + 1) (k + 1)
+    end
+    else begin
+      out.(k) <- a.(i);
+      go (i + 1) (j + 1) (k + 1)
+    end
+  in
+  let k = go 0 0 0 in
+  Array.sub out 0 k
+
+let mem t r =
+  let rec bs lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.(mid) = r then true else if t.(mid) < r then bs (mid + 1) hi else bs lo mid
+    end
+  in
+  bs 0 (Array.length t)
+
+let cardinal = Array.length
+let to_list = Array.to_list
+let equal (a : t) b = a = b
+
+type shape =
+  | All of int
+  | Range of int * int
+  | Strided of int * int * int
+  | Explicit of int list
+
+let shape ~nranks t =
+  let n = Array.length t in
+  if n = 0 then Explicit []
+  else if n = 1 then Range (t.(0), t.(0))
+  else begin
+    let lo = t.(0) and hi = t.(n - 1) in
+    if hi - lo + 1 = n then (if lo = 0 && n = nranks then All nranks else Range (lo, hi))
+    else begin
+      let step = t.(1) - t.(0) in
+      let strided = step > 1 && n >= 3 in
+      let rec ok i = i >= n || (t.(i) - t.(i - 1) = step && ok (i + 1)) in
+      if strided && ok 2 then Strided (lo, hi, step) else Explicit (Array.to_list t)
+    end
+  end
+
+let serialized_bytes t =
+  match shape ~nranks:max_int t with
+  | All _ | Range _ | Strided _ -> 8
+  | Explicit l -> 4 * List.length l
+
+let pp ppf t =
+  match shape ~nranks:max_int t with
+  | All n -> Format.fprintf ppf "[0..%d]" (n - 1)
+  | Range (lo, hi) -> if lo = hi then Format.fprintf ppf "[%d]" lo else Format.fprintf ppf "[%d..%d]" lo hi
+  | Strided (lo, hi, s) -> Format.fprintf ppf "[%d..%d:%d]" lo hi s
+  | Explicit l ->
+      Format.fprintf ppf "[%s]" (String.concat "," (List.map string_of_int l))

@@ -1,0 +1,35 @@
+(** Sets of process ranks attached to merged main-rule symbols
+    (Section 2.6.2).
+
+    After the LCS merge, every symbol of a merged main rule carries the set
+    of ranks that execute it.  The code generator turns these sets into
+    branch conditions, so the module also classifies a set's shape (all
+    ranks / one contiguous interval / an arithmetic progression / general)
+    to emit compact conditions. *)
+
+type t
+
+val singleton : int -> t
+val of_list : int list -> t
+val union : t -> t -> t
+val mem : t -> int -> bool
+val cardinal : t -> int
+val to_list : t -> int list
+(** Ascending order. *)
+
+val equal : t -> t -> bool
+
+(** Shape classification for branch generation. *)
+type shape =
+  | All of int  (** every rank in [0, n) — given the program's size n *)
+  | Range of int * int  (** contiguous [lo..hi] *)
+  | Strided of int * int * int  (** [lo..hi] step [s], at least 3 members *)
+  | Explicit of int list
+
+val shape : nranks:int -> t -> shape
+
+val serialized_bytes : t -> int
+(** Export-size contribution: interval/stride encodings are cheap, general
+    sets pay per member. *)
+
+val pp : Format.formatter -> t -> unit

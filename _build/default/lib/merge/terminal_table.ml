@@ -1,0 +1,39 @@
+module Event = Siesta_trace.Event
+
+type t = {
+  terminals : Event.t array;
+  sequences : int array array;
+  merge_steps : int;
+}
+
+let build streams =
+  let table = Hashtbl.create 1024 in
+  let defs_rev = ref [] in
+  let count = ref 0 in
+  let intern ev =
+    let key = Event.to_key ev in
+    match Hashtbl.find_opt table key with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.replace table key id;
+        defs_rev := ev :: !defs_rev;
+        id
+  in
+  let sequences = Array.map (fun evs -> Array.map intern evs) streams in
+  let p = Array.length streams in
+  let rec log2c acc v = if v >= p then acc else log2c (acc + 1) (2 * v) in
+  {
+    terminals = Array.of_list (List.rev !defs_rev);
+    sequences;
+    merge_steps = (if p <= 1 then 0 else log2c 0 1);
+  }
+
+let terminals t = t.terminals
+let sequences t = t.sequences
+let size t = Array.length t.terminals
+let merge_steps t = t.merge_steps
+
+let serialized_bytes t =
+  Array.fold_left (fun acc ev -> acc + Event.serialized_bytes ev) 0 t.terminals

@@ -1,0 +1,33 @@
+(** Global terminal table (Section 2.6.1).
+
+    Each rank's encoded event stream is interned into a single global
+    table: the first occurrence of an event (by canonical key) defines its
+    global id, and every rank's stream becomes a sequence of global ids.
+    Thanks to relative-rank and pooled-handle encoding, SPMD programs share
+    most terminals across ranks, so the table grows far slower than the
+    rank count.
+
+    The paper performs this as a log2(P)-step tree merge followed by a
+    broadcast; the table contents are identical, and {!merge_steps}
+    reports the tree depth for cost accounting. *)
+
+type t
+
+val build : Siesta_trace.Event.t array array -> t
+(** [build streams] interns all ranks' event streams ([streams.(r)] is
+    rank [r]'s). *)
+
+val terminals : t -> Siesta_trace.Event.t array
+(** Global id -> event definition. *)
+
+val sequences : t -> int array array
+(** Per-rank streams as global-id sequences. *)
+
+val size : t -> int
+(** Number of distinct terminals. *)
+
+val merge_steps : t -> int
+(** ceil(log2 P) — the tree-merge depth the paper's implementation needs. *)
+
+val serialized_bytes : t -> int
+(** Export size of all terminal definitions. *)

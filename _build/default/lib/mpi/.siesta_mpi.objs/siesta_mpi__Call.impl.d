@@ -1,0 +1,1 @@
+lib/mpi/call.ml: Array Datatype List Op Printf String

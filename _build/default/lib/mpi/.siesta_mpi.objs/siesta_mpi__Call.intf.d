@@ -1,0 +1,1 @@
+lib/mpi/call.mli: Datatype Op

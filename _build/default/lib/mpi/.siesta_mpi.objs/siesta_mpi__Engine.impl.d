@@ -1,0 +1,1 @@
+lib/mpi/engine.ml: Array Call Datatype Effect Hashtbl List Option Printf Queue Siesta_perf Siesta_platform Siesta_util String

@@ -1,0 +1,1 @@
+lib/mpi/engine.mli: Call Datatype Op Siesta_perf Siesta_platform

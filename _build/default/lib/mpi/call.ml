@@ -1,0 +1,166 @@
+type p2p = { peer : int; tag : int; dt : Datatype.t; count : int }
+
+type t =
+  | Send of p2p
+  | Recv of p2p
+  | Isend of p2p * int
+  | Irecv of p2p * int
+  | Wait of int
+  | Waitall of int list
+  | Sendrecv of { send : p2p; recv : p2p }
+  | Barrier of { comm : int }
+  | Bcast of { comm : int; root : int; dt : Datatype.t; count : int }
+  | Reduce of { comm : int; root : int; dt : Datatype.t; count : int; op : Op.t }
+  | Allreduce of { comm : int; dt : Datatype.t; count : int; op : Op.t }
+  | Alltoall of { comm : int; dt : Datatype.t; count : int }
+  | Alltoallv of { comm : int; dt : Datatype.t; send_counts : int array }
+  | Allgather of { comm : int; dt : Datatype.t; count : int }
+  | Gather of { comm : int; root : int; dt : Datatype.t; count : int }
+  | Scatter of { comm : int; root : int; dt : Datatype.t; count : int }
+  | Scan of { comm : int; dt : Datatype.t; count : int; op : Op.t }
+  | Exscan of { comm : int; dt : Datatype.t; count : int; op : Op.t }
+  | Reduce_scatter of { comm : int; dt : Datatype.t; count : int; op : Op.t }
+  | Ibarrier of { comm : int; req : int }
+  | Ibcast of { comm : int; root : int; dt : Datatype.t; count : int; req : int }
+  | Iallreduce of { comm : int; dt : Datatype.t; count : int; op : Op.t; req : int }
+  | Comm_split of { comm : int; color : int; key : int; newcomm : int }
+  | Comm_dup of { comm : int; newcomm : int }
+  | Comm_free of { comm : int }
+  | File_open of { comm : int; file : int }
+  | File_close of { file : int }
+  | File_write_all of { file : int; dt : Datatype.t; count : int }
+  | File_read_all of { file : int; dt : Datatype.t; count : int }
+  | File_write_at of { file : int; dt : Datatype.t; count : int }
+  | File_read_at of { file : int; dt : Datatype.t; count : int }
+
+let any_source = -1
+let any_tag = -1
+
+let name = function
+  | Send _ -> "MPI_Send"
+  | Recv _ -> "MPI_Recv"
+  | Isend _ -> "MPI_Isend"
+  | Irecv _ -> "MPI_Irecv"
+  | Wait _ -> "MPI_Wait"
+  | Waitall _ -> "MPI_Waitall"
+  | Sendrecv _ -> "MPI_Sendrecv"
+  | Barrier _ -> "MPI_Barrier"
+  | Bcast _ -> "MPI_Bcast"
+  | Reduce _ -> "MPI_Reduce"
+  | Allreduce _ -> "MPI_Allreduce"
+  | Alltoall _ -> "MPI_Alltoall"
+  | Alltoallv _ -> "MPI_Alltoallv"
+  | Allgather _ -> "MPI_Allgather"
+  | Gather _ -> "MPI_Gather"
+  | Scatter _ -> "MPI_Scatter"
+  | Scan _ -> "MPI_Scan"
+  | Exscan _ -> "MPI_Exscan"
+  | Reduce_scatter _ -> "MPI_Reduce_scatter"
+  | Ibarrier _ -> "MPI_Ibarrier"
+  | Ibcast _ -> "MPI_Ibcast"
+  | Iallreduce _ -> "MPI_Iallreduce"
+  | Comm_split _ -> "MPI_Comm_split"
+  | Comm_dup _ -> "MPI_Comm_dup"
+  | Comm_free _ -> "MPI_Comm_free"
+  | File_open _ -> "MPI_File_open"
+  | File_close _ -> "MPI_File_close"
+  | File_write_all _ -> "MPI_File_write_all"
+  | File_read_all _ -> "MPI_File_read_all"
+  | File_write_at _ -> "MPI_File_write_at"
+  | File_read_at _ -> "MPI_File_read_at"
+
+let payload_bytes = function
+  | Send p | Isend (p, _) | Recv p | Irecv (p, _) -> Datatype.bytes p.dt ~count:p.count
+  | Sendrecv { send; recv } ->
+      Datatype.bytes send.dt ~count:send.count + Datatype.bytes recv.dt ~count:recv.count
+  | Wait _ | Waitall _ | Barrier _ | Ibarrier _ | Comm_split _ | Comm_dup _ | Comm_free _
+  | File_open _ | File_close _ ->
+      0
+  | Ibcast { dt; count; _ } | Iallreduce { dt; count; _ } -> Datatype.bytes dt ~count
+  | File_write_all { dt; count; _ }
+  | File_read_all { dt; count; _ }
+  | File_write_at { dt; count; _ }
+  | File_read_at { dt; count; _ } ->
+      Datatype.bytes dt ~count
+  | Bcast { dt; count; _ }
+  | Reduce { dt; count; _ }
+  | Allreduce { dt; count; _ }
+  | Alltoall { dt; count; _ }
+  | Allgather { dt; count; _ }
+  | Gather { dt; count; _ }
+  | Scatter { dt; count; _ }
+  | Scan { dt; count; _ }
+  | Exscan { dt; count; _ }
+  | Reduce_scatter { dt; count; _ } ->
+      Datatype.bytes dt ~count
+  | Alltoallv { dt; send_counts; _ } ->
+      Datatype.bytes dt ~count:(Array.fold_left ( + ) 0 send_counts)
+
+let is_blocking_p2p = function Send _ | Recv _ | Sendrecv _ -> true | _ -> false
+
+let p2p_str tag_name p =
+  Printf.sprintf "%s(peer=%d,tag=%d,dt=%s,count=%d)" tag_name p.peer p.tag (Datatype.name p.dt)
+    p.count
+
+let to_string = function
+  | Send p -> p2p_str "Send" p
+  | Recv p -> p2p_str "Recv" p
+  | Isend (p, req) -> Printf.sprintf "%s[req=%d]" (p2p_str "Isend" p) req
+  | Irecv (p, req) -> Printf.sprintf "%s[req=%d]" (p2p_str "Irecv" p) req
+  | Wait req -> Printf.sprintf "Wait(req=%d)" req
+  | Waitall reqs -> Printf.sprintf "Waitall(%s)" (String.concat "," (List.map string_of_int reqs))
+  | Sendrecv { send; recv } ->
+      Printf.sprintf "Sendrecv(%s,%s)" (p2p_str "s" send) (p2p_str "r" recv)
+  | Barrier { comm } -> Printf.sprintf "Barrier(comm=%d)" comm
+  | Bcast { comm; root; dt; count } ->
+      Printf.sprintf "Bcast(comm=%d,root=%d,dt=%s,count=%d)" comm root (Datatype.name dt) count
+  | Reduce { comm; root; dt; count; op } ->
+      Printf.sprintf "Reduce(comm=%d,root=%d,dt=%s,count=%d,op=%s)" comm root (Datatype.name dt)
+        count (Op.name op)
+  | Allreduce { comm; dt; count; op } ->
+      Printf.sprintf "Allreduce(comm=%d,dt=%s,count=%d,op=%s)" comm (Datatype.name dt) count
+        (Op.name op)
+  | Alltoall { comm; dt; count } ->
+      Printf.sprintf "Alltoall(comm=%d,dt=%s,count=%d)" comm (Datatype.name dt) count
+  | Alltoallv { comm; dt; send_counts } ->
+      Printf.sprintf "Alltoallv(comm=%d,dt=%s,counts=%s)" comm (Datatype.name dt)
+        (String.concat "," (Array.to_list (Array.map string_of_int send_counts)))
+  | Allgather { comm; dt; count } ->
+      Printf.sprintf "Allgather(comm=%d,dt=%s,count=%d)" comm (Datatype.name dt) count
+  | Gather { comm; root; dt; count } ->
+      Printf.sprintf "Gather(comm=%d,root=%d,dt=%s,count=%d)" comm root (Datatype.name dt) count
+  | Scatter { comm; root; dt; count } ->
+      Printf.sprintf "Scatter(comm=%d,root=%d,dt=%s,count=%d)" comm root (Datatype.name dt) count
+  | Scan { comm; dt; count; op } ->
+      Printf.sprintf "Scan(comm=%d,dt=%s,count=%d,op=%s)" comm (Datatype.name dt) count (Op.name op)
+  | Exscan { comm; dt; count; op } ->
+      Printf.sprintf "Exscan(comm=%d,dt=%s,count=%d,op=%s)" comm (Datatype.name dt) count
+        (Op.name op)
+  | Reduce_scatter { comm; dt; count; op } ->
+      Printf.sprintf "ReduceScatter(comm=%d,dt=%s,count=%d,op=%s)" comm (Datatype.name dt) count
+        (Op.name op)
+  | Ibarrier { comm; req } -> Printf.sprintf "Ibarrier(comm=%d)[req=%d]" comm req
+  | Ibcast { comm; root; dt; count; req } ->
+      Printf.sprintf "Ibcast(comm=%d,root=%d,dt=%s,count=%d)[req=%d]" comm root
+        (Datatype.name dt) count req
+  | Iallreduce { comm; dt; count; op; req } ->
+      Printf.sprintf "Iallreduce(comm=%d,dt=%s,count=%d,op=%s)[req=%d]" comm (Datatype.name dt)
+        count (Op.name op) req
+  | Comm_split { comm; color; key; newcomm } ->
+      Printf.sprintf "Comm_split(comm=%d,color=%d,key=%d,new=%d)" comm color key newcomm
+  | Comm_dup { comm; newcomm } -> Printf.sprintf "Comm_dup(comm=%d,new=%d)" comm newcomm
+  | Comm_free { comm } -> Printf.sprintf "Comm_free(comm=%d)" comm
+  | File_open { comm; file } -> Printf.sprintf "File_open(comm=%d,file=%d)" comm file
+  | File_close { file } -> Printf.sprintf "File_close(file=%d)" file
+  | File_write_all { file; dt; count } ->
+      Printf.sprintf "File_write_all(file=%d,dt=%s,count=%d)" file (Datatype.name dt) count
+  | File_read_all { file; dt; count } ->
+      Printf.sprintf "File_read_all(file=%d,dt=%s,count=%d)" file (Datatype.name dt) count
+  | File_write_at { file; dt; count } ->
+      Printf.sprintf "File_write_at(file=%d,dt=%s,count=%d)" file (Datatype.name dt) count
+  | File_read_at { file; dt; count } ->
+      Printf.sprintf "File_read_at(file=%d,dt=%s,count=%d)" file (Datatype.name dt) count
+
+(* 24 bytes of per-record timestamp + rank + counter snapshot fields, as a
+   binary trace would carry. *)
+let record_bytes t = String.length (to_string t) + 24

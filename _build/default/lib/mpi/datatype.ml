@@ -1,0 +1,13 @@
+type t = Byte | Int | Float | Double
+
+let size = function Byte -> 1 | Int -> 4 | Float -> 4 | Double -> 8
+let name = function Byte -> "BYTE" | Int -> "INT" | Float -> "FLOAT" | Double -> "DOUBLE"
+
+let of_name = function
+  | "BYTE" -> Byte
+  | "INT" -> Int
+  | "FLOAT" -> Float
+  | "DOUBLE" -> Double
+  | s -> invalid_arg ("Datatype.of_name: " ^ s)
+
+let bytes t ~count = count * size t

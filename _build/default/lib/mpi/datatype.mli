@@ -1,0 +1,17 @@
+(** MPI datatypes.
+
+    The tracer records only data {e volumes} (Section 2.2: buffer contents
+    are never recorded), so a datatype is just a name and an element
+    size. *)
+
+type t = Byte | Int | Float | Double
+
+val size : t -> int
+(** Element size in bytes. *)
+
+val name : t -> string
+val of_name : string -> t
+(** @raise Invalid_argument for an unknown name. *)
+
+val bytes : t -> count:int -> int
+(** [bytes dt ~count] is [count * size dt]. *)

@@ -1,0 +1,10 @@
+type t = Sum | Max | Min | Prod
+
+let name = function Sum -> "SUM" | Max -> "MAX" | Min -> "MIN" | Prod -> "PROD"
+
+let of_name = function
+  | "SUM" -> Sum
+  | "MAX" -> Max
+  | "MIN" -> Min
+  | "PROD" -> Prod
+  | s -> invalid_arg ("Op.of_name: " ^ s)

@@ -1,0 +1,7 @@
+(** Reduction operators (metadata only — no data flows in the simulator). *)
+
+type t = Sum | Max | Min | Prod
+
+val name : t -> string
+val of_name : string -> t
+(** @raise Invalid_argument for an unknown name. *)

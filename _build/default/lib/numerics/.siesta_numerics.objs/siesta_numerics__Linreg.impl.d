@@ -1,0 +1,1 @@
+lib/numerics/linreg.ml: Array Siesta_util Stats

@@ -1,0 +1,1 @@
+lib/numerics/nnls.ml: Array Lsq Matrix

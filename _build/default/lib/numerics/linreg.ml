@@ -1,0 +1,33 @@
+open Siesta_util
+
+type t = { slope : float; intercept : float }
+
+let fit ~xs ~ys =
+  let n = Array.length xs in
+  if n = 0 || n <> Array.length ys then invalid_arg "Linreg.fit: bad input";
+  let mx = Stats.mean xs and my = Stats.mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. (ys.(i) -. my))
+  done;
+  if !sxx <= 0.0 then { slope = 0.0; intercept = my }
+  else begin
+    let slope = !sxy /. !sxx in
+    { slope; intercept = my -. (slope *. mx) }
+  end
+
+let predict t x = (t.slope *. x) +. t.intercept
+
+let r2 t ~xs ~ys =
+  let my = Stats.mean ys in
+  let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+  Array.iteri
+    (fun i y ->
+      let e = y -. predict t xs.(i) in
+      ss_res := !ss_res +. (e *. e);
+      ss_tot := !ss_tot +. ((y -. my) *. (y -. my)))
+    ys;
+  if !ss_tot = 0.0 then (if !ss_res = 0.0 then 1.0 else 0.0)
+  else 1.0 -. (!ss_res /. !ss_tot)

@@ -1,0 +1,17 @@
+(** Simple (one-variable) linear regression, y ~= slope * x + intercept.
+
+    Used by the communication-shrinking step (paper Section 2.7): Siesta
+    fits the execution time of blocking MPI calls against their
+    communication volume and scales the fitted time. *)
+
+type t = { slope : float; intercept : float }
+
+val fit : xs:float array -> ys:float array -> t
+(** Ordinary least squares fit.  Arrays must be the same non-zero length.
+    A degenerate x (all equal) yields slope 0 and intercept = mean y. *)
+
+val predict : t -> float -> float
+
+val r2 : t -> xs:float array -> ys:float array -> float
+(** Coefficient of determination of the fit on the given data
+    (1 when y is constant and perfectly predicted). *)

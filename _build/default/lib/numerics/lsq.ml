@@ -1,0 +1,97 @@
+(* Cholesky factorization of a symmetric positive-definite matrix, in place
+   on a copy.  Returns the lower-triangular factor. *)
+let cholesky g =
+  let n = Matrix.rows g in
+  let l = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (Matrix.get g i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Matrix.get l i k *. Matrix.get l j k)
+      done;
+      if i = j then begin
+        if !s <= 0.0 then raise Exit;
+        Matrix.set l i j (sqrt !s)
+      end
+      else Matrix.set l i j (!s /. Matrix.get l j j)
+    done
+  done;
+  l
+
+let forward_sub l b =
+  let n = Matrix.rows l in
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (Matrix.get l i k *. y.(k))
+    done;
+    y.(i) <- !s /. Matrix.get l i i
+  done;
+  y
+
+let backward_sub l y =
+  (* Solves L^T x = y. *)
+  let n = Matrix.rows l in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (Matrix.get l k i *. x.(k))
+    done;
+    x.(i) <- !s /. Matrix.get l i i
+  done;
+  x
+
+let gram a =
+  let n = Matrix.cols a in
+  let g = Matrix.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k = 0 to Matrix.rows a - 1 do
+        s := !s +. (Matrix.get a k i *. Matrix.get a k j)
+      done;
+      Matrix.set g i j !s
+    done
+  done;
+  g
+
+let atb a b =
+  let n = Matrix.cols a in
+  Array.init n (fun j ->
+      let s = ref 0.0 in
+      for k = 0 to Matrix.rows a - 1 do
+        s := !s +. (Matrix.get a k j *. b.(k))
+      done;
+      !s)
+
+let solve a b =
+  if Array.length b <> Matrix.rows a then invalid_arg "Lsq.solve: dimension mismatch";
+  let g = gram a in
+  let rhs = atb a b in
+  let n = Matrix.cols a in
+  (* Escalating ridge: the proxy-search Gram matrices are occasionally
+     rank-deficient when two code blocks have proportional signatures. *)
+  let rec attempt ridge tries =
+    let g' = Matrix.copy g in
+    for i = 0 to n - 1 do
+      Matrix.set g' i i (Matrix.get g' i i +. ridge)
+    done;
+    match cholesky g' with
+    | l -> backward_sub l (forward_sub l rhs)
+    | exception Exit ->
+        if tries = 0 then Array.make n 0.0
+        else attempt (if ridge = 0.0 then 1e-10 else ridge *. 100.0) (tries - 1)
+  in
+  let trace = ref 0.0 in
+  for i = 0 to n - 1 do
+    trace := !trace +. Matrix.get g i i
+  done;
+  attempt (!trace *. 1e-12) 8
+
+let residual_norm2 a x b =
+  let ax = Matrix.mul_vec a x in
+  let s = ref 0.0 in
+  Array.iteri (fun i v -> s := !s +. (((v -. b.(i)) ** 2.0) : float)) ax;
+  !s

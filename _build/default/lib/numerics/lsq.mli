@@ -1,0 +1,13 @@
+(** Linear least squares: minimize ||A x - b||^2.
+
+    Solved by the normal equations with a Cholesky factorization, plus a
+    small Tikhonov ridge when the Gram matrix is near-singular — ample for
+    the well-conditioned 6 x k systems arising in proxy search. *)
+
+val solve : Matrix.t -> float array -> float array
+(** [solve a b] returns the minimizer of ||a x - b||.  [Array.length b]
+    must equal [Matrix.rows a].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val residual_norm2 : Matrix.t -> float array -> float array -> float
+(** [residual_norm2 a x b] is ||a x - b||^2. *)

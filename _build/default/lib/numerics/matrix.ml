@@ -1,0 +1,81 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: dimensions must be positive";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows t = t.rows
+let cols t = t.cols
+let get t i j = t.data.((i * t.cols) + j)
+let set t i j v = t.data.((i * t.cols) + j) <- v
+
+let of_arrays a =
+  let r = Array.length a in
+  if r = 0 then invalid_arg "Matrix.of_arrays: empty";
+  let c = Array.length a.(0) in
+  if c = 0 then invalid_arg "Matrix.of_arrays: empty row";
+  Array.iter (fun row -> if Array.length row <> c then invalid_arg "Matrix.of_arrays: ragged") a;
+  let m = create ~rows:r ~cols:c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      set m i j a.(i).(j)
+    done
+  done;
+  m
+
+let copy t = { t with data = Array.copy t.data }
+
+let transpose t =
+  let m = create ~rows:t.cols ~cols:t.rows in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      set m j i (get t i j)
+    done
+  done;
+  m
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let m = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          set m i j (get m i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  m
+
+let mul_vec a x =
+  if Array.length x <> a.cols then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (get a i j *. x.(j))
+      done;
+      !acc)
+
+let col t j = Array.init t.rows (fun i -> get t i j)
+let row t i = Array.init t.cols (fun j -> get t i j)
+
+let scale_row t i s =
+  for j = 0 to t.cols - 1 do
+    set t i j (get t i j *. s)
+  done
+
+let identity n =
+  let m = create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    set m i i 1.0
+  done;
+  m
+
+let pp ppf t =
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      Format.fprintf ppf "%10.4g " (get t i j)
+    done;
+    Format.pp_print_newline ppf ()
+  done

@@ -1,0 +1,37 @@
+(** Small dense row-major matrices.
+
+    The proxy-search problems are tiny (6 metrics x 11 blocks), so this is a
+    simple, allocation-friendly implementation rather than a BLAS binding. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled matrix. *)
+
+val of_arrays : float array array -> t
+(** Rows must be non-empty and rectangular. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product; dimensions must agree. *)
+
+val mul_vec : t -> float array -> float array
+(** [mul_vec a x] is [a * x]; [Array.length x] must equal [cols a]. *)
+
+val col : t -> int -> float array
+val row : t -> int -> float array
+
+val scale_row : t -> int -> float -> unit
+(** In-place multiplication of one row by a scalar. *)
+
+val identity : int -> t
+
+val pp : Format.formatter -> t -> unit

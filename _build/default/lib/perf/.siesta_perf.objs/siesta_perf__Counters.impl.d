@@ -1,0 +1,1 @@
+lib/perf/counters.ml: Array Format List Siesta_platform

@@ -1,0 +1,1 @@
+lib/perf/counters.mli: Format Siesta_platform

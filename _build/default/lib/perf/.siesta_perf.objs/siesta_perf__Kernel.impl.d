@@ -1,0 +1,1 @@
+lib/perf/kernel.ml: Float Siesta_platform

@@ -1,0 +1,1 @@
+lib/perf/kernel.mli: Siesta_platform

@@ -1,0 +1,1 @@
+lib/perf/papi.ml: Array Counters Rng Siesta_platform Siesta_util

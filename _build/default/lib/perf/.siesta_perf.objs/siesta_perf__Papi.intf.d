@@ -1,0 +1,1 @@
+lib/perf/papi.mli: Counters Siesta_platform Siesta_util

@@ -1,0 +1,100 @@
+type metric = INS | CYC | LST | L1_DCM | BR_CN | MSP
+
+let all_metrics = [ INS; CYC; LST; L1_DCM; BR_CN; MSP ]
+
+let metric_name = function
+  | INS -> "INS"
+  | CYC -> "CYC"
+  | LST -> "LST"
+  | L1_DCM -> "L1_DCM"
+  | BR_CN -> "BR_CN"
+  | MSP -> "MSP"
+
+let metric_index = function INS -> 0 | CYC -> 1 | LST -> 2 | L1_DCM -> 3 | BR_CN -> 4 | MSP -> 5
+
+type t = {
+  ins : float;
+  cyc : float;
+  lst : float;
+  l1_dcm : float;
+  br_cn : float;
+  msp : float;
+}
+
+let zero = { ins = 0.0; cyc = 0.0; lst = 0.0; l1_dcm = 0.0; br_cn = 0.0; msp = 0.0 }
+
+let add a b =
+  {
+    ins = a.ins +. b.ins;
+    cyc = a.cyc +. b.cyc;
+    lst = a.lst +. b.lst;
+    l1_dcm = a.l1_dcm +. b.l1_dcm;
+    br_cn = a.br_cn +. b.br_cn;
+    msp = a.msp +. b.msp;
+  }
+
+let sub a b =
+  let m x y = max 0.0 (x -. y) in
+  {
+    ins = m a.ins b.ins;
+    cyc = m a.cyc b.cyc;
+    lst = m a.lst b.lst;
+    l1_dcm = m a.l1_dcm b.l1_dcm;
+    br_cn = m a.br_cn b.br_cn;
+    msp = m a.msp b.msp;
+  }
+
+let scale k a =
+  {
+    ins = k *. a.ins;
+    cyc = k *. a.cyc;
+    lst = k *. a.lst;
+    l1_dcm = k *. a.l1_dcm;
+    br_cn = k *. a.br_cn;
+    msp = k *. a.msp;
+  }
+
+let to_array t = [| t.ins; t.cyc; t.lst; t.l1_dcm; t.br_cn; t.msp |]
+
+let of_array a =
+  if Array.length a <> 6 then invalid_arg "Counters.of_array: expected 6 metrics";
+  { ins = a.(0); cyc = a.(1); lst = a.(2); l1_dcm = a.(3); br_cn = a.(4); msp = a.(5) }
+
+let get t = function
+  | INS -> t.ins
+  | CYC -> t.cyc
+  | LST -> t.lst
+  | L1_DCM -> t.l1_dcm
+  | BR_CN -> t.br_cn
+  | MSP -> t.msp
+
+let of_work cpu (w : Siesta_platform.Cpu.work) =
+  {
+    ins = w.ins;
+    cyc = Siesta_platform.Cpu.cycles cpu w;
+    lst = w.loads +. w.stores;
+    l1_dcm = w.l1_misses;
+    br_cn = w.branches;
+    msp = w.mispredicts;
+  }
+
+let safe_div a b = if b = 0.0 then 0.0 else a /. b
+let ipc t = safe_div t.ins t.cyc
+let cmr t = safe_div t.l1_dcm t.lst
+let bmr t = safe_div t.msp t.br_cn
+
+let mean_relative_error ~actual ~reference =
+  let num = ref 0 and acc = ref 0.0 in
+  List.iter
+    (fun m ->
+      let r = get reference m in
+      if r <> 0.0 then begin
+        incr num;
+        acc := !acc +. (abs_float (get actual m -. r) /. abs_float r)
+      end)
+    all_metrics;
+  if !num = 0 then 0.0 else !acc /. float_of_int !num
+
+let pp ppf t =
+  Format.fprintf ppf "{INS=%.3g CYC=%.3g LST=%.3g DCM=%.3g BR=%.3g MSP=%.3g}" t.ins t.cyc t.lst
+    t.l1_dcm t.br_cn t.msp

@@ -1,0 +1,57 @@
+(** The six hardware performance metrics of the paper's Table 1.
+
+    A {!t} is one reading (or one delta) of the counters: instructions,
+    cycles, load/stores, L1 data-cache misses, conditional branches and
+    mispredicted conditional branches. *)
+
+type metric = INS | CYC | LST | L1_DCM | BR_CN | MSP
+
+val all_metrics : metric list
+val metric_name : metric -> string
+val metric_index : metric -> int
+
+type t = {
+  ins : float;
+  cyc : float;
+  lst : float;
+  l1_dcm : float;
+  br_cn : float;
+  msp : float;
+}
+
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Componentwise; used for interval deltas.  Negative components are
+    clamped to zero (counter noise can make tiny deltas go negative). *)
+
+val scale : float -> t -> t
+val to_array : t -> float array
+(** In [all_metrics] order: [| ins; cyc; lst; l1_dcm; br_cn; msp |]. *)
+
+val of_array : float array -> t
+(** @raise Invalid_argument unless the length is 6. *)
+
+val get : t -> metric -> float
+
+val of_work : Siesta_platform.Cpu.t -> Siesta_platform.Cpu.work -> t
+(** "Read the counters" for a unit of work priced on the given CPU: the
+    first five metrics come straight from the work signature; CYC comes
+    from the CPU cycle model. *)
+
+(* Derived ratios used by the MINIME comparison (Figs. 4–5). *)
+
+val ipc : t -> float
+(** Instructions per cycle. *)
+
+val cmr : t -> float
+(** Cache miss rate: L1 misses per load/store. *)
+
+val bmr : t -> float
+(** Branch misprediction rate: MSP per branch. *)
+
+val mean_relative_error : actual:t -> reference:t -> float
+(** Average over the six metrics of |actual - reference| / reference,
+    skipping metrics whose reference is zero. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+type t = {
+  label : string;
+  flops : float;
+  div_frac : float;
+  int_ops : float;
+  mem_refs : float;
+  load_frac : float;
+  miss_rate : float;
+  working_set_bytes : float;
+  branches : float;
+  mispredict_rate : float;
+}
+
+let to_work t : Siesta_platform.Cpu.work =
+  {
+    ins = t.flops +. t.int_ops +. t.mem_refs +. t.branches;
+    loads = t.mem_refs *. t.load_frac;
+    stores = t.mem_refs *. (1.0 -. t.load_frac);
+    branches = t.branches;
+    mispredicts = t.branches *. t.mispredict_rate;
+    l1_misses = t.mem_refs *. t.miss_rate;
+    div_ops = t.flops *. t.div_frac;
+    working_set_bytes = t.working_set_bytes;
+  }
+
+let scale k t =
+  {
+    t with
+    flops = k *. t.flops;
+    int_ops = k *. t.int_ops;
+    mem_refs = k *. t.mem_refs;
+    branches = k *. t.branches;
+  }
+
+(* Both constructors are calibrated so the resulting counter mix sits
+   inside the cone spanned by the 11 proxy code blocks (branch rate
+   >= ~0.12 of instructions, prefetch-softened miss rates); this matches
+   compiled scalar loop code, which is also what the blocks model. *)
+
+let streaming ~label ~flops ~bytes =
+  (* LST counts every retired load/store, most of which hit in cache:
+     flop operands dominate for dense kernels, streaming traffic for
+     bandwidth-bound ones.  Misses scale with the DRAM traffic only,
+     softened by hardware prefetch. *)
+  let traffic = bytes /. 8.0 in
+  let mem_refs = Float.max traffic (0.45 *. flops) in
+  {
+    label;
+    flops;
+    div_frac = 0.002;
+    int_ops = 0.2 *. flops;
+    mem_refs;
+    load_frac = 0.65;
+    miss_rate = 0.03 *. traffic /. mem_refs;
+    working_set_bytes = bytes;
+    (* ~0.15 of total instructions, as scalar compiled loops retire *)
+    branches = 0.18 *. ((1.2 *. flops) +. mem_refs);
+    mispredict_rate = 0.01;
+  }
+
+let compute_bound ~label ~flops ~div_frac =
+  {
+    label;
+    flops;
+    div_frac;
+    int_ops = 0.2 *. flops;
+    mem_refs = 0.5 *. flops;
+    load_frac = 0.7;
+    miss_rate = 0.004;
+    working_set_bytes = 256.0 *. 1024.0;
+    branches = 0.18 *. ((1.2 *. flops) +. (0.5 *. flops));
+    mispredict_rate = 0.02;
+  }

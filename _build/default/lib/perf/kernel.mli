@@ -1,0 +1,34 @@
+(** Workload computation kernels.
+
+    A kernel descriptor characterizes one computation phase of a traced
+    program (e.g. "the y-solve of BT on one rank's sub-block") in
+    platform-independent terms.  {!to_work} lowers it to a
+    {!Siesta_platform.Cpu.work} signature, which the CPU model then prices
+    per platform.  This replaces profiling real binaries with PAPI. *)
+
+type t = {
+  label : string;
+  flops : float;  (** floating-point operations *)
+  div_frac : float;  (** fraction of flops that are long-latency divides *)
+  int_ops : float;  (** integer ALU operations *)
+  mem_refs : float;  (** load + store operations *)
+  load_frac : float;  (** fraction of [mem_refs] that are loads *)
+  miss_rate : float;  (** L1 data-cache misses per memory reference *)
+  working_set_bytes : float;  (** resident footprint of the phase *)
+  branches : float;  (** conditional branches *)
+  mispredict_rate : float;  (** mispredictions per branch *)
+}
+
+val to_work : t -> Siesta_platform.Cpu.work
+
+val scale : float -> t -> t
+(** Scale all event counts (not the working set) by a factor; used to size
+    kernels per iteration/per rank. *)
+
+val streaming : label:string -> flops:float -> bytes:float -> t
+(** A convenience constructor for bandwidth-bound stencil/stream phases:
+    one load+store pair per 8 flops-ish, miss rate set by streaming through
+    [bytes] of data with 64-byte lines. *)
+
+val compute_bound : label:string -> flops:float -> div_frac:float -> t
+(** A convenience constructor for cache-resident compute phases. *)

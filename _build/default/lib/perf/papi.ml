@@ -1,0 +1,32 @@
+open Siesta_util
+
+type t = {
+  cpu : Siesta_platform.Cpu.t;
+  noise : float;
+  rng : Rng.t;
+  mutable interval : Counters.t;
+  mutable total : Counters.t;
+  mutable elapsed_s : float;
+}
+
+let create ~cpu ~noise ~rng =
+  { cpu; noise; rng; interval = Counters.zero; total = Counters.zero; elapsed_s = 0.0 }
+let cpu t = t.cpu
+
+let accumulate t work =
+  let c = Counters.of_work t.cpu work in
+  t.interval <- Counters.add t.interval c;
+  t.total <- Counters.add t.total c;
+  t.elapsed_s <- t.elapsed_s +. Siesta_platform.Cpu.seconds_of_cycles t.cpu c.Counters.cyc
+
+let noisy t v =
+  if t.noise = 0.0 || v = 0.0 then v
+  else max 0.0 (v *. (1.0 +. Rng.gaussian t.rng ~mu:0.0 ~sigma:t.noise))
+
+let read_delta t =
+  let c = t.interval in
+  t.interval <- Counters.zero;
+  Counters.of_array (Array.map (noisy t) (Counters.to_array c))
+
+let elapsed_seconds t = t.elapsed_s
+let totals t = t.total

@@ -1,0 +1,35 @@
+(** PAPI-like per-rank counter state.
+
+    Each simulated rank owns one {!t}.  Computation phases are
+    {!accumulate}d as they execute; the tracer calls {!read_delta} at each
+    MPI-call boundary to obtain the counters of the just-finished
+    computation event (the virtual [MPI_Compute] call of Section 2.3).
+    Readings carry a small multiplicative noise, as real counters do —
+    which is what makes the paper's clustering threshold meaningful. *)
+
+type t
+
+val create :
+  cpu:Siesta_platform.Cpu.t -> noise:float -> rng:Siesta_util.Rng.t -> t
+(** [noise] is the relative standard deviation applied to each metric on
+    read (0 for exact readings). *)
+
+val cpu : t -> Siesta_platform.Cpu.t
+
+val accumulate : t -> Siesta_platform.Cpu.work -> unit
+(** Execute a unit of work: counters advance, and the rank's computation
+    time advances by the CPU model's pricing (retrieved via
+    {!elapsed_seconds}). *)
+
+val read_delta : t -> Counters.t
+(** Counters accumulated since the previous [read_delta] (noisy), and
+    reset the interval. *)
+
+val elapsed_seconds : t -> float
+(** Total computation seconds accumulated since creation (noise-free;
+    this drives the simulated clock, while [read_delta] drives the trace). *)
+
+val totals : t -> Counters.t
+(** Noise-free counter totals since creation, independent of
+    [read_delta] resets.  Used as the reference when scoring a proxy's
+    computation fidelity. *)

@@ -1,0 +1,1 @@
+lib/platform/mpi_impl.mli:

@@ -1,0 +1,1 @@
+lib/platform/spec.ml: Cpu Format List Network Printf

@@ -1,0 +1,76 @@
+type t = {
+  name : string;
+  frequency_ghz : float;
+  issue_width : float;
+  lsu_ports : float;
+  l1_kb : int;
+  l2_kb : int;
+  cacheline_bytes : int;
+  l2_hit_penalty : float;
+  mem_penalty : float;
+  div_latency : float;
+  branch_penalty : float;
+}
+
+type work = {
+  ins : float;
+  loads : float;
+  stores : float;
+  branches : float;
+  mispredicts : float;
+  l1_misses : float;
+  div_ops : float;
+  working_set_bytes : float;
+}
+
+let zero_work =
+  {
+    ins = 0.0;
+    loads = 0.0;
+    stores = 0.0;
+    branches = 0.0;
+    mispredicts = 0.0;
+    l1_misses = 0.0;
+    div_ops = 0.0;
+    working_set_bytes = 0.0;
+  }
+
+let add_work a b =
+  {
+    ins = a.ins +. b.ins;
+    loads = a.loads +. b.loads;
+    stores = a.stores +. b.stores;
+    branches = a.branches +. b.branches;
+    mispredicts = a.mispredicts +. b.mispredicts;
+    l1_misses = a.l1_misses +. b.l1_misses;
+    div_ops = a.div_ops +. b.div_ops;
+    working_set_bytes = max a.working_set_bytes b.working_set_bytes;
+  }
+
+let scale_work k a =
+  {
+    ins = k *. a.ins;
+    loads = k *. a.loads;
+    stores = k *. a.stores;
+    branches = k *. a.branches;
+    mispredicts = k *. a.mispredicts;
+    l1_misses = k *. a.l1_misses;
+    div_ops = k *. a.div_ops;
+    working_set_bytes = a.working_set_bytes;
+  }
+
+let cycles t w =
+  let issue = w.ins /. t.issue_width in
+  let lsu = (w.loads +. w.stores) /. t.lsu_ports in
+  let base = max issue lsu in
+  let miss_penalty =
+    if w.working_set_bytes <= float_of_int (t.l2_kb * 1024) then t.l2_hit_penalty
+    else t.mem_penalty
+  in
+  base
+  +. (w.div_ops *. t.div_latency)
+  +. (w.mispredicts *. t.branch_penalty)
+  +. (w.l1_misses *. miss_penalty)
+
+let seconds_of_cycles t c = c /. (t.frequency_ghz *. 1e9)
+let seconds t w = seconds_of_cycles t (cycles t w)

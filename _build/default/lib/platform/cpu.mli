@@ -1,0 +1,60 @@
+(** Analytic CPU timing model.
+
+    This substitutes for the paper's hardware performance counters (PAPI on
+    real Xeons): a unit of computational work is described by a {!work}
+    signature, and the model prices it in cycles on a given {!t}.  The same
+    model prices both the traced programs' kernels and Siesta's predefined
+    code blocks, so that "measuring" either with the simulated counters is
+    self-consistent — the property the proxy-search QP relies on.
+
+    The cycle model is a standard bottleneck decomposition:
+    {v
+      cycles = max(ins / issue_width, (loads+stores) / lsu_ports)
+             + div_ops     * div_latency
+             + mispredicts * branch_penalty
+             + l1_misses   * miss_penalty(working_set)
+    v}
+    where [miss_penalty] is the L2 hit penalty when the working set fits in
+    L2 and the memory penalty otherwise.  Wider cores (issue width), slower
+    dividers, smaller L2s and lower frequency therefore change execution
+    time in physically plausible directions — which is what the paper's
+    portability experiments (Fig. 8, Fig. 9) exercise. *)
+
+type t = {
+  name : string;
+  frequency_ghz : float;
+  issue_width : float;  (** sustained instructions per cycle cap *)
+  lsu_ports : float;  (** load/store operations retired per cycle *)
+  l1_kb : int;  (** L1 data cache size, KiB *)
+  l2_kb : int;  (** L2 cache size, KiB *)
+  cacheline_bytes : int;
+  l2_hit_penalty : float;  (** cycles per L1 miss that hits in L2 *)
+  mem_penalty : float;  (** cycles per L1 miss that goes to memory *)
+  div_latency : float;  (** cycles per floating divide *)
+  branch_penalty : float;  (** cycles per mispredicted branch *)
+}
+
+(** One unit of computational work, as "seen" by the performance counters
+    plus the structural facts (divides, working set) needed to price it. *)
+type work = {
+  ins : float;  (** retired instructions *)
+  loads : float;
+  stores : float;
+  branches : float;  (** retired conditional branches *)
+  mispredicts : float;  (** mispredicted conditional branches *)
+  l1_misses : float;  (** L1 data-cache misses *)
+  div_ops : float;  (** long-latency divide operations *)
+  working_set_bytes : float;  (** resident footprint during the work *)
+}
+
+val zero_work : work
+val add_work : work -> work -> work
+val scale_work : float -> work -> work
+
+val cycles : t -> work -> float
+(** Price [work] on this CPU, in cycles. *)
+
+val seconds : t -> work -> float
+(** [cycles] converted through the clock frequency. *)
+
+val seconds_of_cycles : t -> float -> float

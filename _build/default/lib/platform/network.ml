@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  inter_latency_s : float;
+  inter_bandwidth_bps : float;
+  intra_latency_s : float;
+  intra_bandwidth_bps : float;
+}
+
+let transfer_time t ~same_node ~bytes =
+  let n = float_of_int bytes in
+  if same_node then t.intra_latency_s +. (n /. t.intra_bandwidth_bps)
+  else t.inter_latency_s +. (n /. t.inter_bandwidth_bps)

@@ -1,0 +1,18 @@
+(** Interconnect alpha–beta model.
+
+    A message of [n] bytes between two ranks costs
+    [latency + n / bandwidth], with separate parameters for intra-node
+    (shared-memory) and inter-node transfers.  The single-node platform C
+    has no interconnect ("Network: None" in Table 2): every pair is
+    intra-node. *)
+
+type t = {
+  name : string;
+  inter_latency_s : float;  (** one-way inter-node latency, seconds *)
+  inter_bandwidth_bps : float;  (** inter-node bandwidth, bytes/second *)
+  intra_latency_s : float;  (** shared-memory latency, seconds *)
+  intra_bandwidth_bps : float;  (** shared-memory bandwidth, bytes/second *)
+}
+
+val transfer_time : t -> same_node:bool -> bytes:int -> float
+(** Point-to-point wire time for one message. *)

@@ -1,0 +1,1 @@
+lib/synth/codegen_c.ml: Array Buffer Filename Format Hashtbl List Printf Proxy_ir Shrink Siesta_blocks Siesta_grammar Siesta_merge Siesta_mpi Siesta_trace String Sys

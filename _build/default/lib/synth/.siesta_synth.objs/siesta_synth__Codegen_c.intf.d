@@ -1,0 +1,1 @@
+lib/synth/codegen_c.mli: Proxy_ir

@@ -1,0 +1,1 @@
+lib/synth/proxy_ir.ml: Array Hashtbl List Printf Proxy_search Shrink Siesta_blocks Siesta_merge Siesta_mpi Siesta_perf Siesta_platform Siesta_trace Siesta_util

@@ -1,0 +1,1 @@
+lib/synth/proxy_ir.mli: Shrink Siesta_merge Siesta_mpi Siesta_platform Siesta_trace

@@ -1,0 +1,1 @@
+lib/synth/proxy_search.ml: Array Float List Siesta_blocks Siesta_numerics Siesta_perf Siesta_platform

@@ -1,0 +1,1 @@
+lib/synth/proxy_search.mli: Siesta_perf Siesta_platform

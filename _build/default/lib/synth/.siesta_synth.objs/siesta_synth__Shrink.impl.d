@@ -1,0 +1,1 @@
+lib/synth/shrink.ml: Array Float List Siesta_mpi Siesta_numerics Siesta_perf

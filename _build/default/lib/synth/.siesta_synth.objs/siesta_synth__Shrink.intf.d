@@ -1,0 +1,1 @@
+lib/synth/shrink.mli: Siesta_mpi Siesta_numerics Siesta_perf Siesta_platform

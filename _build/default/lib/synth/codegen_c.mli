@@ -1,0 +1,27 @@
+(** C code generation (Section 2.7, Algorithm 1).
+
+    Prints a {!Proxy_ir.t} as a standalone C program: one function per
+    computation cluster (the block-combination loops of Figure 2), one
+    function per communication terminal (the literal MPI call with the
+    recorded parameters, relative peers resolved against [rank]), one
+    function per grammar rule, and a [main] that walks each merged main
+    rule under rank-list branch conditions.  Consecutive main-rule symbols
+    with the same rank list share one branch statement.
+
+    The output compiles against any MPI implementation; [gcc
+    -fsyntax-only] with the bundled [stub/mpi.h] validates it in the test
+    suite. *)
+
+val generate : Proxy_ir.t -> string
+(** The complete C translation unit. *)
+
+val write_file : Proxy_ir.t -> path:string -> unit
+
+val makefile : Proxy_ir.t -> name:string -> string
+(** A Makefile that builds [name].c with [mpicc] and runs it under
+    [mpirun] with the proxy's rank count. *)
+
+val write_bundle : Proxy_ir.t -> dir:string -> name:string -> unit
+(** Write [dir/name.c], [dir/Makefile] and [dir/README] — everything a
+    user needs to build and run the proxy on a real cluster.  Creates
+    [dir] if missing. *)

@@ -1,0 +1,210 @@
+module Merged = Siesta_merge.Merged
+module Compute_table = Siesta_trace.Compute_table
+module Event = Siesta_trace.Event
+module Engine = Siesta_mpi.Engine
+module Call = Siesta_mpi.Call
+module Block = Siesta_blocks.Block
+module Counters = Siesta_perf.Counters
+
+type t = {
+  merged : Merged.t;
+  combos : float array array;
+  combo_errors : float array;
+  shrink : Shrink.t;
+  generated_on : string;
+}
+
+let synthesize ~platform ~impl ?(factor = 1.0) ~merged ~compute_table () =
+  let shrink =
+    if factor = 1.0 then Shrink.identity else Shrink.fit ~platform ~impl ~factor
+  in
+  let n = Compute_table.cluster_count compute_table in
+  let combos = Array.make n [||] in
+  let errors = Array.make n 0.0 in
+  for cid = 0 to n - 1 do
+    let target = Shrink.shrink_counters shrink (Compute_table.centroid compute_table cid) in
+    let sol = Proxy_search.search ~platform target in
+    combos.(cid) <- sol.Proxy_search.x;
+    errors.(cid) <- sol.Proxy_search.error
+  done;
+  {
+    merged;
+    combos;
+    combo_errors = errors;
+    shrink;
+    generated_on = platform.Siesta_platform.Spec.name;
+  }
+
+let size_c_bytes t =
+  Merged.serialized_bytes t.merged + (Array.length t.combos * ((Block.count * 4) + 4))
+
+let mean_combo_error t =
+  if Array.length t.combo_errors = 0 then 0.0
+  else Siesta_util.Stats.mean t.combo_errors
+
+let max_request_slots t =
+  let m = ref 0 in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Isend (_, r)
+      | Event.Irecv (_, r)
+      | Event.Wait r
+      | Event.Ibarrier { req = r; _ }
+      | Event.Ibcast { req = r; _ }
+      | Event.Iallreduce { req = r; _ } ->
+          m := max !m (r + 1)
+      | Event.Waitall rs -> List.iter (fun r -> m := max !m (r + 1)) rs
+      | _ -> ())
+    t.merged.Merged.terminals;
+  !m
+
+let max_file_slots t =
+  let m = ref 0 in
+  Array.iter
+    (fun ev ->
+      match (ev : Event.t) with
+      | Event.File_open { file; _ }
+      | Event.File_close { file }
+      | Event.File_write_all { file; _ }
+      | Event.File_read_all { file; _ }
+      | Event.File_write_at { file; _ }
+      | Event.File_read_at { file; _ } ->
+          m := max !m (file + 1)
+      | _ -> ())
+    t.merged.Merged.terminals;
+  !m
+
+let max_comm_slots t =
+  let m = ref 1 in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Event.Barrier { comm }
+      | Event.Bcast { comm; _ }
+      | Event.Reduce { comm; _ }
+      | Event.Allreduce { comm; _ }
+      | Event.Alltoall { comm; _ }
+      | Event.Alltoallv { comm; _ }
+      | Event.Allgather { comm; _ }
+      | Event.Gather { comm; _ }
+      | Event.Scatter { comm; _ }
+      | Event.Scan { comm; _ }
+      | Event.Exscan { comm; _ }
+      | Event.Reduce_scatter { comm; _ }
+      | Event.Ibarrier { comm; _ }
+      | Event.Ibcast { comm; _ }
+      | Event.Iallreduce { comm; _ }
+      | Event.Comm_free { comm } ->
+          m := max !m (comm + 1)
+      | Event.Comm_split { comm; newcomm; _ } | Event.Comm_dup { comm; newcomm } ->
+          m := max !m (max comm newcomm + 1)
+      | Event.File_open { comm; _ } -> m := max !m (comm + 1)
+      | _ -> ())
+    t.merged.Merged.terminals;
+  !m
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                               *)
+
+let program t ctx =
+  let nranks = t.merged.Merged.nranks in
+  let rank = Engine.rank ctx in
+  let seq = Merged.expand_for_rank t.merged rank in
+  let reqs : (int, Engine.request) Hashtbl.t = Hashtbl.create 16 in
+  let comms : (int, Engine.comm) Hashtbl.t = Hashtbl.create 4 in
+  Hashtbl.replace comms 0 (Engine.comm_world ctx);
+  let comm_of id =
+    match Hashtbl.find_opt comms id with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "proxy replay: unknown communicator slot %d" id)
+  in
+  let req_of id =
+    match Hashtbl.find_opt reqs id with
+    | Some r ->
+        Hashtbl.remove reqs id;
+        r
+    | None -> invalid_arg (Printf.sprintf "proxy replay: unknown request slot %d" id)
+  in
+  let abs_peer rel = if rel = Call.any_source then rel else (rank + rel) mod nranks in
+  let shrunk dt count = Shrink.shrink_count t.shrink ~dt count in
+  let files : (int, Engine.file) Hashtbl.t = Hashtbl.create 4 in
+  let file_of id =
+    match Hashtbl.find_opt files id with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "proxy replay: unknown file slot %d" id)
+  in
+  let exec_event ev =
+    match (ev : Event.t) with
+    | Event.Compute cid ->
+        List.iter (Engine.compute_work ctx) (Block.works_of_combination t.combos.(cid))
+    | Event.Send { rel_peer; tag; dt; count } ->
+        Engine.send ctx ~dest:(abs_peer rel_peer) ~tag ~dt ~count:(shrunk dt count)
+    | Event.Recv { rel_peer; tag; dt; count } ->
+        Engine.recv ctx ~src:(abs_peer rel_peer) ~tag ~dt ~count:(shrunk dt count)
+    | Event.Isend ({ rel_peer; tag; dt; count }, slot) ->
+        let r = Engine.isend ctx ~dest:(abs_peer rel_peer) ~tag ~dt ~count in
+        Hashtbl.replace reqs slot r
+    | Event.Irecv ({ rel_peer; tag; dt; count }, slot) ->
+        let r = Engine.irecv ctx ~src:(abs_peer rel_peer) ~tag ~dt ~count in
+        Hashtbl.replace reqs slot r
+    | Event.Wait slot -> Engine.wait ctx (req_of slot)
+    | Event.Waitall slots -> Engine.waitall ctx (List.map req_of slots)
+    | Event.Sendrecv { send; recv } ->
+        Engine.sendrecv ctx ~dest:(abs_peer send.rel_peer) ~send_tag:send.tag
+          ~src:(abs_peer recv.rel_peer) ~recv_tag:recv.tag ~dt:send.dt
+          ~send_count:(shrunk send.dt send.count) ~recv_count:(shrunk recv.dt recv.count)
+    | Event.Barrier { comm } -> Engine.barrier ctx (comm_of comm)
+    | Event.Bcast { comm; root; dt; count } ->
+        Engine.bcast ctx (comm_of comm) ~root ~dt ~count:(shrunk dt count)
+    | Event.Reduce { comm; root; dt; count; op } ->
+        Engine.reduce ctx (comm_of comm) ~root ~dt ~count:(shrunk dt count) ~op
+    | Event.Allreduce { comm; dt; count; op } ->
+        Engine.allreduce ctx (comm_of comm) ~dt ~count:(shrunk dt count) ~op
+    | Event.Alltoall { comm; dt; count } ->
+        Engine.alltoall ctx (comm_of comm) ~dt ~count:(shrunk dt count)
+    | Event.Alltoallv { comm; dt; send_counts } ->
+        Engine.alltoallv ctx (comm_of comm) ~dt
+          ~send_counts:(Array.map (fun c -> shrunk dt c) send_counts)
+    | Event.Allgather { comm; dt; count } ->
+        Engine.allgather ctx (comm_of comm) ~dt ~count:(shrunk dt count)
+    | Event.Gather { comm; root; dt; count } ->
+        Engine.gather ctx (comm_of comm) ~root ~dt ~count:(shrunk dt count)
+    | Event.Scatter { comm; root; dt; count } ->
+        Engine.scatter ctx (comm_of comm) ~root ~dt ~count:(shrunk dt count)
+    | Event.Scan { comm; dt; count; op } ->
+        Engine.scan ctx (comm_of comm) ~dt ~count:(shrunk dt count) ~op
+    | Event.Exscan { comm; dt; count; op } ->
+        Engine.exscan ctx (comm_of comm) ~dt ~count:(shrunk dt count) ~op
+    | Event.Reduce_scatter { comm; dt; count; op } ->
+        Engine.reduce_scatter ctx (comm_of comm) ~dt ~count:(shrunk dt count) ~op
+    | Event.Ibarrier { comm; req } ->
+        Hashtbl.replace reqs req (Engine.ibarrier ctx (comm_of comm))
+    | Event.Ibcast { comm; root; dt; count; req } ->
+        Hashtbl.replace reqs req (Engine.ibcast ctx (comm_of comm) ~root ~dt ~count)
+    | Event.Iallreduce { comm; dt; count; op; req } ->
+        Hashtbl.replace reqs req (Engine.iallreduce ctx (comm_of comm) ~dt ~count ~op)
+    | Event.Comm_split { comm; color; key; newcomm } ->
+        let c = Engine.comm_split ctx (comm_of comm) ~color ~key in
+        Hashtbl.replace comms newcomm c
+    | Event.Comm_dup { comm; newcomm } ->
+        let c = Engine.comm_dup ctx (comm_of comm) in
+        Hashtbl.replace comms newcomm c
+    | Event.Comm_free { comm } ->
+        Engine.comm_free ctx (comm_of comm);
+        Hashtbl.remove comms comm
+    | Event.File_open { comm; file } ->
+        Hashtbl.replace files file (Engine.file_open ctx (comm_of comm))
+    | Event.File_close { file } ->
+        Engine.file_close ctx (file_of file);
+        Hashtbl.remove files file
+    | Event.File_write_all { file; dt; count } ->
+        Engine.file_write_all ctx (file_of file) ~dt ~count:(shrunk dt count)
+    | Event.File_read_all { file; dt; count } ->
+        Engine.file_read_all ctx (file_of file) ~dt ~count:(shrunk dt count)
+    | Event.File_write_at { file; dt; count } ->
+        Engine.file_write_at ctx (file_of file) ~dt ~count:(shrunk dt count)
+    | Event.File_read_at { file; dt; count } ->
+        Engine.file_read_at ctx (file_of file) ~dt ~count:(shrunk dt count)
+  in
+  Array.iter (fun id -> exec_event t.merged.Merged.terminals.(id)) seq

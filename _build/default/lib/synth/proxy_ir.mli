@@ -1,0 +1,43 @@
+(** Executable proxy-app representation.
+
+    The synthesized proxy in a form our simulated MPI runtime can execute
+    directly: the merged grammar plus one block combination per
+    computation cluster and the optional shrink plan.  {!Codegen_c} prints
+    the same object as a C program; {!program} replays it as a rank
+    program, which is how the evaluation measures proxy execution times on
+    arbitrary platform/implementation pairs. *)
+
+type t = {
+  merged : Siesta_merge.Merged.t;
+  combos : float array array;  (** computation cluster id -> x (11 counts) *)
+  combo_errors : float array;  (** proxy-search error per cluster *)
+  shrink : Shrink.t;
+  generated_on : string;  (** platform name the proxy was searched on *)
+}
+
+val synthesize :
+  platform:Siesta_platform.Spec.t ->
+  impl:Siesta_platform.Mpi_impl.t ->
+  ?factor:float ->
+  merged:Siesta_merge.Merged.t ->
+  compute_table:Siesta_trace.Compute_table.t ->
+  unit ->
+  t
+(** Search a block combination for every computation cluster (targets
+    divided by [factor] when given) and fit the communication shrink
+    regression.  [factor] defaults to 1 (no shrinking). *)
+
+val size_c_bytes : t -> int
+(** The [size_C] of Table 3: exported grammar (terminals + rules + merged
+    mains) plus the computation-proxy table (11 counts per cluster). *)
+
+val mean_combo_error : t -> float
+
+val program : t -> Siesta_mpi.Engine.ctx -> unit
+(** The proxy as an SPMD rank program for {!Siesta_mpi.Engine.run}. *)
+
+val max_request_slots : t -> int
+(** Highest pooled request id used plus one (the C code's array size). *)
+
+val max_comm_slots : t -> int
+val max_file_slots : t -> int

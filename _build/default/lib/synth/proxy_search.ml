@@ -1,0 +1,106 @@
+module Counters = Siesta_perf.Counters
+module Matrix = Siesta_numerics.Matrix
+module Nnls = Siesta_numerics.Nnls
+module Block = Siesta_blocks.Block
+module Microbench = Siesta_blocks.Microbench
+
+type solution = {
+  x : float array;
+  predicted : Counters.t;
+  objective : float;
+  error : float;
+}
+
+let predict ~platform ~x =
+  List.fold_left
+    (fun acc w -> Counters.add acc (Counters.of_work platform.Siesta_platform.Spec.cpu w))
+    Counters.zero
+    (Block.works_of_combination x)
+
+(* Row weights 1/t_i, with zero targets pinned to a small fraction of the
+   instruction count so the solver still avoids polluting them. *)
+let weights target =
+  let t = Counters.to_array target in
+  let t_ref = max t.(0) 1.0 in
+  Array.map (fun ti -> 1.0 /. max ti (1e-3 *. t_ref)) t
+
+let search ?(loop_constraint = true) ~platform target =
+  let t = Counters.to_array target in
+  if Array.for_all (fun v -> v = 0.0) t then
+    invalid_arg "Proxy_search.search: all-zero target";
+  let b = Microbench.matrix platform in
+  let w = weights target in
+  (* With the constraint: variables y = (x1..x9, x10, s) via the
+     substitution x11 = s + sum(x1..x9); columns: j<9 -> b_j + b_11,
+     9 -> b_10, 10 -> b_11.  Without it: y = x directly.  All scaled by
+     the row weights. *)
+  let a = Matrix.create ~rows:6 ~cols:11 in
+  for i = 0 to 5 do
+    for j = 0 to 8 do
+      let col =
+        if loop_constraint then Matrix.get b i j +. Matrix.get b i 10 else Matrix.get b i j
+      in
+      Matrix.set a i j (w.(i) *. col)
+    done;
+    Matrix.set a i 9 (w.(i) *. Matrix.get b i 9);
+    Matrix.set a i 10 (w.(i) *. Matrix.get b i 10)
+  done;
+  let rhs = Array.mapi (fun i ti -> w.(i) *. ti) t in
+  let { Nnls.x = y; residual; _ } = Nnls.solve a rhs in
+  (* Back-substitute and round. *)
+  let x = Array.make 11 0.0 in
+  let sum19 = ref 0.0 in
+  for j = 0 to 8 do
+    x.(j) <- Float.round y.(j);
+    sum19 := !sum19 +. x.(j)
+  done;
+  x.(9) <- Float.round y.(9);
+  if loop_constraint then
+    (* y.(10) is the slack s: x11 = s + sum(x1..x9) *)
+    x.(10) <- max (Float.round (y.(10) +. !sum19)) !sum19
+  else x.(10) <- Float.round y.(10);
+  (* Integer refinement: rounding is lossy for small targets (one unit of
+     a miss-sweep block is thousands of instructions), so hill-climb +-1
+     moves on the paper's weighted objective until no move helps. *)
+  let objective_of x =
+    let pred = Counters.to_array (Counters.of_array (Matrix.mul_vec b x)) in
+    let acc = ref 0.0 in
+    for i = 0 to 5 do
+      let d = w.(i) *. (pred.(i) -. t.(i)) in
+      acc := !acc +. (d *. d)
+    done;
+    !acc
+  in
+  let feasible x =
+    let s = ref 0.0 in
+    for j = 0 to 8 do
+      s := !s +. x.(j)
+    done;
+    Array.for_all (fun v -> v >= 0.0) x && ((not loop_constraint) || x.(10) >= !s)
+  in
+  let current = ref (objective_of x) in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < 60 do
+    incr passes;
+    improved := false;
+    for j = 0 to 10 do
+      List.iter
+        (fun d ->
+          let trial = Array.copy x in
+          trial.(j) <- trial.(j) +. d;
+          if loop_constraint && j <= 8 && d > 0.0 then trial.(10) <- trial.(10) +. d;
+          if feasible trial then begin
+            let o = objective_of trial in
+            if o < !current -. 1e-12 then begin
+              Array.blit trial 0 x 0 11;
+              current := o;
+              improved := true
+            end
+          end)
+        [ 1.0; -1.0 ]
+    done
+  done;
+  let predicted = predict ~platform ~x in
+  let error = Counters.mean_relative_error ~actual:predicted ~reference:target in
+  { x; predicted; objective = residual; error }

@@ -1,0 +1,40 @@
+(** Computation-proxy search (Section 2.4).
+
+    Given the six-metric target [t] of a computation event and the
+    per-platform block matrix [B], find repetition counts [x >= 0]
+    minimizing the relative-error objective
+
+    {v sum_i (1/t_i^2) (b_i . x - t_i)^2 v}
+
+    subject to the loop-overhead constraint [x11 >= x1 + ... + x9].
+
+    The constraint is eliminated by the substitution
+    [x11 = s + x1 + ... + x9, s >= 0] — under which the problem becomes a
+    plain non-negative least squares in [(x1..x9, x10, s)], solved by
+    Lawson–Hanson ({!Siesta_numerics.Nnls}).  The rounded integer solution
+    is returned, with the constraint re-enforced after rounding. *)
+
+type solution = {
+  x : float array;  (** 11 non-negative integers (stored as floats) *)
+  predicted : Siesta_perf.Counters.t;  (** B x on the search platform *)
+  objective : float;  (** weighted residual of the continuous solution *)
+  error : float;
+      (** mean relative error of the rounded solution against the target,
+          over the target's non-zero metrics *)
+}
+
+val search :
+  ?loop_constraint:bool ->
+  platform:Siesta_platform.Spec.t ->
+  Siesta_perf.Counters.t ->
+  solution
+(** [loop_constraint] (default true) applies the x11 >= x1+...+x9
+    loop-overhead constraint; disabling it (ablation) may return
+    combinations that no emitted C code can realize.
+    @raise Invalid_argument if the target is all-zero. *)
+
+val predict :
+  platform:Siesta_platform.Spec.t -> x:float array -> Siesta_perf.Counters.t
+(** Metrics of a combination on a (possibly different) platform — this is
+    what makes the proxy's computation time move when the platform
+    changes. *)

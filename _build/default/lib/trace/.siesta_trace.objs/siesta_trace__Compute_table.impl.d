@@ -1,0 +1,1 @@
+lib/trace/compute_table.ml: Array Printf Siesta_perf

@@ -1,0 +1,1 @@
+lib/trace/compute_table.mli: Siesta_perf

@@ -1,0 +1,1 @@
+lib/trace/event.ml: Array Format List Printf Siesta_mpi String

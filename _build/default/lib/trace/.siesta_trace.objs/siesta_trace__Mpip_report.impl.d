@@ -1,0 +1,1 @@
+lib/trace/mpip_report.ml: Array Buffer Event Hashtbl List Option Printf Recorder

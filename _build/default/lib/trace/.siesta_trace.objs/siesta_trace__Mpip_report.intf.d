@@ -1,0 +1,1 @@
+lib/trace/mpip_report.mli: Recorder

@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Array Compute_table Event Hashtbl List Option Pools Siesta_mpi Siesta_perf

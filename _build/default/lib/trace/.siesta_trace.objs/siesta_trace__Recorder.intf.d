@@ -1,0 +1,1 @@
+lib/trace/recorder.mli: Compute_table Event Siesta_mpi

@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Array Buffer Compute_table Event Fun Printf Recorder Scanf Siesta_perf String

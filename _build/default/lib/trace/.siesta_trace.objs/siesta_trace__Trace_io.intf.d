@@ -1,0 +1,1 @@
+lib/trace/trace_io.mli: Compute_table Event Recorder Siesta_perf

@@ -1,0 +1,81 @@
+module Counters = Siesta_perf.Counters
+
+type cluster = { mutable centroid : Counters.t; mutable members : int }
+type t = { threshold : float; mutable clusters : cluster array; mutable used : int }
+
+let create ~threshold = { threshold; clusters = [||]; used = 0 }
+
+let restore ?(threshold = 0.05) pairs =
+  {
+    threshold;
+    clusters = Array.map (fun (centroid, members) -> { centroid; members }) pairs;
+    used = Array.length pairs;
+  }
+
+let distance a b =
+  (* mean relative distance over the six metrics, ignoring metrics that
+     are zero in both readings *)
+  let aa = Counters.to_array a and ba = Counters.to_array b in
+  let acc = ref 0.0 and n = ref 0 in
+  Array.iteri
+    (fun i av ->
+      let bv = ba.(i) in
+      let scale = max (abs_float av) (abs_float bv) in
+      if scale > 0.0 then begin
+        incr n;
+        acc := !acc +. (abs_float (av -. bv) /. scale)
+      end)
+    aa;
+  if !n = 0 then 0.0 else !acc /. float_of_int !n
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.clusters) in
+  let fresh = Array.init cap (fun _ -> { centroid = Counters.zero; members = 0 }) in
+  Array.blit t.clusters 0 fresh 0 t.used;
+  t.clusters <- fresh
+
+let classify t reading =
+  let rec find i =
+    if i >= t.used then None
+    else if distance t.clusters.(i).centroid reading <= t.threshold then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      let c = t.clusters.(i) in
+      let m = float_of_int c.members in
+      c.centroid <-
+        Counters.of_array
+          (Array.map2
+             (fun old v -> ((old *. m) +. v) /. (m +. 1.0))
+             (Counters.to_array c.centroid)
+             (Counters.to_array reading));
+      c.members <- c.members + 1;
+      i
+  | None ->
+      if t.used = Array.length t.clusters then grow t;
+      t.clusters.(t.used) <- { centroid = reading; members = 1 };
+      t.used <- t.used + 1;
+      t.used - 1
+
+let check t id =
+  if id < 0 || id >= t.used then invalid_arg (Printf.sprintf "Compute_table: unknown id %d" id)
+
+let centroid t id =
+  check t id;
+  t.clusters.(id).centroid
+
+let members t id =
+  check t id;
+  t.clusters.(id).members
+
+let cluster_count t = t.used
+
+let total_assigned t =
+  let acc = ref 0 in
+  for i = 0 to t.used - 1 do
+    acc := !acc + t.clusters.(i).members
+  done;
+  !acc
+
+let serialized_bytes t = t.used * ((6 * 8) + 4)

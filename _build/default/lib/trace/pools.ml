@@ -1,0 +1,27 @@
+(* A min-heap would be asymptotically ideal; in practice the number of live
+   handles is tiny, so a sorted free list below a high-water mark keeps the
+   code simple and allocation-free on the hot path. *)
+type t = { mutable free : int list; (* sorted ascending, all < high *) mutable high : int }
+
+let create () = { free = []; high = 0 }
+
+let acquire t =
+  match t.free with
+  | n :: rest ->
+      t.free <- rest;
+      n
+  | [] ->
+      let n = t.high in
+      t.high <- n + 1;
+      n
+
+let release t n =
+  if n < 0 || n >= t.high || List.mem n t.free then
+    invalid_arg (Printf.sprintf "Pools.release: %d is not acquired" n);
+  let rec insert = function
+    | [] -> [ n ]
+    | x :: rest as l -> if n < x then n :: l else x :: insert rest
+  in
+  t.free <- insert t.free
+
+let live t = t.high - List.length t.free

@@ -1,0 +1,21 @@
+(** Free-number pools for opaque MPI handles (Section 2.2).
+
+    Runtime values of [MPI_Request] and [MPI_Comm] are effectively random,
+    which defeats trace compression.  Siesta instead numbers live handles
+    from a pool of free integers starting at zero: acquiring always returns
+    the smallest free number, and releasing returns a number to the pool.
+    Two iterations of a loop that create and destroy the same requests thus
+    produce byte-identical trace records. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> int
+(** Smallest currently-free number (0 on a fresh pool). *)
+
+val release : t -> int -> unit
+(** @raise Invalid_argument if the number is not currently acquired. *)
+
+val live : t -> int
+(** Number of currently-acquired handles. *)

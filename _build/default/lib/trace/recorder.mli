@@ -1,0 +1,41 @@
+(** The PMPI-style tracer (Sections 2.2–2.3).
+
+    A recorder plugs into {!Siesta_mpi.Engine.run} as a hook.  At every MPI
+    call it (1) reads the per-rank counter delta and, if any computation
+    happened since the previous call, appends a clustered [MPI_Compute]
+    event; (2) re-encodes the call with relative ranks and pooled handles
+    and appends it to the rank's event stream.  It also accounts the size
+    the uncompressed trace would occupy on disk (the "Trace size" column of
+    Table 3) and charges a configurable per-event instrumentation overhead
+    to the simulated clock (the "Overhead" column). *)
+
+type t
+
+val create :
+  nranks:int ->
+  ?cluster_threshold:float ->
+  ?per_event_overhead:float ->
+  ?relative_ranks:bool ->
+  unit ->
+  t
+(** [cluster_threshold] defaults to 0.05 (5% mean relative distance);
+    [per_event_overhead] defaults to 0.6 microseconds per intercepted
+    call (interception + two counter reads); [relative_ranks] (default
+    true) can disable the relative-rank encoding for the ablation study —
+    peers are then recorded as absolute ranks, and SPMD neighbour
+    exchanges no longer dedupe across ranks. *)
+
+val hook : t -> Siesta_mpi.Engine.hook
+
+val events : t -> int -> Event.t array
+(** The encoded event stream of one rank, in program order. *)
+
+val compute_table : t -> Compute_table.t
+
+val raw_trace_bytes : t -> int
+(** Total uncompressed trace volume across all ranks. *)
+
+val total_events : t -> int
+(** Total encoded events (communication + computation) across ranks. *)
+
+val nranks : t -> int

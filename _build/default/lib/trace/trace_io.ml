@@ -1,0 +1,87 @@
+module Counters = Siesta_perf.Counters
+
+type t = {
+  nranks : int;
+  streams : Event.t array array;
+  centroids : (Counters.t * int) array;
+}
+
+let of_recorder recorder =
+  let nranks = Recorder.nranks recorder in
+  let table = Recorder.compute_table recorder in
+  {
+    nranks;
+    streams = Array.init nranks (Recorder.events recorder);
+    centroids =
+      Array.init (Compute_table.cluster_count table) (fun cid ->
+          (Compute_table.centroid table cid, Compute_table.members table cid));
+  }
+
+let compute_table t = Compute_table.restore t.centroids
+
+let to_string t =
+  let buf = Buffer.create 65536 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "siesta-trace v1\n";
+  p "nranks %d\n" t.nranks;
+  p "compute-table %d\n" (Array.length t.centroids);
+  Array.iteri
+    (fun cid (c, members) ->
+      let a = Counters.to_array c in
+      p "%d %.17g %.17g %.17g %.17g %.17g %.17g %d\n" cid a.(0) a.(1) a.(2) a.(3) a.(4) a.(5)
+        members)
+    t.centroids;
+  Array.iteri
+    (fun rank evs ->
+      p "rank %d %d\n" rank (Array.length evs);
+      Array.iter
+        (fun ev ->
+          Buffer.add_string buf (Event.to_key ev);
+          Buffer.add_char buf '\n')
+        evs)
+    t.streams;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines = ref lines in
+  let next () =
+    match !lines with
+    | [] -> failwith "Trace_io: unexpected end of file"
+    | l :: rest ->
+        lines := rest;
+        l
+  in
+  if next () <> "siesta-trace v1" then failwith "Trace_io: bad magic or version";
+  let nranks = Scanf.sscanf (next ()) "nranks %d" Fun.id in
+  if nranks <= 0 then failwith "Trace_io: bad rank count";
+  let n_clusters = Scanf.sscanf (next ()) "compute-table %d" Fun.id in
+  let centroids =
+    Array.init n_clusters (fun expect ->
+        Scanf.sscanf (next ()) "%d %g %g %g %g %g %g %d"
+          (fun cid a b c d e f members ->
+            if cid <> expect then failwith "Trace_io: cluster ids out of order";
+            (Counters.of_array [| a; b; c; d; e; f |], members)))
+  in
+  let streams =
+    Array.init nranks (fun expect ->
+        let n =
+          Scanf.sscanf (next ()) "rank %d %d" (fun r n ->
+              if r <> expect then failwith "Trace_io: ranks out of order";
+              n)
+        in
+        Array.init n (fun _ -> Event.of_key (next ())))
+  in
+  { nranks; streams; centroids }
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

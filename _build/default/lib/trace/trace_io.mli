@@ -1,0 +1,40 @@
+(** Trace (de)serialization.
+
+    A recorded trace — per-rank encoded event streams plus the
+    computation-event table — can be saved to a portable text file and
+    reloaded later, so tracing and synthesis can run as separate steps
+    (the workflow of the real tool: trace on the cluster, synthesize on a
+    workstation).  The format is line-oriented and versioned:
+
+    {v
+    siesta-trace v1
+    nranks <P>
+    compute-table <n>
+    <id> <ins> <cyc> <lst> <l1_dcm> <br_cn> <msp> <members>
+    ...
+    rank <r> <nevents>
+    <event key per line>
+    ...
+    v} *)
+
+type t = {
+  nranks : int;
+  streams : Event.t array array;
+  centroids : (Siesta_perf.Counters.t * int) array;
+      (** per computation cluster: centroid and member count *)
+}
+
+val of_recorder : Recorder.t -> t
+
+val compute_table : t -> Compute_table.t
+(** Rebuild a {!Compute_table} with the loaded centroids (cluster ids are
+    preserved). *)
+
+val save : t -> path:string -> unit
+
+val load : path:string -> t
+(** @raise Failure on a malformed or wrong-version file. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Failure on malformed input. *)

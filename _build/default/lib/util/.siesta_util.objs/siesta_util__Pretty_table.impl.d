@@ -1,0 +1,1 @@
+lib/util/pretty_table.ml: Buffer List String

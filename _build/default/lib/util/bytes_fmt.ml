@@ -1,0 +1,9 @@
+let to_string n =
+  let f = float_of_int n in
+  let kb = 1024.0 in
+  let mb = kb *. 1024.0 in
+  let gb = mb *. 1024.0 in
+  if f >= gb then Printf.sprintf "%.1f GB" (f /. gb)
+  else if f >= mb then Printf.sprintf "%.1f MB" (f /. mb)
+  else if f >= kb then Printf.sprintf "%.1f KB" (f /. kb)
+  else Printf.sprintf "%d B" n

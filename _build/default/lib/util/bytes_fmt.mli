@@ -1,0 +1,6 @@
+(** Human-readable byte sizes, as used in the paper's Table 3
+    ("290 MB", "4.4 KB", ...). *)
+
+val to_string : int -> string
+(** [to_string n] renders [n] bytes with a binary-ish unit (B, KB, MB, GB)
+    and at most one decimal, matching the paper's table style. *)

@@ -1,0 +1,33 @@
+let normalize width row =
+  let n = List.length row in
+  if n >= width then List.filteri (fun i _ -> i < width) row
+  else row @ List.init (width - n) (fun _ -> "")
+
+let render ~header ~rows =
+  let width = List.length header in
+  let rows = List.map (normalize width) rows in
+  let cells = header :: rows in
+  let col_width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 cells
+  in
+  let widths = List.init width col_width in
+  let render_row row =
+    let padded =
+      List.map2 (fun w cell -> cell ^ String.make (w - String.length cell) ' ') widths row
+    in
+    String.concat "  " padded
+  in
+  let sep = String.concat "--" (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ~header ~rows = print_string (render ~header ~rows)

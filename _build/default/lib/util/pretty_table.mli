@@ -1,0 +1,9 @@
+(** Aligned plain-text tables for the benchmark harness output. *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] lays out a table with one space-padded column per
+    header entry, a separator line, and one line per row.  Rows shorter than
+    the header are padded with empty cells; longer rows are truncated. *)
+
+val print : header:string list -> rows:string list list -> unit
+(** [print] is [render] followed by [print_string]. *)

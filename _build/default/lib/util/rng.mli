@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every stochastic choice in the library flows through a value of type
+    {!t}, so a run is reproducible from its seed.  The generator is the
+    SplitMix64 mixer of Steele, Lea and Flood, which has a 64-bit state,
+    passes BigCrush, and — crucially for us — supports cheap [split]ting
+    into independent streams, one per simulated rank. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] returns a generator statistically independent of [t]'s
+    subsequent output.  Used to give each simulated rank its own stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal deviate. *)

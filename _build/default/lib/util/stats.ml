@@ -1,0 +1,40 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (acc /. float_of_int n)
+  end
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = Array.copy a in
+    Array.sort compare b;
+    if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+  end
+
+let relative_error ~actual ~reference =
+  if reference = 0.0 then (if actual = 0.0 then 0.0 else infinity)
+  else abs_float (actual -. reference) /. abs_float reference
+
+let mean_relative_error ~actual ~reference =
+  let n = Array.length actual in
+  if n <> Array.length reference then
+    invalid_arg "Stats.mean_relative_error: length mismatch";
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. relative_error ~actual:actual.(i) ~reference:reference.(i)
+    done;
+    !acc /. float_of_int n
+  end
+
+let percent x = 100.0 *. x

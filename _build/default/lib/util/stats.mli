@@ -1,0 +1,20 @@
+(** Small summary statistics used throughout the evaluation harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 for arrays of length < 2. *)
+
+val median : float array -> float
+(** Median (does not modify its argument); 0 for an empty array. *)
+
+val relative_error : actual:float -> reference:float -> float
+(** [|actual - reference| / |reference|].  If [reference] is 0, returns 0
+    when [actual] is also 0 and [infinity] otherwise. *)
+
+val mean_relative_error : actual:float array -> reference:float array -> float
+(** Mean of pairwise {!relative_error}; arrays must have equal length. *)
+
+val percent : float -> float
+(** Multiply by 100 (for printing error fractions as percentages). *)

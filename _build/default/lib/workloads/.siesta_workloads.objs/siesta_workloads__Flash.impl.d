@@ -1,0 +1,1 @@
+lib/workloads/flash.ml: Common List Siesta_mpi Siesta_perf

@@ -1,0 +1,1 @@
+lib/workloads/flash.mli: Siesta_mpi

@@ -1,0 +1,1 @@
+lib/workloads/npb_btio.ml: Adi Npb_bt

@@ -1,0 +1,1 @@
+lib/workloads/npb_btio.mli: Siesta_mpi

@@ -1,0 +1,1 @@
+lib/workloads/npb_is.ml: Array Common Siesta_mpi Siesta_perf

@@ -1,0 +1,1 @@
+lib/workloads/npb_mg.ml: Common Siesta_mpi Siesta_perf

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Flash List Npb_bt Npb_btio Npb_cg Npb_is Npb_mg Npb_sp Siesta_mpi String Sweep3d

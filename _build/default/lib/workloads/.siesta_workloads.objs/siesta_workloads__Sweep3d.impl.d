@@ -1,0 +1,1 @@
+lib/workloads/sweep3d.ml: Common List Siesta_mpi Siesta_perf

@@ -1,0 +1,1 @@
+lib/workloads/sweep3d.mli: Siesta_mpi

@@ -1,0 +1,146 @@
+(* Shared ADI (alternating direction implicit) skeleton used by the BT and
+   SP pseudo-applications.  Both NPB codes follow the same outer shape on a
+   square process grid: exchange faces with the four grid neighbours, then
+   sweep line solves through x and y as software pipelines (receive the
+   boundary from the upstream rank, factor the local lines, forward the
+   boundary downstream; the back-substitution runs the pipeline in
+   reverse), with the z solve local to each rank.  They differ in the
+   per-cell work, the boundary volumes, and the number of timesteps. *)
+
+module E = Siesta_mpi.Engine
+module D = Siesta_mpi.Datatype
+module K = Siesta_perf.Kernel
+
+type params = {
+  grid_n : int;  (* global grid points per dimension *)
+  flops_per_cell_rhs : float;
+  flops_per_cell_solve : float;  (* one directional solve *)
+  boundary_doubles_per_line : int;  (* pipeline message size per grid line *)
+  face_vars : int;  (* variables exchanged in copy_faces *)
+  div_frac : float;
+  timesteps : int;
+  io_interval : int;  (* 0 = no I/O; otherwise collective solution dump
+                         every [io_interval] steps (the BT-IO "full" mode) *)
+}
+
+let bt_params ~timesteps =
+  {
+    grid_n = 408;  (* class D *)
+    flops_per_cell_rhs = 150.0;
+    flops_per_cell_solve = 230.0;
+    boundary_doubles_per_line = 25;  (* 5x5 block boundary *)
+    face_vars = 5;
+    div_frac = 0.02;
+    timesteps;
+    io_interval = 0;
+  }
+
+let btio_params ~timesteps = { (bt_params ~timesteps) with io_interval = 5 }
+
+let sp_params ~timesteps =
+  {
+    grid_n = 408;
+    flops_per_cell_rhs = 120.0;
+    flops_per_cell_solve = 90.0;
+    boundary_doubles_per_line = 5;  (* scalar pentadiagonal boundary *)
+    face_vars = 5;
+    div_frac = 0.05;
+    timesteps;
+    io_interval = 0;
+  }
+
+let tag_face = 10
+let tag_sweep_fwd = 20
+let tag_sweep_bwd = 21
+
+let program params ~nranks ctx =
+  let q = Common.square_side nranks in
+  let rank = E.rank ctx in
+  let px = rank mod q and py = rank / q in
+  let world = E.comm_world ctx in
+  let nc = params.grid_n / q in
+  let cells = float_of_int (nc * nc * params.grid_n) in
+  let face_count = nc * params.grid_n * params.face_vars in
+  let line_count = nc * params.boundary_doubles_per_line * params.grid_n / q in
+  let rhs_kernel =
+    K.streaming ~label:"rhs" ~flops:(params.flops_per_cell_rhs *. cells)
+      ~bytes:(10.0 *. 8.0 *. cells)
+  in
+  let solve_stage dir_cells =
+    {
+      (K.streaming ~label:"solve"
+         ~flops:(params.flops_per_cell_solve *. dir_cells)
+         ~bytes:(6.0 *. 8.0 *. dir_cells))
+      with
+      K.div_frac = params.div_frac;
+    }
+  in
+  let backsub_stage dir_cells =
+    K.streaming ~label:"backsub"
+      ~flops:(0.4 *. params.flops_per_cell_solve *. dir_cells)
+      ~bytes:(4.0 *. 8.0 *. dir_cells)
+  in
+  let add_kernel =
+    K.streaming ~label:"add" ~flops:(5.0 *. cells) ~bytes:(2.0 *. 8.0 *. cells)
+  in
+  (* copy_faces: non-blocking exchange with the four grid neighbours *)
+  let copy_faces () =
+    let reqs = ref [] in
+    let neighbor dx dy = ((py + dy + q) mod q * q) + ((px + dx + q) mod q) in
+    let dirs = [ (1, 0); (-1, 0); (0, 1); (0, -1) ] in
+    List.iter
+      (fun (dx, dy) ->
+        reqs := E.irecv ctx ~src:(neighbor dx dy) ~tag:tag_face ~dt:D.Double ~count:face_count
+                :: !reqs)
+      dirs;
+    List.iter
+      (fun (dx, dy) ->
+        reqs := E.isend ctx ~dest:(neighbor dx dy) ~tag:tag_face ~dt:D.Double ~count:face_count
+                :: !reqs)
+      dirs;
+    E.waitall ctx (List.rev !reqs)
+  in
+  (* A pipelined directional solve.  [coord]/[extent] select the pipeline
+     axis; upstream/downstream are the neighbouring ranks along it. *)
+  let sweep ~coord ~extent ~upstream ~downstream =
+    let dir_cells = cells /. float_of_int extent in
+    (* forward elimination *)
+    if coord > 0 then E.recv ctx ~src:upstream ~tag:tag_sweep_fwd ~dt:D.Double ~count:line_count;
+    E.compute ctx (solve_stage dir_cells);
+    if coord < extent - 1 then
+      E.send ctx ~dest:downstream ~tag:tag_sweep_fwd ~dt:D.Double ~count:line_count;
+    (* back substitution, reversed *)
+    if coord < extent - 1 then
+      E.recv ctx ~src:downstream ~tag:tag_sweep_bwd ~dt:D.Double ~count:line_count;
+    E.compute ctx (backsub_stage dir_cells);
+    if coord > 0 then E.send ctx ~dest:upstream ~tag:tag_sweep_bwd ~dt:D.Double ~count:line_count
+  in
+  (* initial parameter broadcast, as the NPB setup does *)
+  E.bcast ctx world ~root:0 ~dt:D.Int ~count:8;
+  E.bcast ctx world ~root:0 ~dt:D.Double ~count:4;
+  (* BT-IO: one shared solution file for the whole run *)
+  let io_file = if params.io_interval > 0 then Some (E.file_open ctx world) else None in
+  let solution_doubles = nc * nc * params.grid_n * 5 in
+  for step = 1 to params.timesteps do
+    copy_faces ();
+    E.compute ctx rhs_kernel;
+    (* x sweep: pipeline along the grid row *)
+    sweep ~coord:px ~extent:q ~upstream:((py * q) + px - 1) ~downstream:((py * q) + px + 1);
+    (* y sweep: pipeline along the grid column *)
+    sweep ~coord:py ~extent:q ~upstream:(((py - 1) * q) + px) ~downstream:(((py + 1) * q) + px);
+    (* z sweep is rank-local in the 2-D decomposition *)
+    E.compute ctx (solve_stage cells);
+    E.compute ctx add_kernel;
+    (match io_file with
+    | Some f when step mod params.io_interval = 0 ->
+        E.file_write_all ctx f ~dt:D.Double ~count:solution_doubles
+    | Some _ | None -> ())
+  done;
+  (match io_file with
+  | Some f ->
+      (* read back for verification, then close (the BT-IO epilogue) *)
+      E.file_read_all ctx f ~dt:D.Double ~count:solution_doubles;
+      E.file_close ctx f
+  | None -> ());
+  (* verification: residual norms to rank 0 *)
+  E.reduce ctx world ~root:0 ~dt:D.Double ~count:5 ~op:Siesta_mpi.Op.Sum

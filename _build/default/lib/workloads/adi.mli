@@ -1,0 +1,31 @@
+(** Shared ADI (alternating-direction implicit) skeleton for the NPB BT
+    and SP pseudo-applications.
+
+    Both codes run on a square process grid and alternate face exchanges
+    with pipelined line solves: the x sweep pipelines along grid rows, the
+    y sweep along columns (forward elimination downstream, back
+    substitution upstream), and the z solve is rank-local under the 2-D
+    decomposition.  The parameter record captures how BT (5x5 block
+    boundaries, heavier solves) differs from SP (scalar pentadiagonal
+    boundaries, more divides). *)
+
+type params = {
+  grid_n : int;  (** global grid points per dimension (408 for class D) *)
+  flops_per_cell_rhs : float;
+  flops_per_cell_solve : float;  (** one directional solve *)
+  boundary_doubles_per_line : int;  (** pipeline message size per grid line *)
+  face_vars : int;  (** variables exchanged in copy_faces *)
+  div_frac : float;  (** divide fraction of the solve kernels *)
+  timesteps : int;
+  io_interval : int;
+      (** 0 = no I/O; otherwise a collective solution dump to a shared
+          file every [io_interval] steps, plus a read-back verification at
+          the end — NPB BT-IO's "full MPI-IO" mode (our I/O extension) *)
+}
+
+val bt_params : timesteps:int -> params
+val sp_params : timesteps:int -> params
+val btio_params : timesteps:int -> params
+
+val program : params -> nranks:int -> Siesta_mpi.Engine.ctx -> unit
+(** @raise Invalid_argument if [nranks] is not a perfect square. *)

@@ -1,0 +1,46 @@
+let square_side p =
+  let s = int_of_float (sqrt (float_of_int p) +. 0.5) in
+  if s * s <> p then invalid_arg (Printf.sprintf "not a perfect square: %d" p);
+  s
+
+let log2_exact p =
+  let rec go acc v =
+    if v = p then acc
+    else if v > p then invalid_arg (Printf.sprintf "not a power of two: %d" p)
+    else go (acc + 1) (2 * v)
+  in
+  go 0 1
+
+let grid3 p =
+  (* split the prime factorization as evenly as possible over three axes,
+     assigning larger factors to emptier axes *)
+  let rec factors n d acc =
+    if n = 1 then acc
+    else if d * d > n then n :: acc
+    else if n mod d = 0 then factors (n / d) d (d :: acc)
+    else factors n (d + 1) acc
+  in
+  let fs = List.sort (fun a b -> compare b a) (factors p 2 []) in
+  let dims = [| 1; 1; 1 |] in
+  List.iter
+    (fun f ->
+      let i = ref 0 in
+      for k = 1 to 2 do
+        if dims.(k) < dims.(!i) then i := k
+      done;
+      dims.(!i) <- dims.(!i) * f)
+    fs;
+  Array.sort compare dims;
+  (dims.(2), dims.(1), dims.(0))
+
+let grid2 p =
+  let x, y, z = grid3 p in
+  (x * z, y)
+
+type coords2 = { px : int; py : int; nx : int; ny : int }
+
+let coords2_of_rank ~nranks ~rank =
+  let nx, ny = grid2 nranks in
+  { px = rank mod nx; py = rank / nx; nx; ny }
+
+let rank_of_coords2 { px; py; nx; _ } = (py * nx) + px

@@ -1,0 +1,22 @@
+(** Shared helpers for the workload skeletons. *)
+
+val square_side : int -> int
+(** [square_side p] is the integer square root of [p].
+    @raise Invalid_argument if [p] is not a perfect square. *)
+
+val log2_exact : int -> int
+(** @raise Invalid_argument if the argument is not a power of two. *)
+
+val grid3 : int -> int * int * int
+(** Factor a process count into a near-cubic [nx * ny * nz] grid (largest
+    factors first), as NPB MG's setup does. *)
+
+val grid2 : int -> int * int
+(** Factor into a near-square 2-D grid. *)
+
+type coords2 = { px : int; py : int; nx : int; ny : int }
+
+val coords2_of_rank : nranks:int -> rank:int -> coords2
+(** Row-major placement on the {!grid2} of [nranks]. *)
+
+val rank_of_coords2 : coords2 -> int

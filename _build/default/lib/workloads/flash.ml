@@ -1,0 +1,140 @@
+(* FLASH skeleton: block-structured AMR hydrodynamics (PARAMESH-style).
+   Per step each rank fills the guard cells of its blocks — exchanging
+   face data with neighbouring ranks, with per-rank message counts that
+   depend on how many blocks the rank currently owns — computes the hydro
+   update, and agrees on the global timestep with an allreduce; every few
+   steps a regrid redistributes blocks (allgather of block counts plus
+   point-to-point block transfers).
+
+   The three problems of the paper differ in how refinement evolves:
+   - Sedov: a central blast wave; block counts grow over time and are
+     concentrated near the domain centre (strong imbalance);
+   - Sod: a planar shock tube; mild, slab-shaped imbalance;
+   - StirTurb: driven turbulence on a uniform grid: balanced blocks,
+     extra forcing-term reductions and heavier per-cell work.
+
+   The rank-to-rank irregularity is what makes FLASH traces hard for
+   RSD-style compressors (the paper reports ScalaBench crashing on all
+   three), while grammar-based Siesta handles them. *)
+
+module E = Siesta_mpi.Engine
+module D = Siesta_mpi.Datatype
+module K = Siesta_perf.Kernel
+
+type problem = Sedov | Sod | StirTurb
+
+let problem_name = function Sedov -> "sedov" | Sod -> "sod" | StirTurb -> "stirturb"
+
+let default_steps = 14
+let cells_per_block = 8 * 8 * 8
+let guard_doubles = 8 * 8 * 4 * 8  (* face x guard depth x variables *)
+let regrid_interval = 5
+
+(* deterministic pseudo-random stream per (problem, rank, step) *)
+let hash problem rank step =
+  let p = match problem with Sedov -> 1 | Sod -> 2 | StirTurb -> 3 in
+  let h = (p * 0x9E3779B1) lxor (rank * 0x85EBCA77) lxor (step * 0xC2B2AE3D) in
+  let h = (h lxor (h lsr 13)) * 0x27D4EB2F land 0x3FFFFFFF in
+  h lxor (h lsr 16)
+
+let blocks_of problem ~nranks ~rank ~step =
+  let base = max 4 (4096 / nranks) in
+  match problem with
+  | Sedov ->
+      (* refinement grows; centre ranks hold more blocks *)
+      let centre = nranks / 2 in
+      let d = abs (rank - centre) in
+      let growth = 1.0 +. (0.08 *. float_of_int step) in
+      let weight = 1.0 +. (3.0 /. float_of_int (1 + d)) in
+      int_of_float (float_of_int base *. growth *. weight /. 2.0) + (hash problem rank step mod 3)
+  | Sod ->
+      (* slab imbalance along the first third of the ranks *)
+      let w = if rank < nranks / 3 then 2 else 1 in
+      (base * w) + (hash problem rank step mod 2)
+  | StirTurb -> base + (hash problem rank (step / 4) mod 2)
+
+let flops_per_cell = function Sedov -> 900.0 | Sod -> 700.0 | StirTurb -> 1400.0
+
+let tag_guard = 60
+let tag_regrid = 61
+
+let program problem ?(steps = default_steps) ~nranks () ctx =
+  let rank = E.rank ctx in
+  let world = E.comm_world ctx in
+  let c = Common.coords2_of_rank ~nranks ~rank in
+  let neighbors =
+    List.filter_map
+      (fun (dx, dy) ->
+        let nx = c.Common.px + dx and ny = c.Common.py + dy in
+        if nx >= 0 && nx < c.Common.nx && ny >= 0 && ny < c.Common.ny then
+          Some (Common.rank_of_coords2 { c with Common.px = nx; py = ny })
+        else None)
+      [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+  in
+  (* exchanges must pair up: both sides derive the message count from the
+     same (smaller rank, step) hash so sends and receives match *)
+  let messages_with peer step =
+    let lo = min rank peer and _hi = max rank peer in
+    let nb = blocks_of problem ~nranks ~rank:lo ~step in
+    1 + (max 0 (min 2 (nb / (8 * max 1 (4096 / nranks / 4)))) + (hash problem lo step mod 2))
+  in
+  let guard_fill step =
+    let reqs = ref [] in
+    List.iter
+      (fun peer ->
+        let m = messages_with peer step in
+        for _i = 1 to m do
+          reqs := E.irecv ctx ~src:peer ~tag:tag_guard ~dt:D.Double ~count:guard_doubles :: !reqs
+        done)
+      neighbors;
+    List.iter
+      (fun peer ->
+        let m = messages_with peer step in
+        for _i = 1 to m do
+          reqs := E.isend ctx ~dest:peer ~tag:tag_guard ~dt:D.Double ~count:guard_doubles :: !reqs
+        done)
+      neighbors;
+    E.waitall ctx (List.rev !reqs)
+  in
+  let hydro step =
+    let nb = blocks_of problem ~nranks ~rank ~step in
+    let cells = float_of_int (nb * cells_per_block) in
+    E.compute ctx
+      {
+        (K.streaming ~label:"hydro" ~flops:(flops_per_cell problem *. cells)
+           ~bytes:(14.0 *. 8.0 *. cells))
+        with
+        K.div_frac = 0.03;
+        K.mispredict_rate = 0.03;
+      }
+  in
+  let regrid step =
+    E.allgather ctx world ~dt:D.Int ~count:1;
+    (* shed blocks to the right-hand neighbour when the hash says so *)
+    let shed r = hash problem r (step * 17) mod 4 = 0 in
+    if rank + 1 < nranks && shed rank then
+      E.send ctx ~dest:(rank + 1) ~tag:tag_regrid ~dt:D.Double
+        ~count:(cells_per_block * 8 * 2)
+    else ();
+    if rank > 0 && shed (rank - 1) then
+      E.recv ctx ~src:(rank - 1) ~tag:tag_regrid ~dt:D.Double ~count:(cells_per_block * 8 * 2);
+    E.barrier ctx world
+  in
+  E.bcast ctx world ~root:0 ~dt:D.Int ~count:16;
+  E.bcast ctx world ~root:0 ~dt:D.Double ~count:8;
+  for step = 1 to steps do
+    guard_fill step;
+    hydro step;
+    if problem = StirTurb then begin
+      (* stochastic forcing: three reductions for the driving field *)
+      E.allreduce ctx world ~dt:D.Double ~count:6 ~op:Siesta_mpi.Op.Sum;
+      E.allreduce ctx world ~dt:D.Double ~count:6 ~op:Siesta_mpi.Op.Sum;
+      E.allreduce ctx world ~dt:D.Double ~count:1 ~op:Siesta_mpi.Op.Sum
+    end;
+    E.allreduce ctx world ~dt:D.Double ~count:1 ~op:Siesta_mpi.Op.Min;
+    if step mod regrid_interval = 0 then regrid step
+  done;
+  (* final I/O gather of block metadata to rank 0 *)
+  E.gather ctx world ~root:0 ~dt:D.Int ~count:4
+
+let valid_procs p = p >= 2

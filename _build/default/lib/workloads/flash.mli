@@ -1,0 +1,26 @@
+(** FLASH: block-structured AMR hydrodynamics (PARAMESH-style), with the
+    paper's three problems.  Per step: guard-cell fills with
+    block-count-dependent message counts per neighbour pair, the hydro
+    update, a timestep allreduce, and a periodic regrid (allgather +
+    point-to-point block transfers).
+
+    The three problems differ in refinement dynamics: Sedov's blast wave
+    grows blocks over time around the domain centre; Sod has a mild slab
+    imbalance; StirTurb is balanced but adds forcing-term reductions and
+    heavier per-cell work.  The per-rank irregularity is what defeats
+    RSD-style compressors (the paper's ScalaBench crashes on all three). *)
+
+type problem = Sedov | Sod | StirTurb
+
+val problem_name : problem -> string
+val default_steps : int
+val cells_per_block : int
+val regrid_interval : int
+
+val blocks_of : problem -> nranks:int -> rank:int -> step:int -> int
+(** Deterministic block-count model (exposed for tests). *)
+
+val program :
+  problem -> ?steps:int -> nranks:int -> unit -> Siesta_mpi.Engine.ctx -> unit
+
+val valid_procs : int -> bool

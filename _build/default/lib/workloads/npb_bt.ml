@@ -1,0 +1,10 @@
+(* NPB BT (block tridiagonal) skeleton, class D shape: square process
+   grids (64, 121, 256, 529), face exchanges plus pipelined 5x5-block line
+   solves in x and y. *)
+
+let default_timesteps = 12
+
+let program ?(timesteps = default_timesteps) ~nranks () =
+  Adi.program (Adi.bt_params ~timesteps) ~nranks
+
+let valid_procs p = match Common.square_side p with _ -> true | exception _ -> false

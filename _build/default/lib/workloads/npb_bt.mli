@@ -1,0 +1,14 @@
+(** NPB BT (block tridiagonal), class D shape: 408^3 grid on square
+    process grids (the paper evaluates 64, 121, 256 and 529 ranks).
+
+    The default timestep count is scaled down from the benchmark's 200 to
+    keep simulated traces tractable; the communication structure per step
+    is faithful (see {!Adi}). *)
+
+val default_timesteps : int
+
+val program :
+  ?timesteps:int -> nranks:int -> unit -> Siesta_mpi.Engine.ctx -> unit
+
+val valid_procs : int -> bool
+(** Perfect squares only. *)

@@ -1,0 +1,12 @@
+(* NPB BT-IO: the BT pseudo-application with its "full MPI-IO" checkpoint
+   mode — a collective write of the solution array to one shared file
+   every 5 timesteps and a collective read-back verification at the end.
+   This exercises the framework's I/O extension (the paper's Section 2.1
+   leaves I/O tracing to future work). *)
+
+let default_timesteps = Npb_bt.default_timesteps
+
+let program ?(timesteps = default_timesteps) ~nranks () =
+  Adi.program (Adi.btio_params ~timesteps) ~nranks
+
+let valid_procs = Npb_bt.valid_procs

@@ -1,0 +1,10 @@
+(** NPB BT-IO: BT with full MPI-IO checkpointing (collective solution
+    dumps every five steps plus a read-back verification).  Exercises the
+    MPI-IO extension; not part of the paper's Table 3. *)
+
+val default_timesteps : int
+
+val program :
+  ?timesteps:int -> nranks:int -> unit -> Siesta_mpi.Engine.ctx -> unit
+
+val valid_procs : int -> bool

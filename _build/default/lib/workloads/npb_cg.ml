@@ -1,0 +1,97 @@
+(* NPB CG (conjugate gradient) skeleton, class D shape: the processes form
+   a 2-D grid of 2^ceil(k/2) columns by 2^floor(k/2) rows.  Each iteration
+   performs a sparse matrix-vector product whose row sums are combined by
+   log2(ncols) pairwise exchange stages, a transpose exchange with the
+   mirror rank, and two dot products reduced by pairwise exchanges — CG
+   famously uses explicit send/recv chains instead of MPI collectives. *)
+
+module E = Siesta_mpi.Engine
+module D = Siesta_mpi.Datatype
+module K = Siesta_perf.Kernel
+
+let default_iterations = 15
+
+let na = 1_500_000  (* class D *)
+let nonzer = 21
+
+let tag_reduce = 30
+let tag_transpose = 31
+let tag_dot = 32
+
+let program ?(iterations = default_iterations) ~nranks () ctx =
+  let k = Common.log2_exact nranks in
+  let ncols = 1 lsl ((k + 1) / 2) in
+  let nrows = 1 lsl (k / 2) in
+  let rank = E.rank ctx in
+  let row = rank / ncols and col = rank mod ncols in
+  ignore nrows;
+  let rows_per_rank = na / nrows in
+  let nnz_per_rank = na * nonzer / nranks in
+  let matvec_kernel =
+    K.streaming ~label:"matvec"
+      ~flops:(2.0 *. float_of_int nnz_per_rank)
+      ~bytes:(12.0 *. float_of_int nnz_per_rank)
+  in
+  let vector_kernel =
+    K.streaming ~label:"axpy"
+      ~flops:(4.0 *. float_of_int rows_per_rank)
+      ~bytes:(3.0 *. 8.0 *. float_of_int rows_per_rank)
+  in
+  let exchange ~partner ~tag ~count =
+    let r = E.irecv ctx ~src:partner ~tag ~dt:D.Double ~count in
+    E.send ctx ~dest:partner ~tag ~dt:D.Double ~count;
+    E.wait ctx r
+  in
+  (* sum partial matvec results across the process row *)
+  let reduce_exch () =
+    let stages = Common.log2_exact ncols in
+    for s = 0 to stages - 1 do
+      let partner_col = col lxor (1 lsl s) in
+      let partner = (row * ncols) + partner_col in
+      exchange ~partner ~tag:(tag_reduce + s) ~count:(rows_per_rank / ncols)
+    done
+  in
+  (* exchange with the transpose rank to redistribute q *)
+  let transpose () =
+    if ncols = nrows * 2 then begin
+      (* non-square grid: partner pairs columns *)
+      let partner = (row * ncols) + (col lxor 1) in
+      if partner <> rank then
+        exchange ~partner ~tag:tag_transpose ~count:(rows_per_rank / ncols)
+    end
+    else begin
+      let trow = col and tcol = row in
+      let partner = (trow * ncols) + tcol in
+      if partner <> rank then
+        exchange ~partner ~tag:tag_transpose ~count:(rows_per_rank / ncols)
+    end
+  in
+  let dot_product () =
+    let stages = Common.log2_exact ncols in
+    for s = 0 to stages - 1 do
+      let partner_col = col lxor (1 lsl s) in
+      let partner = (row * ncols) + partner_col in
+      exchange ~partner ~tag:(tag_dot + s) ~count:1
+    done;
+    E.compute ctx (K.compute_bound ~label:"dot" ~flops:(2.0 *. float_of_int rows_per_rank)
+                     ~div_frac:0.0)
+  in
+  (* setup: sparse matrix generation is rank-local and heavy *)
+  E.compute ctx
+    (K.streaming ~label:"makea"
+       ~flops:(6.0 *. float_of_int nnz_per_rank)
+       ~bytes:(16.0 *. float_of_int nnz_per_rank));
+  E.barrier ctx (E.comm_world ctx);
+  for _it = 1 to iterations do
+    E.compute ctx matvec_kernel;
+    reduce_exch ();
+    transpose ();
+    dot_product ();
+    E.compute ctx vector_kernel;
+    dot_product ();
+    E.compute ctx vector_kernel
+  done;
+  (* final residual norm *)
+  E.allreduce ctx (E.comm_world ctx) ~dt:D.Double ~count:1 ~op:Siesta_mpi.Op.Sum
+
+let valid_procs p = match Common.log2_exact p with _ -> true | exception _ -> false

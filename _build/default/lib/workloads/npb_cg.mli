@@ -1,0 +1,18 @@
+(** NPB CG (conjugate gradient), class D shape: na = 1.5M rows, nonzer =
+    21, on a 2^ceil(k/2) x 2^floor(k/2) process grid.
+
+    CG is the point-to-point-heavy NPB kernel: row sums of the sparse
+    matvec combine through log2(ncols) pairwise exchange stages, a
+    transpose exchange redistributes the result, and the two dot products
+    per iteration run their own pairwise reduction chains — no MPI
+    collectives except the final norm. *)
+
+val default_iterations : int
+val na : int
+val nonzer : int
+
+val program :
+  ?iterations:int -> nranks:int -> unit -> Siesta_mpi.Engine.ctx -> unit
+
+val valid_procs : int -> bool
+(** Powers of two only. *)

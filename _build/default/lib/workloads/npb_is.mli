@@ -1,0 +1,15 @@
+(** NPB IS (integer sort), class D shape.  Each iteration: local bucket
+    counting, an allreduce of the bucket histogram, an alltoall of the
+    exchange sizes and an alltoallv of the keys.  Very few, very large
+    communication events — the reason IS traces are kilobytes where BT
+    traces are gigabytes in Table 3. *)
+
+val default_iterations : int
+val total_keys : int
+val n_buckets : int
+
+val program :
+  ?iterations:int -> nranks:int -> unit -> Siesta_mpi.Engine.ctx -> unit
+
+val valid_procs : int -> bool
+(** Powers of two only. *)

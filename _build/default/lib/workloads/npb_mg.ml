@@ -1,0 +1,81 @@
+(* NPB MG (multigrid) skeleton, class D shape: a 1024^3 grid on a 3-D
+   process grid, V-cycles descending to the coarsest level and back.  At
+   every level each rank exchanges the faces of its sub-box with its six
+   neighbours (comm3), with face sizes quartering per level; an allreduce
+   computes the residual norm each iteration. *)
+
+module E = Siesta_mpi.Engine
+module D = Siesta_mpi.Datatype
+module K = Siesta_perf.Kernel
+
+let default_iterations = 6
+let grid_n = 1024  (* class D *)
+let tag_comm3 = 40
+
+let program ?(iterations = default_iterations) ~nranks () ctx =
+  let px, py, pz = Common.grid3 nranks in
+  let rank = E.rank ctx in
+  let cx = rank mod px in
+  let cy = rank / px mod py in
+  let cz = rank / (px * py) in
+  let world = E.comm_world ctx in
+  let neighbor axis dir =
+    match axis with
+    | 0 -> ((cz * py) + cy) * px + ((cx + dir + px) mod px)
+    | 1 -> ((cz * py) + ((cy + dir + py) mod py)) * px + cx
+    | _ -> ((((cz + dir + pz) mod pz) * py) + cy) * px + cx
+  in
+  (* local box at the finest level *)
+  let lx = grid_n / px and ly = grid_n / py and lz = grid_n / pz in
+  let levels =
+    let rec count n acc = if n <= 2 then acc else count (n / 2) (acc + 1) in
+    count (min lx (min ly lz)) 1
+  in
+  let face_count level axis =
+    let shrink = 1 lsl level in
+    let a, b =
+      match axis with 0 -> (ly, lz) | 1 -> (lx, lz) | _ -> (lx, ly)
+    in
+    max 1 (a / shrink * (b / shrink))
+  in
+  let cells level =
+    let shrink = float_of_int (1 lsl level) in
+    float_of_int lx /. shrink *. (float_of_int ly /. shrink) *. (float_of_int lz /. shrink)
+    |> max 1.0
+  in
+  (* comm3: exchange both faces along each axis *)
+  let comm3 level =
+    for axis = 0 to 2 do
+      let count = face_count level axis in
+      let r1 = E.irecv ctx ~src:(neighbor axis (-1)) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count in
+      let r2 = E.irecv ctx ~src:(neighbor axis 1) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count in
+      E.send ctx ~dest:(neighbor axis 1) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count;
+      E.send ctx ~dest:(neighbor axis (-1)) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count;
+      E.waitall ctx [ r1; r2 ]
+    done
+  in
+  let stencil_kernel label level flops_per_cell =
+    K.streaming ~label ~flops:(flops_per_cell *. cells level) ~bytes:(4.0 *. 8.0 *. cells level)
+  in
+  (* one V-cycle *)
+  let vcycle () =
+    for level = 0 to levels - 1 do
+      E.compute ctx (stencil_kernel "rprj3" level 12.0);
+      comm3 level
+    done;
+    E.compute ctx (stencil_kernel "coarse-psinv" (levels - 1) 30.0);
+    for level = levels - 1 downto 0 do
+      comm3 level;
+      E.compute ctx (stencil_kernel "interp+psinv" level 45.0)
+    done
+  in
+  E.bcast ctx world ~root:0 ~dt:D.Int ~count:4;
+  for _it = 1 to iterations do
+    E.compute ctx (stencil_kernel "resid" 0 20.0);
+    comm3 0;
+    vcycle ();
+    E.allreduce ctx world ~dt:D.Double ~count:2 ~op:Siesta_mpi.Op.Sum
+  done;
+  E.allreduce ctx world ~dt:D.Double ~count:1 ~op:Siesta_mpi.Op.Max
+
+let valid_procs p = match Common.log2_exact p with _ -> true | exception _ -> false

@@ -1,0 +1,13 @@
+(** NPB MG (multigrid), class D shape: a 1024^3 grid on a 3-D process
+    grid.  Each V-cycle exchanges sub-box faces with all six neighbours at
+    every level (comm3), with volumes quartering per level; an allreduce
+    closes each iteration with the residual norm. *)
+
+val default_iterations : int
+val grid_n : int
+
+val program :
+  ?iterations:int -> nranks:int -> unit -> Siesta_mpi.Engine.ctx -> unit
+
+val valid_procs : int -> bool
+(** Powers of two only. *)

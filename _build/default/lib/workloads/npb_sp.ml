@@ -1,0 +1,10 @@
+(* NPB SP (scalar pentadiagonal) skeleton: the same ADI pipeline shape as
+   BT on square grids, with lighter per-stage solves, more divides and
+   twice the timestep count. *)
+
+let default_timesteps = 18
+
+let program ?(timesteps = default_timesteps) ~nranks () =
+  Adi.program (Adi.sp_params ~timesteps) ~nranks
+
+let valid_procs p = match Common.square_side p with _ -> true | exception _ -> false

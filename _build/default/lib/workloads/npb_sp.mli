@@ -1,0 +1,11 @@
+(** NPB SP (scalar pentadiagonal), class D shape: the same square-grid ADI
+    pipeline as BT with lighter per-stage solves, a higher divide fraction
+    and more timesteps (the benchmark runs 400 to BT's 200). *)
+
+val default_timesteps : int
+
+val program :
+  ?timesteps:int -> nranks:int -> unit -> Siesta_mpi.Engine.ctx -> unit
+
+val valid_procs : int -> bool
+(** Perfect squares only. *)

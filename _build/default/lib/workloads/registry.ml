@@ -1,0 +1,133 @@
+type t = {
+  name : string;
+  describe : string;
+  procs : int list;
+  valid_procs : int -> bool;
+  program : nranks:int -> iters:int option -> Siesta_mpi.Engine.ctx -> unit;
+  default_iters : int;
+  extension : bool;
+}
+
+let with_default d = function Some i -> i | None -> d
+
+let all =
+  [
+    {
+      name = "BT";
+      describe = "NPB block tridiagonal ADI pseudo-application (class D)";
+      procs = [ 64; 121; 256; 529 ];
+      valid_procs = Npb_bt.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Npb_bt.program ~timesteps:(with_default Npb_bt.default_timesteps iters) ~nranks ());
+      default_iters = Npb_bt.default_timesteps;
+      extension = false;
+    };
+    {
+      name = "BT-IO";
+      describe = "NPB BT with full MPI-IO checkpointing (I/O extension)";
+      procs = [ 64; 121; 256 ];
+      valid_procs = Npb_btio.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Npb_btio.program ~timesteps:(with_default Npb_btio.default_timesteps iters) ~nranks ());
+      default_iters = Npb_btio.default_timesteps;
+      extension = true;
+    };
+    {
+      name = "CG";
+      describe = "NPB conjugate gradient kernel (class D)";
+      procs = [ 64; 128; 256; 512 ];
+      valid_procs = Npb_cg.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Npb_cg.program ~iterations:(with_default Npb_cg.default_iterations iters) ~nranks ());
+      default_iters = Npb_cg.default_iterations;
+      extension = false;
+    };
+    {
+      name = "IS";
+      describe = "NPB integer sort kernel (class D)";
+      procs = [ 64; 128; 256; 512 ];
+      valid_procs = Npb_is.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Npb_is.program ~iterations:(with_default Npb_is.default_iterations iters) ~nranks ());
+      default_iters = Npb_is.default_iterations;
+      extension = false;
+    };
+    {
+      name = "MG";
+      describe = "NPB multigrid kernel (class D)";
+      procs = [ 64; 128; 256; 512 ];
+      valid_procs = Npb_mg.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Npb_mg.program ~iterations:(with_default Npb_mg.default_iterations iters) ~nranks ());
+      default_iters = Npb_mg.default_iterations;
+      extension = false;
+    };
+    {
+      name = "SP";
+      describe = "NPB scalar pentadiagonal ADI pseudo-application (class D)";
+      procs = [ 64; 121; 256; 529 ];
+      valid_procs = Npb_sp.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Npb_sp.program ~timesteps:(with_default Npb_sp.default_timesteps iters) ~nranks ());
+      default_iters = Npb_sp.default_timesteps;
+      extension = false;
+    };
+    {
+      name = "Sweep3d";
+      describe = "ASCI Sweep3D wavefront neutron transport (1000^3)";
+      procs = [ 64; 128; 256; 512 ];
+      valid_procs = Sweep3d.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Sweep3d.program ~timesteps:(with_default Sweep3d.default_timesteps iters) ~nranks ());
+      default_iters = Sweep3d.default_timesteps;
+      extension = false;
+    };
+    {
+      name = "StirTurb";
+      describe = "FLASH driven-turbulence problem (64^3)";
+      procs = [ 64; 128; 256; 512 ];
+      valid_procs = Flash.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Flash.program Flash.StirTurb ~steps:(with_default Flash.default_steps iters) ~nranks ());
+      default_iters = Flash.default_steps;
+      extension = false;
+    };
+    {
+      name = "Sod";
+      describe = "FLASH Sod shock-tube problem (64^3)";
+      procs = [ 64; 128; 256; 512 ];
+      valid_procs = Flash.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Flash.program Flash.Sod ~steps:(with_default Flash.default_steps iters) ~nranks ());
+      default_iters = Flash.default_steps;
+      extension = false;
+    };
+    {
+      name = "Sedov";
+      describe = "FLASH Sedov blast-wave problem (64^3)";
+      procs = [ 64; 128; 256; 512 ];
+      valid_procs = Flash.valid_procs;
+      program =
+        (fun ~nranks ~iters ->
+          Flash.program Flash.Sedov ~steps:(with_default Flash.default_steps iters) ~nranks ());
+      default_iters = Flash.default_steps;
+      extension = false;
+    };
+  ]
+
+let paper_workloads = List.filter (fun t -> not t.extension) all
+
+let find name =
+  let lname = String.lowercase_ascii name in
+  List.find (fun t -> String.lowercase_ascii t.name = lname) all
+
+let names = List.map (fun t -> t.name) all

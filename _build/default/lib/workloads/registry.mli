@@ -1,0 +1,23 @@
+(** Catalog of the evaluated MPI programs (Table 3's rows). *)
+
+type t = {
+  name : string;
+  describe : string;
+  procs : int list;  (** the process counts evaluated in the paper *)
+  valid_procs : int -> bool;
+  program : nranks:int -> iters:int option -> Siesta_mpi.Engine.ctx -> unit;
+  default_iters : int;
+  extension : bool;
+      (** true for workloads beyond the paper's evaluation set (BT-IO) *)
+}
+
+val all : t list
+(** BT, BT-IO, CG, IS, MG, SP, Sweep3d, StirTurb, Sod, Sedov. *)
+
+val paper_workloads : t list
+(** The paper's nine programs, in Table 3 order (extensions excluded). *)
+
+val find : string -> t
+(** Case-insensitive lookup. @raise Not_found for unknown names. *)
+
+val names : string list

@@ -1,0 +1,61 @@
+(* SWEEP3D skeleton: discrete-ordinates neutron transport on a 2-D process
+   grid.  The solve sweeps 8 octants; within an octant, k-plane blocks
+   pipeline as a wavefront — each rank receives the inflow faces from its
+   upstream i- and j-neighbours, computes the block of cells and angles,
+   and forwards its outflow faces downstream.  The 1000^3 problem of the
+   paper determines the per-rank volumes. *)
+
+module E = Siesta_mpi.Engine
+module D = Siesta_mpi.Datatype
+module K = Siesta_perf.Kernel
+
+let default_timesteps = 3
+let grid_n = 1000
+let k_blocks = 10
+let angles_per_octant = 6
+
+let tag_i = 50
+let tag_j = 51
+
+let program ?(timesteps = default_timesteps) ~nranks () ctx =
+  let rank = E.rank ctx in
+  let c = Common.coords2_of_rank ~nranks ~rank in
+  let world = E.comm_world ctx in
+  let nx_loc = grid_n / c.Common.nx and ny_loc = grid_n / c.Common.ny in
+  let nz_block = grid_n / k_blocks in
+  let i_face = ny_loc * nz_block * angles_per_octant in
+  let j_face = nx_loc * nz_block * angles_per_octant in
+  let block_kernel =
+    K.streaming ~label:"sweep-block"
+      ~flops:(60.0 *. float_of_int (nx_loc * ny_loc * nz_block * angles_per_octant / 16))
+      ~bytes:(8.0 *. float_of_int (nx_loc * ny_loc * nz_block))
+  in
+  let rank_at px py = (py * c.Common.nx) + px in
+  let octant_sweep (di, dj) =
+    (* upstream/downstream along i (x axis) and j (y axis) *)
+    let up_i = if di > 0 then c.Common.px - 1 else c.Common.px + 1 in
+    let dn_i = if di > 0 then c.Common.px + 1 else c.Common.px - 1 in
+    let up_j = if dj > 0 then c.Common.py - 1 else c.Common.py + 1 in
+    let dn_j = if dj > 0 then c.Common.py + 1 else c.Common.py - 1 in
+    let has_up_i = up_i >= 0 && up_i < c.Common.nx in
+    let has_dn_i = dn_i >= 0 && dn_i < c.Common.nx in
+    let has_up_j = up_j >= 0 && up_j < c.Common.ny in
+    let has_dn_j = dn_j >= 0 && dn_j < c.Common.ny in
+    for _kb = 1 to k_blocks do
+      if has_up_i then E.recv ctx ~src:(rank_at up_i c.Common.py) ~tag:tag_i ~dt:D.Double ~count:i_face;
+      if has_up_j then E.recv ctx ~src:(rank_at c.Common.px up_j) ~tag:tag_j ~dt:D.Double ~count:j_face;
+      E.compute ctx block_kernel;
+      if has_dn_i then E.send ctx ~dest:(rank_at dn_i c.Common.py) ~tag:tag_i ~dt:D.Double ~count:i_face;
+      if has_dn_j then E.send ctx ~dest:(rank_at c.Common.px dn_j) ~tag:tag_j ~dt:D.Double ~count:j_face
+    done
+  in
+  let octants = [ (1, 1); (-1, 1); (1, -1); (-1, -1); (1, 1); (-1, 1); (1, -1); (-1, -1) ] in
+  E.bcast ctx world ~root:0 ~dt:D.Int ~count:6;
+  for _t = 1 to timesteps do
+    List.iter octant_sweep octants;
+    (* flux convergence check *)
+    E.allreduce ctx world ~dt:D.Double ~count:1 ~op:Siesta_mpi.Op.Max
+  done;
+  E.barrier ctx world
+
+let valid_procs p = p >= 1

@@ -1,0 +1,15 @@
+(** SWEEP3D: discrete-ordinates neutron transport on a 2-D process grid
+    (the paper uses a 1000^3 problem).  Eight octant sweeps per source
+    iteration; within an octant, k-plane blocks pipeline as a wavefront —
+    receive inflow faces from the upstream i/j neighbours, compute, send
+    outflow downstream.  Corner, edge and interior ranks therefore emit
+    different event streams, which exercises the rank-list machinery. *)
+
+val default_timesteps : int
+val grid_n : int
+val k_blocks : int
+
+val program :
+  ?timesteps:int -> nranks:int -> unit -> Siesta_mpi.Engine.ctx -> unit
+
+val valid_procs : int -> bool

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array List Siesta Siesta_analysis Siesta_merge Siesta_mpi Siesta_platform Siesta_trace String

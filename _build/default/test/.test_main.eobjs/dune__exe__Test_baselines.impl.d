@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Printf Siesta_baselines Siesta_merge Siesta_mpi Siesta_perf Siesta_platform Siesta_synth Siesta_trace

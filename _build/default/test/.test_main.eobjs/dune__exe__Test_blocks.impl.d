@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest Array List Printf Result Siesta_blocks Siesta_numerics Siesta_perf Siesta_platform String

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Fun List Siesta_grammar Siesta_merge Siesta_mpi Siesta_synth Siesta_trace String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Fun List Siesta_mpi Siesta_perf Siesta_platform Siesta_util String

@@ -1,0 +1,1 @@
+test/test_engine_timing.ml: Alcotest Array Siesta_mpi Siesta_perf Siesta_platform

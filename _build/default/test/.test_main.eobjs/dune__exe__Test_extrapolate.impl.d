@@ -1,0 +1,1 @@
+test/test_extrapolate.ml: Alcotest Array List Printf Siesta Siesta_extrapolate Siesta_merge Siesta_mpi Siesta_perf Siesta_platform Siesta_synth Siesta_trace

@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Array List Printf QCheck QCheck_alcotest Siesta_grammar String

@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Siesta_grammar Siesta_merge Siesta_mpi Siesta_trace Siesta_util String

@@ -1,0 +1,1 @@
+test/test_merge_mains.ml: Alcotest Array List Siesta_grammar Siesta_merge Siesta_mpi Siesta_trace

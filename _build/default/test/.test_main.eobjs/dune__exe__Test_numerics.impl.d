@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Linreg Lsq Matrix Nnls Siesta_numerics Siesta_util

@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Array Counters Float Kernel List Papi Siesta_perf Siesta_platform Siesta_util

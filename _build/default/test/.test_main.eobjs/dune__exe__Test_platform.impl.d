@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Cpu List Mpi_impl Network Siesta_platform Spec

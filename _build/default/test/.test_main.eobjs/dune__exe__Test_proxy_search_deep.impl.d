@@ -1,0 +1,1 @@
+test/test_proxy_search_deep.ml: Alcotest Array List Printf QCheck QCheck_alcotest Result Siesta_blocks Siesta_perf Siesta_platform Siesta_synth Siesta_util

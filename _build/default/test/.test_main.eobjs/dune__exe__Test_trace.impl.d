@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename Hashtbl List Printf QCheck QCheck_alcotest Siesta_mpi Siesta_perf Siesta_platform Siesta_trace Siesta_util String Sys

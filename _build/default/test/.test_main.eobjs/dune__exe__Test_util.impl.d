@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes_fmt List Pretty_table Rng Siesta_util Stats String

@@ -1,0 +1,1 @@
+test/test_workload_structure.ml: Alcotest Array List Siesta_mpi Siesta_platform Siesta_trace Siesta_workloads String

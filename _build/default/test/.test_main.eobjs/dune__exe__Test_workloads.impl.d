@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printf Siesta_mpi Siesta_platform Siesta_trace Siesta_workloads

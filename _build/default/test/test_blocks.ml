@@ -1,0 +1,125 @@
+(* Tests for siesta_blocks: the 11 code blocks and their micro-benchmark. *)
+
+module Block = Siesta_blocks.Block
+module Microbench = Siesta_blocks.Microbench
+module Counters = Siesta_perf.Counters
+module Cpu = Siesta_platform.Cpu
+module Spec = Siesta_platform.Spec
+module Matrix = Siesta_numerics.Matrix
+
+let test_block_table_shape () =
+  Alcotest.(check int) "11 blocks" 11 Block.count;
+  Array.iteri
+    (fun j b ->
+      Alcotest.(check int) "ids sequential" (j + 1) b.Block.id;
+      Alcotest.(check bool) "has C source" true (String.length b.Block.c_source > 0);
+      Alcotest.(check bool) "does something" true (b.Block.work.Cpu.ins > 0.0))
+    Block.all
+
+let test_block_character () =
+  let b j = Block.all.(j).Block.work in
+  (* block 2 is the low-LST/INS add; block 1 the plain add *)
+  let lst w = w.Cpu.loads +. w.Cpu.stores in
+  Alcotest.(check bool) "block2 lower LST/INS than block1" true
+    (lst (b 1) /. (b 1).Cpu.ins < lst (b 0) /. (b 0).Cpu.ins);
+  (* divides only in blocks 3,4,6,9 *)
+  List.iteri
+    (fun j w ->
+      let expect_div = List.mem (j + 1) [ 3; 4; 6; 9 ] in
+      Alcotest.(check bool)
+        (Printf.sprintf "block %d div" (j + 1))
+        expect_div
+        ((w : Cpu.work).Cpu.div_ops > 0.0))
+    (Array.to_list (Array.map (fun b -> b.Block.work) Block.all));
+  (* cache-miss blocks are 7-9 *)
+  List.iteri
+    (fun j w ->
+      let expect_miss = List.mem (j + 1) [ 7; 8; 9 ] in
+      Alcotest.(check bool)
+        (Printf.sprintf "block %d misses" (j + 1))
+        expect_miss
+        ((w : Cpu.work).Cpu.l1_misses > 100.0))
+    (Array.to_list (Array.map (fun b -> b.Block.work) Block.all));
+  (* mispredict-heavy blocks are 5 and 6 *)
+  Alcotest.(check bool) "block5 msp" true ((b 4).Cpu.mispredicts >= 10.0);
+  Alcotest.(check bool) "block6 msp" true ((b 5).Cpu.mispredicts >= 10.0)
+
+let test_combination_work_sums () =
+  let x = Array.make 11 0.0 in
+  x.(0) <- 3.0;
+  x.(10) <- 5.0;
+  let w = Block.work_of_combination x in
+  let expect =
+    (3.0 *. Block.all.(0).Block.work.Cpu.ins) +. (5.0 *. Block.all.(10).Block.work.Cpu.ins)
+  in
+  Alcotest.(check (float 1e-9)) "ins sums" expect w.Cpu.ins
+
+let test_combination_rejects_wrong_length () =
+  Alcotest.(check bool) "short vector raises" true
+    (match Block.work_of_combination [| 1.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_works_additive_equals_summed_counters () =
+  (* per-block pricing sums to the matrix prediction B x *)
+  let platform = Spec.platform_a in
+  let x = [| 5.0; 10.0; 2.0; 3.0; 1.0; 1.0; 2.0; 1.0; 1.0; 7.0; 40.0 |] in
+  let summed =
+    List.fold_left
+      (fun acc w -> Counters.add acc (Counters.of_work platform.Spec.cpu w))
+      Counters.zero
+      (Block.works_of_combination x)
+  in
+  let b = Microbench.matrix platform in
+  let bx = Matrix.mul_vec b x in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-6)) "B x matches" v (Counters.to_array summed).(i))
+    bx
+
+let test_validate_combination () =
+  let ok = Array.make 11 1.0 in
+  ok.(10) <- 9.0;
+  Alcotest.(check bool) "valid" true (Block.validate_combination ok = Ok ());
+  let neg = Array.make 11 1.0 in
+  neg.(3) <- -1.0;
+  Alcotest.(check bool) "negative rejected" true (Result.is_error (Block.validate_combination neg));
+  let uncovered = Array.make 11 1.0 in
+  uncovered.(10) <- 2.0;
+  Alcotest.(check bool) "loop constraint enforced" true
+    (Result.is_error (Block.validate_combination uncovered));
+  Alcotest.(check bool) "wrong length" true
+    (Result.is_error (Block.validate_combination [| 1.0 |]))
+
+let test_microbench_platform_sensitivity () =
+  (* the same block costs more cycles on the Phi *)
+  let div_block = Block.all.(3) in
+  let a = (Microbench.measure Spec.platform_a div_block).Counters.cyc in
+  let b = (Microbench.measure Spec.platform_b div_block).Counters.cyc in
+  Alcotest.(check bool) "phi pays more for divides" true (b > a);
+  (* but retires the same instructions *)
+  let ia = (Microbench.measure Spec.platform_a div_block).Counters.ins in
+  let ib = (Microbench.measure Spec.platform_b div_block).Counters.ins in
+  Alcotest.(check (float 1e-9)) "same ins" ia ib
+
+let test_matrix_shape_and_rank () =
+  let b = Microbench.matrix Spec.platform_a in
+  Alcotest.(check int) "6 rows" 6 (Matrix.rows b);
+  Alcotest.(check int) "11 cols" 11 (Matrix.cols b);
+  (* no two columns identical: blocks are distinguishable *)
+  for j = 0 to 10 do
+    for k = j + 1 to 10 do
+      if Matrix.col b j = Matrix.col b k then Alcotest.failf "columns %d and %d identical" j k
+    done
+  done
+
+let suite =
+  [
+    ("block table shape", `Quick, test_block_table_shape);
+    ("blocks have their designed character", `Quick, test_block_character);
+    ("combination work sums", `Quick, test_combination_work_sums);
+    ("combination length check", `Quick, test_combination_rejects_wrong_length);
+    ("per-block pricing equals B x", `Quick, test_works_additive_equals_summed_counters);
+    ("combination validation", `Quick, test_validate_combination);
+    ("micro-benchmark is platform sensitive", `Quick, test_microbench_platform_sensitivity);
+    ("B matrix shape, distinct columns", `Quick, test_matrix_shape_and_rank);
+  ]

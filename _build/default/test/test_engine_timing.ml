@@ -1,0 +1,250 @@
+(* Quantitative tests of the engine's timing semantics: the documented
+   cost formulas must hold exactly, not just qualitatively. *)
+
+module E = Siesta_mpi.Engine
+module D = Siesta_mpi.Datatype
+module Op = Siesta_mpi.Op
+module Spec = Siesta_platform.Spec
+module Network = Siesta_platform.Network
+module Impl = Siesta_platform.Mpi_impl
+module K = Siesta_perf.Kernel
+module Cpu = Siesta_platform.Cpu
+module Counters = Siesta_perf.Counters
+
+let platform = Spec.platform_a
+let impl = Impl.openmpi
+let run ?(nranks = 2) ?hook program = E.run ~platform ~impl ~nranks ?hook program
+
+let check_time = Alcotest.(check (float 1e-12))
+
+let overhead = impl.Impl.call_overhead_s
+
+let wire ~same_node bytes =
+  let net = platform.Spec.network in
+  let lat = if same_node then net.Network.intra_latency_s else net.Network.inter_latency_s in
+  let bw =
+    if same_node then net.Network.intra_bandwidth_bps else net.Network.inter_bandwidth_bps
+  in
+  (lat *. impl.Impl.latency_factor) +. (float_of_int bytes /. (bw *. impl.Impl.bandwidth_factor))
+
+let test_eager_sender_cost () =
+  let t = ref 0.0 in
+  ignore
+    (run (fun ctx ->
+         if E.rank ctx = 0 then begin
+           E.send ctx ~dest:1 ~tag:0 ~dt:D.Byte ~count:64;
+           t := E.wtime ctx
+         end
+         else E.recv ctx ~src:0 ~tag:0 ~dt:D.Byte ~count:64));
+  check_time "sender pays exactly the call overhead" overhead !t
+
+let test_preposted_recv_completion () =
+  (* receiver posts first; completion = sender's ready time + wire time *)
+  let t = ref 0.0 in
+  let bytes = 2048 in
+  ignore
+    (run (fun ctx ->
+         if E.rank ctx = 1 then begin
+           E.recv ctx ~src:0 ~tag:0 ~dt:D.Byte ~count:bytes;
+           t := E.wtime ctx
+         end
+         else begin
+           E.sleep ctx 0.002;
+           E.send ctx ~dest:1 ~tag:0 ~dt:D.Byte ~count:bytes
+         end));
+  (* send posts at 0.002 + overhead; message available one wire later *)
+  check_time "completion time" (0.002 +. overhead +. wire ~same_node:true bytes) !t
+
+let test_late_recv_completion () =
+  (* message waits in the unexpected queue; the receive returns at its own
+     post time (the data already arrived) *)
+  let t = ref 0.0 in
+  ignore
+    (run (fun ctx ->
+         if E.rank ctx = 0 then E.send ctx ~dest:1 ~tag:0 ~dt:D.Byte ~count:8
+         else begin
+           E.sleep ctx 0.5;
+           E.recv ctx ~src:0 ~tag:0 ~dt:D.Byte ~count:8;
+           t := E.wtime ctx
+         end));
+  check_time "no extra wait" (0.5 +. overhead) !t
+
+let test_rendezvous_completion_formula () =
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  let count = 100_000 in
+  let bytes = count in
+  ignore
+    (run (fun ctx ->
+         if E.rank ctx = 0 then begin
+           E.send ctx ~dest:1 ~tag:0 ~dt:D.Byte ~count;
+           t0 := E.wtime ctx
+         end
+         else begin
+           E.sleep ctx 0.003;
+           E.recv ctx ~src:0 ~tag:0 ~dt:D.Byte ~count;
+           t1 := E.wtime ctx
+         end));
+  (* completion = max(send_ready, post) + handshake + wire *)
+  let send_ready = overhead in
+  let post = 0.003 +. overhead in
+  let expect = max send_ready post +. impl.Impl.rendezvous_extra_s +. wire ~same_node:true bytes in
+  check_time "receiver" expect !t1;
+  check_time "sender resumes with the transfer" expect !t0
+
+let test_eager_threshold_boundary () =
+  (* at exactly the threshold the sender must not block *)
+  let t = ref infinity in
+  ignore
+    (run (fun ctx ->
+         if E.rank ctx = 0 then begin
+           E.send ctx ~dest:1 ~tag:0 ~dt:D.Byte ~count:impl.Impl.eager_threshold_bytes;
+           t := E.wtime ctx
+         end
+         else begin
+           E.sleep ctx 0.1;
+           E.recv ctx ~src:0 ~tag:0 ~dt:D.Byte ~count:impl.Impl.eager_threshold_bytes
+         end));
+  Alcotest.(check bool) "still eager at the threshold" true (!t < 0.1)
+
+let test_barrier_cost_formula () =
+  (* single-node comm: cost = barrier_factor * ceil(log2 P) * intra latency *)
+  let nranks = 8 in
+  let res = run ~nranks (fun ctx -> E.barrier ctx (E.comm_world ctx)) in
+  let lat = platform.Spec.network.Network.intra_latency_s *. impl.Impl.latency_factor in
+  let expect = overhead +. (impl.Impl.barrier_factor *. 3.0 *. lat) in
+  check_time "barrier" expect res.E.elapsed
+
+let test_alltoall_linear_in_ranks () =
+  let time nranks =
+    (E.run ~platform ~impl ~nranks (fun ctx ->
+         E.alltoall ctx (E.comm_world ctx) ~dt:D.Byte ~count:1000))
+      .E.elapsed
+  in
+  let t8 = time 8 -. overhead and t16 = time 16 -. overhead in
+  (* (P-1) scaling: 15/7 within the node *)
+  Alcotest.(check (float 0.05)) "alltoall ~ P-1" (15.0 /. 7.0) (t16 /. t8)
+
+let test_cross_node_pricing () =
+  (* ranks 0 and 40 sit on different platform-A nodes *)
+  let nranks = 41 in
+  let time_between a b =
+    (E.run ~platform ~impl ~nranks (fun ctx ->
+         if E.rank ctx = a then E.send ctx ~dest:b ~tag:0 ~dt:D.Byte ~count:1024
+         else if E.rank ctx = b then E.recv ctx ~src:a ~tag:0 ~dt:D.Byte ~count:1024))
+      .E.elapsed
+  in
+  Alcotest.(check bool) "inter-node slower" true (time_between 0 40 > time_between 0 39)
+
+let test_elapsed_is_max_rank_clock () =
+  let res =
+    run ~nranks:4 (fun ctx -> E.sleep ctx (0.01 *. float_of_int (1 + E.rank ctx)))
+  in
+  check_time "max" 0.04 res.E.elapsed;
+  Alcotest.(check int) "4 entries" 4 (Array.length res.E.per_rank_elapsed);
+  check_time "rank 0" 0.01 res.E.per_rank_elapsed.(0);
+  check_time "rank 3" 0.04 res.E.per_rank_elapsed.(3)
+
+let test_counters_are_exact_totals () =
+  let kernel = K.compute_bound ~label:"k" ~flops:12345.0 ~div_frac:0.1 in
+  let res =
+    run ~nranks:2 (fun ctx ->
+        for _ = 1 to 7 do
+          E.compute ctx kernel
+        done)
+  in
+  let expect = Counters.of_work platform.Spec.cpu (K.to_work kernel) in
+  Array.iter
+    (fun c ->
+      Alcotest.(check (float 1e-6)) "ins" (7.0 *. expect.Counters.ins) c.Counters.ins;
+      Alcotest.(check (float 1e-6)) "cyc" (7.0 *. expect.Counters.cyc) c.Counters.cyc)
+    res.E.per_rank_counters
+
+let test_hook_overhead_exact () =
+  let program ctx =
+    for _ = 1 to 10 do
+      E.barrier ctx (E.comm_world ctx)
+    done
+  in
+  let base = (run ~nranks:1 program).E.elapsed in
+  let hook = { E.on_event = (fun ~rank:_ ~papi:_ ~call:_ -> ()); per_event_overhead = 1e-3 } in
+  let hooked = (run ~nranks:1 ~hook program).E.elapsed in
+  check_time "10 events x 1 ms" (base +. 0.01) hooked
+
+let test_compute_time_matches_cpu_model () =
+  let kernel = K.streaming ~label:"k" ~flops:1e6 ~bytes:8e6 in
+  let res = run ~nranks:1 (fun ctx -> E.compute ctx kernel) in
+  let expect = Cpu.seconds platform.Spec.cpu (K.to_work kernel) in
+  check_time "priced by the CPU model" expect res.E.elapsed
+
+let test_isend_wait_no_double_charge () =
+  (* waiting on an already-complete eager isend costs only the overheads *)
+  let t = ref 0.0 in
+  ignore
+    (run (fun ctx ->
+         if E.rank ctx = 0 then begin
+           let r = E.isend ctx ~dest:1 ~tag:0 ~dt:D.Byte ~count:8 in
+           E.wait ctx r;
+           t := E.wtime ctx
+         end
+         else E.recv ctx ~src:0 ~tag:0 ~dt:D.Byte ~count:8));
+  check_time "two call overheads" (2.0 *. overhead) !t
+
+let test_independent_subcomm_progress () =
+  (* even ranks barrier among themselves many times while odd ranks are
+     stuck in a slow compute: the even group must not wait for them *)
+  let even_done = ref 0.0 in
+  ignore
+    (run ~nranks:4 (fun ctx ->
+         let r = E.rank ctx in
+         let sub = E.comm_split ctx (E.comm_world ctx) ~color:(r mod 2) ~key:r in
+         if r mod 2 = 0 then begin
+           for _ = 1 to 5 do
+             E.barrier ctx sub
+           done;
+           if r = 0 then even_done := E.wtime ctx
+         end
+         else begin
+           E.sleep ctx 1.0;
+           E.barrier ctx sub
+         end));
+  Alcotest.(check bool) "even group unblocked by odd group" true (!even_done < 0.5)
+
+let test_io_write_all_cost_formula () =
+  let nranks = 4 in
+  let count = 1_000_000 in
+  let res =
+    E.run ~platform ~impl ~nranks (fun ctx ->
+        let f = E.file_open ctx (E.comm_world ctx) in
+        E.file_write_all ctx f ~dt:D.Byte ~count;
+        E.file_close ctx f)
+  in
+  let st = platform.Spec.storage in
+  let lat = platform.Spec.network.Network.intra_latency_s *. impl.Impl.latency_factor in
+  let sync = 2.0 *. lat in
+  let open_cost = st.Spec.open_latency_s +. (impl.Impl.barrier_factor *. sync) in
+  let close_cost = (0.5 *. st.Spec.open_latency_s) +. (impl.Impl.barrier_factor *. sync) in
+  let write_cost =
+    st.Spec.per_call_latency_s +. sync
+    +. (float_of_int (count * nranks) /. st.Spec.write_bandwidth_bps)
+  in
+  check_time "open+write+close" (3.0 *. overhead +. open_cost +. write_cost +. close_cost)
+    res.E.elapsed
+
+let suite =
+  [
+    ("eager sender pays only overhead", `Quick, test_eager_sender_cost);
+    ("pre-posted receive completes at arrival", `Quick, test_preposted_recv_completion);
+    ("late receive pays no extra wait", `Quick, test_late_recv_completion);
+    ("rendezvous completion formula", `Quick, test_rendezvous_completion_formula);
+    ("eager threshold boundary", `Quick, test_eager_threshold_boundary);
+    ("barrier cost formula", `Quick, test_barrier_cost_formula);
+    ("alltoall scales with P-1", `Quick, test_alltoall_linear_in_ranks);
+    ("inter-node messages cost more", `Quick, test_cross_node_pricing);
+    ("elapsed = max rank clock", `Quick, test_elapsed_is_max_rank_clock);
+    ("per-rank counters are exact totals", `Quick, test_counters_are_exact_totals);
+    ("hook overhead charged exactly", `Quick, test_hook_overhead_exact);
+    ("compute priced by the CPU model", `Quick, test_compute_time_matches_cpu_model);
+    ("wait on complete isend is free", `Quick, test_isend_wait_no_double_charge);
+    ("sub-communicators progress independently", `Quick, test_independent_subcomm_progress);
+    ("collective write cost formula", `Quick, test_io_write_all_cost_formula);
+  ]

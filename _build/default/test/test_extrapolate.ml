@@ -1,0 +1,133 @@
+(* Tests for the scale-extrapolation extension. *)
+
+module Scale_model = Siesta_extrapolate.Scale_model
+module Trace_io = Siesta_trace.Trace_io
+module Event = Siesta_trace.Event
+module E = Siesta_mpi.Engine
+module D = Siesta_mpi.Datatype
+module K = Siesta_perf.Kernel
+module Counters = Siesta_perf.Counters
+
+let platform = Siesta_platform.Spec.platform_a
+let impl = Siesta_platform.Mpi_impl.openmpi
+
+let trace_of_workload workload nranks =
+  let s = Siesta.Pipeline.spec ~workload ~nranks () in
+  let traced = Siesta.Pipeline.trace s in
+  Trace_io.of_recorder traced.Siesta.Pipeline.recorder
+
+(* a hand-rolled scale-regular ring program: volumes shrink as 1/P *)
+let ring_program ~nranks ctx =
+  let r = E.rank ctx and n = E.size ctx in
+  let count = 1_048_576 / nranks in
+  for _ = 1 to 3 do
+    E.compute ctx (K.streaming ~label:"k" ~flops:(4e8 /. float_of_int nranks)
+                     ~bytes:(3.2e9 /. float_of_int nranks));
+    let rq = E.irecv ctx ~src:((r + n - 1) mod n) ~tag:1 ~dt:D.Double ~count in
+    E.send ctx ~dest:((r + 1) mod n) ~tag:1 ~dt:D.Double ~count;
+    E.wait ctx rq;
+    E.allreduce ctx (E.comm_world ctx) ~dt:D.Double ~count:4 ~op:Siesta_mpi.Op.Sum
+  done
+
+let trace_of_ring nranks =
+  let recorder = Siesta_trace.Recorder.create ~nranks () in
+  ignore
+    (E.run ~platform ~impl ~nranks ~hook:(Siesta_trace.Recorder.hook recorder)
+       (ring_program ~nranks));
+  Trace_io.of_recorder recorder
+
+let comm_only stream =
+  Array.of_list (List.filter (fun e -> not (Event.is_compute e)) (Array.to_list stream))
+
+let test_requires_three_scales () =
+  Alcotest.check_raises "two scales rejected"
+    (Invalid_argument "Scale_model.fit: need at least three scales") (fun () ->
+      ignore (Scale_model.fit [ trace_of_ring 4; trace_of_ring 8 ]))
+
+let test_ring_extrapolates () =
+  let model = Scale_model.fit [ trace_of_ring 4; trace_of_ring 8; trace_of_ring 16 ] in
+  let predicted = Scale_model.instantiate model ~nranks:32 in
+  let actual = trace_of_ring 32 in
+  for r = 0 to 31 do
+    if comm_only predicted.Trace_io.streams.(r) <> comm_only actual.Trace_io.streams.(r) then
+      Alcotest.failf "rank %d communication mismatch" r
+  done
+
+let test_ring_compute_extrapolates () =
+  let model = Scale_model.fit [ trace_of_ring 4; trace_of_ring 8; trace_of_ring 16 ] in
+  let predicted = Scale_model.instantiate model ~nranks:32 in
+  let actual = trace_of_ring 32 in
+  (* one compute cluster each; its INS must scale as 1/P within noise *)
+  let ins t = (fst t.Trace_io.centroids.(0)).Counters.ins in
+  let rel = abs_float (ins predicted -. ins actual) /. ins actual in
+  Alcotest.(check bool) (Printf.sprintf "centroid INS within 5%% (%.2f%%)" (100.0 *. rel)) true
+    (rel < 0.05)
+
+let test_bt_exact_at_unseen_scale () =
+  let model =
+    Scale_model.fit [ trace_of_workload "BT" 16; trace_of_workload "BT" 36; trace_of_workload "BT" 64 ]
+  in
+  Alcotest.(check int) "nine boundary classes" 9 (Scale_model.classes model);
+  let predicted = Scale_model.instantiate model ~nranks:144 in
+  let actual = trace_of_workload "BT" 144 in
+  for r = 0 to 143 do
+    if comm_only predicted.Trace_io.streams.(r) <> comm_only actual.Trace_io.streams.(r) then
+      Alcotest.failf "rank %d communication mismatch at the unseen scale" r
+  done
+
+let test_bt_proxy_time_at_unseen_scale () =
+  let model =
+    Scale_model.fit [ trace_of_workload "BT" 16; trace_of_workload "BT" 36; trace_of_workload "BT" 64 ]
+  in
+  let predicted = Scale_model.instantiate model ~nranks:144 in
+  let merged = Siesta_merge.Pipeline.merge_streams ~nranks:144 predicted.Trace_io.streams in
+  let proxy =
+    Siesta_synth.Proxy_ir.synthesize ~platform ~impl ~merged
+      ~compute_table:(Trace_io.compute_table predicted) ()
+  in
+  let replayed = (E.run ~platform ~impl ~nranks:144 (Siesta_synth.Proxy_ir.program proxy)).E.elapsed in
+  let s = Siesta.Pipeline.spec ~workload:"BT" ~nranks:144 () in
+  let original = (Siesta.Pipeline.run_original s ~platform ~impl).E.elapsed in
+  let err = abs_float (replayed -. original) /. original in
+  Alcotest.(check bool) (Printf.sprintf "time error %.2f%% < 5%%" (100.0 *. err)) true (err < 0.05)
+
+let test_square_target_validation () =
+  let model =
+    Scale_model.fit [ trace_of_workload "BT" 16; trace_of_workload "BT" 36; trace_of_workload "BT" 64 ]
+  in
+  Alcotest.(check bool) "non-square target rejected" true
+    (match Scale_model.instantiate model ~nranks:60 with
+    | exception Scale_model.Unsupported _ -> true
+    | _ -> false)
+
+let test_irregular_program_rejected () =
+  (* CG's stream shape changes with scale; somewhere the model must say no *)
+  Alcotest.(check bool) "CG rejected" true
+    (match
+       Scale_model.fit
+         [ trace_of_workload "CG" 16; trace_of_workload "CG" 64; trace_of_workload "CG" 256 ]
+     with
+    | exception Scale_model.Unsupported _ -> true
+    | _ -> false)
+
+let test_alltoallv_rejected () =
+  (* IS carries per-peer vectors *)
+  Alcotest.(check bool) "IS rejected" true
+    (match
+       Scale_model.fit
+         [ trace_of_workload "IS" 16; trace_of_workload "IS" 64; trace_of_workload "IS" 128 ]
+     with
+    | exception Scale_model.Unsupported _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    ("needs three scales", `Quick, test_requires_three_scales);
+    ("ring: exact extrapolation", `Quick, test_ring_extrapolates);
+    ("ring: computation extrapolates", `Quick, test_ring_compute_extrapolates);
+    ("BT: exact communication at unseen 144 ranks", `Slow, test_bt_exact_at_unseen_scale);
+    ("BT: proxy time at unseen scale", `Slow, test_bt_proxy_time_at_unseen_scale);
+    ("square-grid target validation", `Slow, test_square_target_validation);
+    ("irregular programs rejected (CG)", `Slow, test_irregular_program_rejected);
+    ("per-peer vectors rejected (IS)", `Quick, test_alltoallv_rejected);
+  ]

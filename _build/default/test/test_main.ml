@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "siesta"
+    [
+      ("util", Test_util.suite);
+      ("numerics", Test_numerics.suite);
+      ("platform", Test_platform.suite);
+      ("perf", Test_perf.suite);
+      ("engine", Test_engine.suite);
+      ("engine-timing", Test_engine_timing.suite);
+      ("trace", Test_trace.suite);
+      ("grammar", Test_grammar.suite);
+      ("merge", Test_merge.suite);
+      ("merge-mains", Test_merge_mains.suite);
+      ("blocks", Test_blocks.suite);
+      ("synth", Test_synth.suite);
+      ("codegen", Test_codegen.suite);
+      ("proxy-search", Test_proxy_search_deep.suite);
+      ("workloads", Test_workloads.suite);
+      ("workload-structure", Test_workload_structure.suite);
+      ("baselines", Test_baselines.suite);
+      ("analysis", Test_analysis.suite);
+      ("extrapolate", Test_extrapolate.suite);
+      ("core", Test_core.suite);
+      ("final-coverage", Test_final_coverage.suite);
+    ]

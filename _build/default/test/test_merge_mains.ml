@@ -1,0 +1,143 @@
+(* Focused tests of the main-rule merging semantics (Section 2.6.2): what
+   the LCS merge does to shared and variant symbols, how rank lists are
+   attributed, and when clustering keeps mains apart. *)
+
+module Merged = Siesta_merge.Merged
+module MPipe = Siesta_merge.Pipeline
+module Rank_list = Siesta_merge.Rank_list
+module Terminal_table = Siesta_merge.Terminal_table
+module Grammar = Siesta_grammar.Grammar
+module Event = Siesta_trace.Event
+module D = Siesta_mpi.Datatype
+
+let barrier = Event.Barrier { comm = 0 }
+let send c = Event.Send { Event.rel_peer = 1; tag = 0; dt = D.Int; count = c }
+
+(* merge hand-written per-rank streams and return (merged, global seqs) *)
+let merge ?config streams =
+  let nranks = Array.length streams in
+  let merged = MPipe.merge_streams ?config ~nranks streams in
+  Merged.validate merged;
+  let seqs = Terminal_table.sequences (Terminal_table.build streams) in
+  for r = 0 to nranks - 1 do
+    if Merged.expand_for_rank merged r <> seqs.(r) then
+      Alcotest.failf "rank %d not reconstructed" r
+  done;
+  merged
+
+let entries_of merged = merged.Merged.mains.(0)
+
+let test_shared_prefix_suffix_single_rank_lists () =
+  (* ranks share [b s10 b]; rank 1 inserts s99 in the middle *)
+  let base = [| barrier; send 10; barrier |] in
+  let with_extra = [| barrier; send 10; send 99; barrier |] in
+  let merged = merge [| base; with_extra; base; base |] in
+  Alcotest.(check int) "one cluster" 1 (Array.length merged.Merged.mains);
+  let entries = entries_of merged in
+  (* shared symbols carry all four ranks; the insertion carries only rank 1 *)
+  let shared, variants =
+    List.partition (fun (e : Merged.mentry) -> Rank_list.cardinal e.Merged.ranks = 4) entries
+  in
+  Alcotest.(check int) "three shared entries" 3 (List.length shared);
+  Alcotest.(check int) "one variant entry" 1 (List.length variants);
+  match variants with
+  | [ e ] -> Alcotest.(check (list int)) "attributed to rank 1" [ 1 ] (Rank_list.to_list e.Merged.ranks)
+  | _ -> Alcotest.fail "unexpected partition"
+
+let test_disjoint_tails_keep_order () =
+  (* after a shared prefix, rank 0 does (s1 s2), rank 1 does (s3 s4): the
+     merged main must contain both tails in their own order *)
+  let a = [| barrier; send 1; send 2 |] in
+  let b = [| barrier; send 3; send 4 |] in
+  let merged = merge [| a; b |] in
+  let expanded0 = Merged.expand_for_rank merged 0 in
+  let expanded1 = Merged.expand_for_rank merged 1 in
+  Alcotest.(check int) "rank0 3 events" 3 (Array.length expanded0);
+  Alcotest.(check int) "rank1 3 events" 3 (Array.length expanded1)
+
+let test_reps_must_match_to_merge () =
+  (* rank 0 loops 10x, rank 1 loops 20x: the run-length exponents differ,
+     so the compressed symbols cannot share a main entry *)
+  let mk n = Array.concat (List.init n (fun _ -> [| barrier; send 5 |])) in
+  let merged = merge ~config:{ MPipe.default_config with cluster_threshold = 1.0 }
+      [| mk 10; mk 20 |] in
+  List.iter
+    (fun (e : Merged.mentry) ->
+      if Rank_list.cardinal e.Merged.ranks = 2 then
+        (* any shared entry must expand identically for both, which loops
+           of different trip counts cannot *)
+        ())
+    (entries_of merged);
+  (* reconstruction (checked in [merge]) is the real assertion here *)
+  Alcotest.(check pass) "lossless" () ()
+
+let test_low_threshold_separates_clusters () =
+  let a = Array.concat (List.init 8 (fun _ -> [| barrier; send 1 |])) in
+  let b = Array.concat (List.init 8 (fun _ -> [| send 2; send 3; send 4 |])) in
+  let merged =
+    merge ~config:{ MPipe.default_config with cluster_threshold = 0.1 } [| a; b; a; b |]
+  in
+  Alcotest.(check int) "two clusters" 2 (Array.length merged.Merged.mains);
+  (* cluster rank sets partition the ranks *)
+  let covered =
+    Array.to_list merged.Merged.main_ranks
+    |> List.concat_map Rank_list.to_list
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "partition" [ 0; 1; 2; 3 ] covered
+
+let test_high_threshold_merges_dissimilar () =
+  let a = Array.concat (List.init 8 (fun _ -> [| barrier; send 1 |])) in
+  let b = Array.concat (List.init 8 (fun _ -> [| send 2; send 3; send 4 |])) in
+  let merged =
+    merge ~config:{ MPipe.default_config with cluster_threshold = 1.0 } [| a; b |]
+  in
+  Alcotest.(check int) "one cluster" 1 (Array.length merged.Merged.mains)
+
+let test_nested_rule_merging () =
+  (* a nested loop shared by all ranks must produce shared rules, with the
+     rank-variant suffix separate *)
+  let inner = [| send 1; send 2 |] in
+  let body = Array.concat (List.init 6 (fun _ -> inner)) in
+  let stream r =
+    Array.concat
+      (List.init 4 (fun _ -> Array.append body [| barrier |])
+      @ [ (if r = 0 then [| send 99 |] else [||]) ])
+  in
+  let merged = merge (Array.init 6 stream) in
+  let single = merge [| stream 1 |] in
+  (* rule sharing: the 6-rank merge needs no more rules than one rank *)
+  Alcotest.(check bool) "rules shared" true
+    (Array.length merged.Merged.rules <= Array.length single.Merged.rules + 1)
+
+let test_depth_consistency_after_merge () =
+  let inner = [| send 1; send 2 |] in
+  let body = Array.concat (List.init 6 (fun _ -> inner)) in
+  let stream = Array.concat (List.init 5 (fun _ -> Array.append body [| barrier |])) in
+  let merged = merge (Array.make 4 stream) in
+  let g = { Grammar.main = []; rules = merged.Merged.rules } in
+  let depths = Grammar.depth g in
+  Array.iter (fun d -> Alcotest.(check bool) "positive depth" true (d >= 1)) depths
+
+let test_empty_streams () =
+  let merged = merge [| [||]; [||] |] in
+  Alcotest.(check int) "no terminals" 0 (Array.length merged.Merged.terminals);
+  Alcotest.(check int) "empty expansion" 0 (Array.length (Merged.expand_for_rank merged 0))
+
+let test_single_rank () =
+  let merged = merge [| [| barrier; send 1; barrier |] |] in
+  Alcotest.(check int) "one cluster" 1 (Array.length merged.Merged.mains);
+  Alcotest.(check int) "covers rank 0" 1 (Rank_list.cardinal merged.Merged.main_ranks.(0))
+
+let suite =
+  [
+    ("shared prefix/suffix with one insertion", `Quick, test_shared_prefix_suffix_single_rank_lists);
+    ("disjoint tails keep their order", `Quick, test_disjoint_tails_keep_order);
+    ("different trip counts stay lossless", `Quick, test_reps_must_match_to_merge);
+    ("low threshold separates clusters", `Quick, test_low_threshold_separates_clusters);
+    ("high threshold merges dissimilar mains", `Quick, test_high_threshold_merges_dissimilar);
+    ("nested rules shared across ranks", `Quick, test_nested_rule_merging);
+    ("rule depths consistent after merge", `Quick, test_depth_consistency_after_merge);
+    ("empty streams", `Quick, test_empty_streams);
+    ("single rank", `Quick, test_single_rank);
+  ]

@@ -1,0 +1,219 @@
+(* Tests for siesta_numerics: matrices, least squares, NNLS, regression. *)
+
+open Siesta_numerics
+module Rng = Siesta_util.Rng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* Matrix *)
+
+let test_matrix_basics () =
+  let m = Matrix.create ~rows:2 ~cols:3 in
+  Alcotest.(check int) "rows" 2 (Matrix.rows m);
+  Alcotest.(check int) "cols" 3 (Matrix.cols m);
+  check_float "zero init" 0.0 (Matrix.get m 1 2);
+  Matrix.set m 1 2 5.0;
+  check_float "set/get" 5.0 (Matrix.get m 1 2)
+
+let test_matrix_of_arrays () =
+  let m = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  check_float "m00" 1.0 (Matrix.get m 0 0);
+  check_float "m11" 4.0 (Matrix.get m 1 1);
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_arrays: ragged") (fun () ->
+      ignore (Matrix.of_arrays [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+let test_matrix_transpose () =
+  let m = Matrix.of_arrays [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let t = Matrix.transpose m in
+  Alcotest.(check int) "rows" 3 (Matrix.rows t);
+  check_float "t21" 6.0 (Matrix.get t 2 1);
+  check_float "t01" 4.0 (Matrix.get t 0 1)
+
+let test_matrix_mul () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Matrix.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Matrix.mul a b in
+  check_float "c00" 19.0 (Matrix.get c 0 0);
+  check_float "c01" 22.0 (Matrix.get c 0 1);
+  check_float "c10" 43.0 (Matrix.get c 1 0);
+  check_float "c11" 50.0 (Matrix.get c 1 1)
+
+let test_matrix_mul_identity () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let i = Matrix.identity 2 in
+  let c = Matrix.mul a i in
+  for r = 0 to 1 do
+    for k = 0 to 1 do
+      check_float "a*I = a" (Matrix.get a r k) (Matrix.get c r k)
+    done
+  done
+
+let test_matrix_mul_vec () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = Matrix.mul_vec a [| 1.0; 1.0 |] in
+  check_float "y0" 3.0 y.(0);
+  check_float "y1" 7.0 y.(1);
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Matrix.mul_vec: dimension mismatch")
+    (fun () -> ignore (Matrix.mul_vec a [| 1.0 |]))
+
+let test_matrix_row_col () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "row" true (Matrix.row a 1 = [| 3.0; 4.0 |]);
+  Alcotest.(check bool) "col" true (Matrix.col a 1 = [| 2.0; 4.0 |]);
+  let b = Matrix.copy a in
+  Matrix.scale_row b 0 2.0;
+  check_float "scaled" 2.0 (Matrix.get b 0 0);
+  check_float "original untouched" 1.0 (Matrix.get a 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* Lsq *)
+
+let test_lsq_exact_square () =
+  let a = Matrix.of_arrays [| [| 2.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  let x = Lsq.solve a [| 6.0; 8.0 |] in
+  check_float "x0" 3.0 x.(0);
+  check_float "x1" 2.0 x.(1)
+
+let test_lsq_overdetermined () =
+  (* fit y = 2x through (1,2) (2,4) (3,6.3): least squares slope *)
+  let a = Matrix.of_arrays [| [| 1.0 |]; [| 2.0 |]; [| 3.0 |] |] in
+  let x = Lsq.solve a [| 2.0; 4.0; 6.3 |] in
+  (* analytic: (1*2 + 2*4 + 3*6.3) / (1+4+9) = 28.9/14 *)
+  Alcotest.(check (float 1e-6)) "slope" (28.9 /. 14.0) x.(0)
+
+let test_lsq_residual_optimality () =
+  (* perturbing the solution must not reduce the residual *)
+  let rng = Rng.create 23 in
+  for _ = 1 to 50 do
+    let a =
+      Matrix.of_arrays
+        (Array.init 5 (fun _ -> Array.init 3 (fun _ -> Rng.float rng 10.0)))
+    in
+    let b = Array.init 5 (fun _ -> Rng.float rng 10.0) in
+    let x = Lsq.solve a b in
+    let base = Lsq.residual_norm2 a x b in
+    for j = 0 to 2 do
+      let x' = Array.copy x in
+      x'.(j) <- x'.(j) +. 0.01;
+      if Lsq.residual_norm2 a x' b < base -. 1e-9 then
+        Alcotest.failf "perturbation improved the residual (%f < %f)" (Lsq.residual_norm2 a x' b)
+          base
+    done
+  done
+
+let test_lsq_singular_handled () =
+  (* duplicate columns: Gram matrix singular; the ridge must rescue it *)
+  let a = Matrix.of_arrays [| [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |] in
+  let b = [| 3.0; 6.0 |] in
+  let x = Lsq.solve a b in
+  let r = Lsq.residual_norm2 a x b in
+  Alcotest.(check bool) "residual near zero" true (r < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Nnls *)
+
+let test_nnls_nonnegative_system () =
+  (* A x = b with x >= 0 attainable: NNLS must find it *)
+  let a = Matrix.of_arrays [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let { Nnls.x; residual; _ } = Nnls.solve a [| 2.0; 3.0 |] in
+  check_float "x0" 2.0 x.(0);
+  check_float "x1" 3.0 x.(1);
+  Alcotest.(check bool) "residual zero" true (residual < 1e-12)
+
+let test_nnls_clamps_negative () =
+  (* unconstrained solution is negative in x1: NNLS must clamp to zero *)
+  let a = Matrix.of_arrays [| [| 1.0; 1.0 |]; [| 0.0; 1.0 |] |] in
+  (* b = (0, 1): unconstrained x = (-1, 1) *)
+  let { Nnls.x; _ } = Nnls.solve a [| 0.0; 1.0 |] in
+  Alcotest.(check bool) "x0 clamped" true (x.(0) >= 0.0);
+  Alcotest.(check bool) "x1 nonneg" true (x.(1) >= 0.0)
+
+let test_nnls_zero_rhs () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let { Nnls.x; residual; _ } = Nnls.solve a [| 0.0; 0.0 |] in
+  Alcotest.(check bool) "x = 0" true (Array.for_all (fun v -> v = 0.0) x);
+  check_float "residual" 0.0 residual
+
+let test_nnls_properties_random () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 200 do
+    let rows = 2 + Rng.int rng 5 and cols = 1 + Rng.int rng 6 in
+    let a =
+      Matrix.of_arrays
+        (Array.init rows (fun _ -> Array.init cols (fun _ -> Rng.float rng 5.0)))
+    in
+    let b = Array.init rows (fun _ -> Rng.float rng 5.0 -. 1.0) in
+    let { Nnls.x; residual; _ } = Nnls.solve a b in
+    (* 1. feasibility *)
+    Array.iter (fun v -> if v < 0.0 then Alcotest.failf "negative component %f" v) x;
+    (* 2. no worse than the zero vector *)
+    let zero_res = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 b in
+    if residual > zero_res +. 1e-9 then
+      Alcotest.failf "worse than zero vector: %f > %f" residual zero_res;
+    (* 3. approximate KKT: no active coordinate wants to grow *)
+    let viol = Nnls.kkt_violation a b x in
+    let scale = 1.0 +. abs_float zero_res in
+    if viol > 1e-5 *. scale then Alcotest.failf "KKT violation %g" viol
+  done
+
+let test_nnls_tiny_scale () =
+  (* regression test: weighted proxy-search systems have entries ~1e-10;
+     an absolute tolerance used to stop the solver before it started *)
+  let k = 1e-10 in
+  let a = Matrix.of_arrays [| [| 2.0 *. k; 0.0 |]; [| 0.0; 4.0 *. k |] |] in
+  let { Nnls.x; _ } = Nnls.solve a [| 6.0 *. k; 8.0 *. k |] in
+  Alcotest.(check (float 1e-3)) "x0" 3.0 x.(0);
+  Alcotest.(check (float 1e-3)) "x1" 2.0 x.(1)
+
+let test_nnls_dimension_mismatch () =
+  let a = Matrix.of_arrays [| [| 1.0 |] |] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Nnls.solve: dimension mismatch")
+    (fun () -> ignore (Nnls.solve a [| 1.0; 2.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Linreg *)
+
+let test_linreg_exact () =
+  let t = Linreg.fit ~xs:[| 0.0; 1.0; 2.0 |] ~ys:[| 1.0; 3.0; 5.0 |] in
+  check_float "slope" 2.0 t.Linreg.slope;
+  check_float "intercept" 1.0 t.Linreg.intercept;
+  check_float "r2 perfect" 1.0 (Linreg.r2 t ~xs:[| 0.0; 1.0; 2.0 |] ~ys:[| 1.0; 3.0; 5.0 |])
+
+let test_linreg_degenerate_x () =
+  let t = Linreg.fit ~xs:[| 2.0; 2.0; 2.0 |] ~ys:[| 1.0; 2.0; 3.0 |] in
+  check_float "slope zero" 0.0 t.Linreg.slope;
+  check_float "intercept mean" 2.0 t.Linreg.intercept
+
+let test_linreg_predict () =
+  let t = { Linreg.slope = 3.0; intercept = -1.0 } in
+  check_float "predict" 5.0 (Linreg.predict t 2.0)
+
+let test_linreg_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Linreg.fit: bad input") (fun () ->
+      ignore (Linreg.fit ~xs:[||] ~ys:[||]))
+
+let suite =
+  [
+    ("matrix create/get/set", `Quick, test_matrix_basics);
+    ("matrix of_arrays", `Quick, test_matrix_of_arrays);
+    ("matrix transpose", `Quick, test_matrix_transpose);
+    ("matrix multiply", `Quick, test_matrix_mul);
+    ("matrix multiply identity", `Quick, test_matrix_mul_identity);
+    ("matrix multiply vector", `Quick, test_matrix_mul_vec);
+    ("matrix row/col/scale/copy", `Quick, test_matrix_row_col);
+    ("lsq exact square system", `Quick, test_lsq_exact_square);
+    ("lsq overdetermined fit", `Quick, test_lsq_overdetermined);
+    ("lsq residual is a local optimum", `Quick, test_lsq_residual_optimality);
+    ("lsq singular system handled", `Quick, test_lsq_singular_handled);
+    ("nnls attains feasible system", `Quick, test_nnls_nonnegative_system);
+    ("nnls clamps negative coordinates", `Quick, test_nnls_clamps_negative);
+    ("nnls zero rhs", `Quick, test_nnls_zero_rhs);
+    ("nnls feasibility/KKT on random systems", `Quick, test_nnls_properties_random);
+    ("nnls works at tiny magnitudes", `Quick, test_nnls_tiny_scale);
+    ("nnls dimension mismatch", `Quick, test_nnls_dimension_mismatch);
+    ("linreg exact line", `Quick, test_linreg_exact);
+    ("linreg degenerate x", `Quick, test_linreg_degenerate_x);
+    ("linreg predict", `Quick, test_linreg_predict);
+    ("linreg rejects empty input", `Quick, test_linreg_rejects_empty);
+  ]

@@ -1,0 +1,135 @@
+(* Tests for siesta_perf: counter vectors, kernels, the PAPI facade. *)
+
+open Siesta_perf
+module Cpu = Siesta_platform.Cpu
+module Spec = Siesta_platform.Spec
+module Rng = Siesta_util.Rng
+
+let cpu = Spec.platform_a.Spec.cpu
+let check_float = Alcotest.(check (float 1e-9))
+
+let sample = { Counters.ins = 100.0; cyc = 50.0; lst = 30.0; l1_dcm = 2.0; br_cn = 10.0; msp = 1.0 }
+
+let test_counters_arithmetic () =
+  let s = Counters.add sample sample in
+  check_float "add ins" 200.0 s.Counters.ins;
+  let d = Counters.sub s sample in
+  check_float "sub back" 100.0 d.Counters.ins;
+  let clamped = Counters.sub sample s in
+  check_float "sub clamps at zero" 0.0 clamped.Counters.ins;
+  let h = Counters.scale 0.5 sample in
+  check_float "scale" 50.0 h.Counters.ins
+
+let test_counters_array_roundtrip () =
+  let a = Counters.to_array sample in
+  Alcotest.(check int) "6 metrics" 6 (Array.length a);
+  let back = Counters.of_array a in
+  Alcotest.(check bool) "roundtrip" true (back = sample);
+  Alcotest.check_raises "wrong length" (Invalid_argument "Counters.of_array: expected 6 metrics")
+    (fun () -> ignore (Counters.of_array [| 1.0 |]))
+
+let test_counters_get_matches_order () =
+  List.iteri
+    (fun i m ->
+      Alcotest.(check int) (Counters.metric_name m) i (Counters.metric_index m);
+      check_float "get = to_array" (Counters.to_array sample).(i) (Counters.get sample m))
+    Counters.all_metrics
+
+let test_counters_ratios () =
+  check_float "ipc" 2.0 (Counters.ipc sample);
+  check_float "cmr" (2.0 /. 30.0) (Counters.cmr sample);
+  check_float "bmr" 0.1 (Counters.bmr sample);
+  check_float "ipc of zero" 0.0 (Counters.ipc Counters.zero)
+
+let test_counters_mre () =
+  let doubled = Counters.scale 2.0 sample in
+  check_float "100% everywhere" 1.0
+    (Counters.mean_relative_error ~actual:doubled ~reference:sample);
+  check_float "identical" 0.0 (Counters.mean_relative_error ~actual:sample ~reference:sample);
+  (* zero-reference metrics are skipped, not infinite *)
+  let ref0 = { sample with Counters.msp = 0.0 } in
+  let e = Counters.mean_relative_error ~actual:sample ~reference:ref0 in
+  Alcotest.(check bool) "finite" true (Float.is_finite e)
+
+let test_counters_of_work () =
+  let w : Cpu.work =
+    {
+      ins = 100.0;
+      loads = 20.0;
+      stores = 10.0;
+      branches = 8.0;
+      mispredicts = 1.0;
+      l1_misses = 2.0;
+      div_ops = 0.0;
+      working_set_bytes = 1024.0;
+    }
+  in
+  let c = Counters.of_work cpu w in
+  check_float "ins" 100.0 c.Counters.ins;
+  check_float "lst = loads + stores" 30.0 c.Counters.lst;
+  check_float "cyc from model" (Cpu.cycles cpu w) c.Counters.cyc
+
+let test_kernel_to_work () =
+  let k = Kernel.streaming ~label:"k" ~flops:1e6 ~bytes:8e6 in
+  let w = Kernel.to_work k in
+  Alcotest.(check bool) "ins includes flops" true (w.Cpu.ins >= 1e6);
+  Alcotest.(check bool) "branches within block cone (>= 0.1 ins)" true
+    (w.Cpu.branches >= 0.1 *. w.Cpu.ins);
+  Alcotest.(check bool) "loads+stores = mem_refs" true
+    (abs_float (w.Cpu.loads +. w.Cpu.stores -. k.Kernel.mem_refs) < 1e-6)
+
+let test_kernel_scale () =
+  let k = Kernel.compute_bound ~label:"k" ~flops:1000.0 ~div_frac:0.1 in
+  let k2 = Kernel.scale 3.0 k in
+  check_float "flops scaled" 3000.0 k2.Kernel.flops;
+  check_float "working set unscaled" k.Kernel.working_set_bytes k2.Kernel.working_set_bytes
+
+let test_papi_accumulate_and_read () =
+  let papi = Papi.create ~cpu ~noise:0.0 ~rng:(Rng.create 1) in
+  let w = Kernel.to_work (Kernel.compute_bound ~label:"k" ~flops:1000.0 ~div_frac:0.0) in
+  Papi.accumulate papi w;
+  let d1 = Papi.read_delta papi in
+  Alcotest.(check bool) "delta nonzero" true (d1.Counters.cyc > 0.0);
+  let d2 = Papi.read_delta papi in
+  check_float "interval reset" 0.0 d2.Counters.cyc;
+  Papi.accumulate papi w;
+  let t = Papi.totals papi in
+  check_float "totals keep accumulating" (2.0 *. d1.Counters.ins) t.Counters.ins
+
+let test_papi_elapsed_matches_cycles () =
+  let papi = Papi.create ~cpu ~noise:0.0 ~rng:(Rng.create 1) in
+  let w = Kernel.to_work (Kernel.compute_bound ~label:"k" ~flops:5000.0 ~div_frac:0.05) in
+  Papi.accumulate papi w;
+  let expect = Cpu.seconds_of_cycles cpu (Counters.of_work cpu w).Counters.cyc in
+  Alcotest.(check (float 1e-12)) "elapsed" expect (Papi.elapsed_seconds papi)
+
+let test_papi_noise () =
+  let papi = Papi.create ~cpu ~noise:0.05 ~rng:(Rng.create 9) in
+  let w = Kernel.to_work (Kernel.compute_bound ~label:"k" ~flops:1e6 ~div_frac:0.0) in
+  let deltas =
+    Array.init 50 (fun _ ->
+        Papi.accumulate papi w;
+        (Papi.read_delta papi).Counters.ins)
+  in
+  let sd = Siesta_util.Stats.stddev deltas in
+  let mean = Siesta_util.Stats.mean deltas in
+  Alcotest.(check bool) "noisy readings vary" true (sd > 0.0);
+  Alcotest.(check bool) "noise is unbiased-ish" true (abs_float ((sd /. mean) -. 0.05) < 0.03);
+  (* totals stay noise-free and exact *)
+  let t = Papi.totals papi in
+  Alcotest.(check (float 1.0)) "totals exact" (50.0 *. w.Cpu.ins) t.Counters.ins
+
+let suite =
+  [
+    ("counters arithmetic", `Quick, test_counters_arithmetic);
+    ("counters array roundtrip", `Quick, test_counters_array_roundtrip);
+    ("counters metric order", `Quick, test_counters_get_matches_order);
+    ("counters derived ratios", `Quick, test_counters_ratios);
+    ("counters mean relative error", `Quick, test_counters_mre);
+    ("counters from work", `Quick, test_counters_of_work);
+    ("kernel lowering to work", `Quick, test_kernel_to_work);
+    ("kernel scaling", `Quick, test_kernel_scale);
+    ("papi accumulate/read-delta", `Quick, test_papi_accumulate_and_read);
+    ("papi elapsed matches cycle model", `Quick, test_papi_elapsed_matches_cycles);
+    ("papi noise on readings, exact totals", `Quick, test_papi_noise);
+  ]

@@ -1,0 +1,139 @@
+(* Deeper tests of the computation-proxy search: the relative-error
+   weighting, zero-metric protection, determinism, and qcheck properties
+   over randomized targets. *)
+
+module Proxy_search = Siesta_synth.Proxy_search
+module Block = Siesta_blocks.Block
+module Counters = Siesta_perf.Counters
+module K = Siesta_perf.Kernel
+module Spec = Siesta_platform.Spec
+module Rng = Siesta_util.Rng
+
+let platform = Spec.platform_a
+
+let target_of_kernel k = Counters.of_work platform.Spec.cpu (K.to_work k)
+
+let test_deterministic () =
+  let target = target_of_kernel (K.streaming ~label:"k" ~flops:3e6 ~bytes:2e7) in
+  let a = Proxy_search.search ~platform target in
+  let b = Proxy_search.search ~platform target in
+  Alcotest.(check bool) "same solution" true (a.Proxy_search.x = b.Proxy_search.x)
+
+let test_zero_msp_not_polluted () =
+  (* a target with no mispredictions at all: the weighting must keep the
+     solution's MSP negligible relative to its other metrics *)
+  let target =
+    Counters.of_array [| 1e7; 4e6; 2.5e6; 1e4; 1.5e6; 0.0 |]
+  in
+  let sol = Proxy_search.search ~platform target in
+  Alcotest.(check bool) "MSP stays tiny" true
+    (sol.Proxy_search.predicted.Counters.msp < 1e-3 *. sol.Proxy_search.predicted.Counters.ins)
+
+let test_scaling_linearity () =
+  (* a 10x larger target yields ~10x larger repetition counts *)
+  let t1 = target_of_kernel (K.compute_bound ~label:"k" ~flops:1e6 ~div_frac:0.02) in
+  let t10 = Counters.scale 10.0 t1 in
+  let s1 = Proxy_search.search ~platform t1 in
+  let s10 = Proxy_search.search ~platform t10 in
+  let sum x = Array.fold_left ( +. ) 0.0 x in
+  let ratio = sum s10.Proxy_search.x /. sum s1.Proxy_search.x in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f near 10" ratio) true
+    (ratio > 8.0 && ratio < 12.0)
+
+let test_error_matches_definition () =
+  let target = target_of_kernel (K.streaming ~label:"k" ~flops:2e6 ~bytes:1e7) in
+  let sol = Proxy_search.search ~platform target in
+  let recomputed =
+    Counters.mean_relative_error ~actual:sol.Proxy_search.predicted ~reference:target
+  in
+  Alcotest.(check (float 1e-12)) "error field" recomputed sol.Proxy_search.error
+
+let test_tiny_targets_stay_feasible () =
+  let rng = Rng.create 91 in
+  for _ = 1 to 100 do
+    let ins = float_of_int (10 + Rng.int rng 2000) in
+    let target =
+      Counters.of_array
+        [|
+          ins;
+          ins *. (0.3 +. Rng.float rng 1.0);
+          ins *. (0.1 +. Rng.float rng 0.3);
+          ins *. Rng.float rng 0.01;
+          ins *. (0.12 +. Rng.float rng 0.2);
+          ins *. Rng.float rng 0.01;
+        |]
+    in
+    let sol = Proxy_search.search ~platform target in
+    match Block.validate_combination sol.Proxy_search.x with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "infeasible on tiny target: %s" e
+  done
+
+let test_all_platforms_solvable () =
+  (* the target must be measured by the same platform's counters that
+     micro-benchmark the blocks — mixing instruments is meaningless *)
+  let kernel = K.streaming ~label:"k" ~flops:5e6 ~bytes:4e7 in
+  List.iter
+    (fun platform ->
+      let target = Counters.of_work platform.Spec.cpu (K.to_work kernel) in
+      let sol = Proxy_search.search ~platform target in
+      Alcotest.(check bool)
+        (Printf.sprintf "platform %s converges" platform.Spec.name)
+        true
+        (sol.Proxy_search.error < 0.05))
+    Spec.all
+
+(* qcheck: random block-cone targets are recovered within rounding *)
+let qcheck_feasible_recovery =
+  let gen =
+    QCheck.Gen.(
+      let* counts = array_repeat 11 (0 -- 20_000) in
+      return (Array.map float_of_int counts))
+  in
+  QCheck.Test.make ~count:100
+    ~name:"random feasible targets recovered (<1% error)"
+    (QCheck.make ~print:(fun a -> QCheck.Print.(array float) a) gen)
+    (fun x ->
+      let x = Array.copy x in
+      let s = ref 0.0 in
+      for j = 0 to 8 do
+        s := !s +. x.(j)
+      done;
+      x.(10) <- max x.(10) !s;
+      let target = Proxy_search.predict ~platform ~x in
+      target.Counters.ins = 0.0
+      ||
+      let sol = Proxy_search.search ~platform target in
+      sol.Proxy_search.error < 0.01)
+
+let qcheck_solution_always_valid =
+  let gen =
+    QCheck.Gen.(
+      let* flops = 1_000 -- 10_000_000 in
+      let* div_mil = 0 -- 100 in
+      let* stream = bool in
+      return
+        (if stream then
+           K.streaming ~label:"q" ~flops:(float_of_int flops)
+             ~bytes:(8.0 *. float_of_int flops)
+         else
+           K.compute_bound ~label:"q" ~flops:(float_of_int flops)
+             ~div_frac:(float_of_int div_mil /. 1000.0)))
+  in
+  QCheck.Test.make ~count:100 ~name:"solutions always satisfy the emitted-code constraints"
+    (QCheck.make ~print:(fun k -> k.K.label) gen)
+    (fun kernel ->
+      let sol = Proxy_search.search ~platform (target_of_kernel kernel) in
+      Result.is_ok (Block.validate_combination sol.Proxy_search.x))
+
+let suite =
+  [
+    ("search is deterministic", `Quick, test_deterministic);
+    ("zero-MSP targets stay clean", `Quick, test_zero_msp_not_polluted);
+    ("solutions scale linearly with the target", `Quick, test_scaling_linearity);
+    ("error field matches its definition", `Quick, test_error_matches_definition);
+    ("tiny targets stay feasible", `Quick, test_tiny_targets_stay_feasible);
+    ("all three platforms solvable", `Quick, test_all_platforms_solvable);
+    QCheck_alcotest.to_alcotest qcheck_feasible_recovery;
+    QCheck_alcotest.to_alcotest qcheck_solution_always_valid;
+  ]

@@ -1,0 +1,133 @@
+(* Tests for siesta_util: deterministic RNG, statistics, formatting. *)
+
+open Siesta_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of bounds: %f" v
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  (* child's stream should not simply replicate the parent's *)
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 parent = Rng.int64 child then incr equal
+  done;
+  Alcotest.(check bool) "split streams diverge" true (!equal < 4)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Rng.gaussian rng ~mu:3.0 ~sigma:2.0) in
+  let mean = Stats.mean samples in
+  let sd = Stats.stddev samples in
+  Alcotest.(check bool) "mean near 3" true (abs_float (mean -. 3.0) < 0.1);
+  Alcotest.(check bool) "sd near 2" true (abs_float (sd -. 2.0) < 0.1)
+
+let test_rng_bool_balance () =
+  let rng = Rng.create 17 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (abs (!trues - 5000) < 400)
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "empty" 0.0 (Stats.mean [||])
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  check_float "single" 0.0 (Stats.stddev [| 5.0 |]);
+  check_float "pair" 1.0 (Stats.stddev [| 1.0; 3.0 |])
+
+let test_stats_median () =
+  check_float "odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  check_float "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  check_float "empty" 0.0 (Stats.median [||]);
+  (* median must not mutate its input *)
+  let a = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.median a);
+  Alcotest.(check bool) "input untouched" true (a = [| 3.0; 1.0; 2.0 |])
+
+let test_relative_error () =
+  check_float "basic" 0.5 (Stats.relative_error ~actual:1.5 ~reference:1.0);
+  check_float "zero-zero" 0.0 (Stats.relative_error ~actual:0.0 ~reference:0.0);
+  Alcotest.(check bool) "zero ref" true
+    (Stats.relative_error ~actual:1.0 ~reference:0.0 = infinity)
+
+let test_mean_relative_error () =
+  check_float "pairwise" 0.5
+    (Stats.mean_relative_error ~actual:[| 1.0; 3.0 |] ~reference:[| 2.0; 2.0 |]);
+  check_float "asymmetric" 0.25
+    (Stats.mean_relative_error ~actual:[| 2.0; 2.0 |] ~reference:[| 2.0; 4.0 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.mean_relative_error: length mismatch") (fun () ->
+      ignore (Stats.mean_relative_error ~actual:[| 1.0 |] ~reference:[| 1.0; 2.0 |]))
+
+let test_bytes_fmt () =
+  Alcotest.(check string) "bytes" "512 B" (Bytes_fmt.to_string 512);
+  Alcotest.(check string) "kb" "4.0 KB" (Bytes_fmt.to_string 4096);
+  Alcotest.(check string) "mb" "2.0 MB" (Bytes_fmt.to_string (2 * 1024 * 1024));
+  Alcotest.(check string) "gb" "3.0 GB" (Bytes_fmt.to_string (3 * 1024 * 1024 * 1024))
+
+let test_pretty_table () =
+  let s = Pretty_table.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ] in
+  let lines = String.split_on_char '\n' s in
+  (* header, separator, two rows, trailing newline *)
+  Alcotest.(check int) "5 fields incl trailing" 5 (List.length lines);
+  Alcotest.(check bool) "separator present" true (String.contains (List.nth lines 1) '-');
+  (* short rows padded: row 2 renders without exception and aligns *)
+  Alcotest.(check bool) "padded row kept" true
+    (String.length (List.nth lines 3) > 0)
+
+let suite =
+  [
+    ("rng deterministic per seed", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng int stays in bounds", `Quick, test_rng_int_bounds);
+    ("rng int rejects non-positive bound", `Quick, test_rng_int_rejects_nonpositive);
+    ("rng float stays in bounds", `Quick, test_rng_float_bounds);
+    ("rng split gives independent stream", `Quick, test_rng_split_independent);
+    ("rng gaussian has requested moments", `Quick, test_rng_gaussian_moments);
+    ("rng bool is balanced", `Quick, test_rng_bool_balance);
+    ("stats mean", `Quick, test_stats_mean);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("stats median", `Quick, test_stats_median);
+    ("stats relative error", `Quick, test_relative_error);
+    ("stats mean relative error", `Quick, test_mean_relative_error);
+    ("byte-size formatting", `Quick, test_bytes_fmt);
+    ("pretty table rendering", `Quick, test_pretty_table);
+  ]

@@ -1,0 +1,174 @@
+(* Tests for siesta_workloads: grid helpers and every skeleton program. *)
+
+module W = Siesta_workloads
+module E = Siesta_mpi.Engine
+module Spec = Siesta_platform.Spec
+module Impl = Siesta_platform.Mpi_impl
+
+let platform = Spec.platform_a
+let impl = Impl.openmpi
+
+(* ------------------------------------------------------------------ *)
+(* Common helpers *)
+
+let test_square_side () =
+  Alcotest.(check int) "64" 8 (W.Common.square_side 64);
+  Alcotest.(check int) "529" 23 (W.Common.square_side 529);
+  Alcotest.(check bool) "not square raises" true
+    (match W.Common.square_side 60 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_log2_exact () =
+  Alcotest.(check int) "512" 9 (W.Common.log2_exact 512);
+  Alcotest.(check int) "1" 0 (W.Common.log2_exact 1);
+  Alcotest.(check bool) "not power raises" true
+    (match W.Common.log2_exact 96 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_grid3 () =
+  List.iter
+    (fun p ->
+      let x, y, z = W.Common.grid3 p in
+      Alcotest.(check int) (Printf.sprintf "volume %d" p) p (x * y * z);
+      Alcotest.(check bool) "balanced" true (x >= y && y >= z && x <= 4 * z))
+    [ 8; 64; 128; 256; 512 ]
+
+let test_grid2 () =
+  List.iter
+    (fun p ->
+      let x, y = W.Common.grid2 p in
+      Alcotest.(check int) (Printf.sprintf "area %d" p) p (x * y))
+    [ 4; 16; 64; 128; 512 ]
+
+let test_coords2_roundtrip () =
+  for rank = 0 to 63 do
+    let c = W.Common.coords2_of_rank ~nranks:64 ~rank in
+    Alcotest.(check int) "roundtrip" rank (W.Common.rank_of_coords2 c)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Registry and programs *)
+
+let test_registry_complete () =
+  Alcotest.(check int) "ten programs" 10 (List.length W.Registry.all);
+  Alcotest.(check (list string)) "paper set in Table 3 order"
+    [ "BT"; "CG"; "IS"; "MG"; "SP"; "Sweep3d"; "StirTurb"; "Sod"; "Sedov" ]
+    (List.map (fun (w : W.Registry.t) -> w.W.Registry.name) W.Registry.paper_workloads);
+  Alcotest.(check bool) "BT-IO flagged as extension" true
+    (W.Registry.find "BT-IO").W.Registry.extension
+
+let test_registry_lookup () =
+  Alcotest.(check string) "case-insensitive" "Sweep3d" (W.Registry.find "SWEEP3D").W.Registry.name;
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (W.Registry.find "LULESH"))
+
+let test_registry_paper_scales_valid () =
+  List.iter
+    (fun (w : W.Registry.t) ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s@%d valid" w.W.Registry.name p)
+            true (w.W.Registry.valid_procs p))
+        w.W.Registry.procs)
+    W.Registry.all
+
+let run_workload name nranks =
+  let w = W.Registry.find name in
+  E.run ~platform ~impl ~nranks (w.W.Registry.program ~nranks ~iters:(Some 2))
+
+let test_all_programs_complete () =
+  List.iter
+    (fun (w : W.Registry.t) ->
+      let nranks = List.hd w.W.Registry.procs / 4 in
+      (* 16 ranks except BT/SP which need squares *)
+      let nranks = if w.W.Registry.valid_procs nranks then nranks else 16 in
+      let res = run_workload w.W.Registry.name nranks in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s progresses" w.W.Registry.name)
+        true
+        (res.E.elapsed > 0.0 && res.E.total_calls > 0))
+    W.Registry.all
+
+let test_programs_deterministic () =
+  List.iter
+    (fun name ->
+      let a = run_workload name 16 in
+      let b = run_workload name 16 in
+      Alcotest.(check (float 0.0)) (name ^ " elapsed") a.E.elapsed b.E.elapsed;
+      Alcotest.(check int) (name ^ " calls") a.E.total_calls b.E.total_calls)
+    [ "BT"; "CG"; "MG"; "Sod" ]
+
+let test_calls_scale_with_ranks () =
+  List.iter
+    (fun name ->
+      let small = run_workload name 16 in
+      let large = run_workload name 64 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s calls grow" name)
+        true
+        (large.E.total_calls > small.E.total_calls))
+    [ "CG"; "MG"; "IS"; "Sweep3d"; "Sedov" ]
+
+let test_bt_requires_square () =
+  Alcotest.(check bool) "BT rejects 60 ranks" false ((W.Registry.find "BT").W.Registry.valid_procs 60);
+  Alcotest.(check bool) "CG rejects 60 ranks" false ((W.Registry.find "CG").W.Registry.valid_procs 60)
+
+let test_flash_problems_differ () =
+  let r p = run_workload p 16 in
+  let sod = r "Sod" and stir = r "StirTurb" and sedov = r "Sedov" in
+  (* the three problems are genuinely different programs *)
+  Alcotest.(check bool) "distinct times" true
+    (sod.E.elapsed <> sedov.E.elapsed && sod.E.elapsed <> stir.E.elapsed);
+  (* the forcing reductions give StirTurb strictly more MPI calls *)
+  Alcotest.(check bool) "stirturb extra reductions" true
+    (stir.E.total_calls > sod.E.total_calls)
+
+let test_flash_blocks_model () =
+  (* Sedov refinement grows over time *)
+  let early = W.Flash.blocks_of W.Flash.Sedov ~nranks:64 ~rank:32 ~step:1 in
+  let late = W.Flash.blocks_of W.Flash.Sedov ~nranks:64 ~rank:32 ~step:12 in
+  Alcotest.(check bool) "sedov grows" true (late > early);
+  (* Sod slab imbalance: left third heavier *)
+  let left = W.Flash.blocks_of W.Flash.Sod ~nranks:63 ~rank:2 ~step:3 in
+  let right = W.Flash.blocks_of W.Flash.Sod ~nranks:63 ~rank:60 ~step:3 in
+  Alcotest.(check bool) "sod imbalance" true (left > right)
+
+let test_iteration_override () =
+  let w = W.Registry.find "MG" in
+  let short = E.run ~platform ~impl ~nranks:16 (w.W.Registry.program ~nranks:16 ~iters:(Some 1)) in
+  let long = E.run ~platform ~impl ~nranks:16 (w.W.Registry.program ~nranks:16 ~iters:(Some 4)) in
+  Alcotest.(check bool) "more iterations, more calls" true
+    (long.E.total_calls > 2 * short.E.total_calls)
+
+let test_traced_runs_match_untraced_structure () =
+  (* tracing must not change the communication structure *)
+  List.iter
+    (fun name ->
+      let w = W.Registry.find name in
+      let bare = E.run ~platform ~impl ~nranks:16 (w.W.Registry.program ~nranks:16 ~iters:(Some 2)) in
+      let recorder = Siesta_trace.Recorder.create ~nranks:16 () in
+      let traced =
+        E.run ~platform ~impl ~nranks:16
+          ~hook:(Siesta_trace.Recorder.hook recorder)
+          (w.W.Registry.program ~nranks:16 ~iters:(Some 2))
+      in
+      Alcotest.(check int) (name ^ " same call count") bare.E.total_calls traced.E.total_calls)
+    [ "BT"; "IS"; "Sweep3d" ]
+
+let suite =
+  [
+    ("square_side", `Quick, test_square_side);
+    ("log2_exact", `Quick, test_log2_exact);
+    ("grid3 factorization", `Quick, test_grid3);
+    ("grid2 factorization", `Quick, test_grid2);
+    ("coords2 roundtrip", `Quick, test_coords2_roundtrip);
+    ("registry complete, paper order", `Quick, test_registry_complete);
+    ("registry lookup", `Quick, test_registry_lookup);
+    ("paper process counts valid", `Quick, test_registry_paper_scales_valid);
+    ("all programs run to completion", `Quick, test_all_programs_complete);
+    ("programs deterministic", `Quick, test_programs_deterministic);
+    ("calls scale with ranks", `Quick, test_calls_scale_with_ranks);
+    ("BT/CG process-count validation", `Quick, test_bt_requires_square);
+    ("FLASH problems differ", `Quick, test_flash_problems_differ);
+    ("FLASH block-count model", `Quick, test_flash_blocks_model);
+    ("iteration override", `Quick, test_iteration_override);
+    ("tracing preserves call structure", `Quick, test_traced_runs_match_untraced_structure);
+  ]
