@@ -6,7 +6,13 @@
    - Fig. 6   -> full proxy replay of CG@16 in the simulated runtime;
    - Fig. 7   -> ScalaBench-style stream transformation;
    - Fig. 8/9 -> the LCS main-rule merge of two rank variants;
-   - ablations-> the engine itself: one traced CG@16 execution. *)
+   - ablations-> the engine itself: one traced CG@16 execution;
+
+   plus hot-path micro-comparisons for the multicore merge work:
+
+   - sequitur packed single-int digram keys vs the boxed 4-tuple keys;
+   - generic DP LCS length vs the bit-parallel Myers length;
+   - Hirschberg linear-memory LCS backtracking on ~1500-element inputs. *)
 
 open Bechamel
 open Toolkit
@@ -27,6 +33,34 @@ let prepare () =
     (Siesta_merge.Terminal_table.sequences table).(0)
   in
   (s, traced, art, seq)
+
+let hot_path_tests seq =
+  (* synthetic int sequences with enough shared structure that the LCS is
+     non-trivial: two noisy interleavings of a common ~1500-element core *)
+  let rng = Siesta_util.Rng.create 2024 in
+  let core = Array.init 1500 (fun _ -> Siesta_util.Rng.int rng 40) in
+  let noisy () =
+    Array.concat
+      (List.concat_map
+         (fun i ->
+           if Siesta_util.Rng.int rng 10 = 0 then
+             [ [| 1000 + Siesta_util.Rng.int rng 50 |]; [| core.(i) |] ]
+           else [ [| core.(i) |] ])
+         (List.init (Array.length core) Fun.id))
+  in
+  let a = noisy () and b = noisy () in
+  [
+    Test.make ~name:"hot/sequitur-packed-keys" (Staged.stage (fun () ->
+        ignore (Sequitur.of_seq ~key_mode:Sequitur.Packed seq)));
+    Test.make ~name:"hot/sequitur-boxed-keys" (Staged.stage (fun () ->
+        ignore (Sequitur.of_seq ~key_mode:Sequitur.Boxed seq)));
+    Test.make ~name:"hot/lcs-length-generic-dp" (Staged.stage (fun () ->
+        ignore (Siesta_merge.Lcs.length ~eq:Int.equal a b)));
+    Test.make ~name:"hot/lcs-length-bitparallel" (Staged.stage (fun () ->
+        ignore (Siesta_merge.Lcs.length_int a b)));
+    Test.make ~name:"hot/lcs-pairs-hirschberg" (Staged.stage (fun () ->
+        ignore (Siesta_merge.Lcs.pairs_int a b)));
+  ]
 
 let tests () =
   let s, traced, art, seq = prepare () in
@@ -58,6 +92,7 @@ let tests () =
              ~hook:(Recorder.hook r)
              (s.Pipeline.workload.Siesta_workloads.Registry.program ~nranks:16 ~iters:None))));
   ]
+  @ hot_path_tests seq
 
 let run () =
   Exp_common.heading "Bechamel micro-benchmarks (core algorithms per experiment)";

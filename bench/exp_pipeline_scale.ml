@@ -1,0 +1,127 @@
+(* Pipeline scaling experiment for the multicore merge stage.
+
+   Measures end-to-end wall-clock of trace -> merge -> synthesize, with
+   the merge stage repeated at several domain-pool sizes, and checks that
+   every pool size produces a byte-identical [Merged.t] (the determinism
+   guarantee the parallel pipeline makes).  Results go to stdout as a
+   table and to [BENCH_pipeline.json] for downstream tooling.
+
+   Wall-clock matters here: [Sys.time] sums CPU time across domains and
+   would hide any speedup, so this driver uses [Unix.gettimeofday]. *)
+
+module Pipeline = Siesta.Pipeline
+module MPipe = Siesta_merge.Pipeline
+module Merged = Siesta_merge.Merged
+module Recorder = Siesta_trace.Recorder
+module Parallel = Siesta_util.Parallel
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type row = {
+  workload : string;
+  nranks : int;
+  events : int;
+  trace_s : float;
+  synthesize_s : float;
+  merge_s : (int * float) list;  (* domain count -> seconds *)
+  deterministic : bool;
+}
+
+let measure ~domain_counts (workload, nranks) =
+  let spec = Pipeline.spec ~workload ~nranks () in
+  let traced, trace_s = wall (fun () -> Pipeline.trace spec) in
+  let streams = Array.init nranks (Recorder.events traced.Pipeline.recorder) in
+  let events = Array.fold_left (fun a s -> a + Array.length s) 0 streams in
+  let merge d =
+    MPipe.merge_streams
+      ~config:{ MPipe.default_config with MPipe.domains = Some d }
+      ~nranks streams
+  in
+  let reference = merge 1 in
+  let merge_s =
+    List.map
+      (fun d ->
+        let _, s = wall (fun () -> ignore (merge d)) in
+        (d, s))
+      domain_counts
+  in
+  let deterministic =
+    List.for_all (fun d -> Merged.equal reference (merge d)) domain_counts
+  in
+  let _, synthesize_s = wall (fun () -> ignore (Pipeline.synthesize traced)) in
+  { workload; nranks; events; trace_s; synthesize_s; merge_s; deterministic }
+
+let json_of_rows ~host_domains rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_domains\": %d,\n  \"workloads\": [\n" host_domains);
+  List.iteri
+    (fun i r ->
+      let merge_fields =
+        String.concat ", "
+          (List.map
+             (fun (d, s) -> Printf.sprintf "\"d%d\": %.6f" d s)
+             r.merge_s)
+      in
+      let base = match r.merge_s with (_, s) :: _ -> s | [] -> 0.0 in
+      let speedups =
+        String.concat ", "
+          (List.map
+             (fun (d, s) ->
+               Printf.sprintf "\"d%d\": %.3f" d
+                 (if s > 0.0 then base /. s else 0.0))
+             r.merge_s)
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"workload\": %S, \"nranks\": %d, \"events\": %d, \
+            \"trace_s\": %.6f, \"synthesize_s\": %.6f, \"merge_s\": {%s}, \
+            \"merge_speedup\": {%s}, \"deterministic\": %b}%s\n"
+           r.workload r.nranks r.events r.trace_s r.synthesize_s merge_fields
+           speedups r.deterministic
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run () =
+  Exp_common.heading "Pipeline scaling: domain-parallel merge (BENCH_pipeline.json)";
+  let quick = !Exp_common.quick in
+  let workloads =
+    if quick then [ ("CG", 16) ] else [ ("CG", 64); ("MG", 64); ("Sweep3d", 64) ]
+  in
+  let domain_counts = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let host_domains = Parallel.num_domains () in
+  Printf.printf "host reports %d recommended domain(s)\n" host_domains;
+  let rows = List.map (measure ~domain_counts) workloads in
+  let header =
+    [ "workload"; "ranks"; "events"; "trace (s)"; "synth (s)" ]
+    @ List.map (fun d -> Printf.sprintf "merge d=%d (s)" d) domain_counts
+    @ [ "det" ]
+  in
+  let table_rows =
+    List.map
+      (fun r ->
+        [
+          r.workload;
+          string_of_int r.nranks;
+          string_of_int r.events;
+          Exp_common.secs r.trace_s;
+          Exp_common.secs r.synthesize_s;
+        ]
+        @ List.map (fun (_, s) -> Exp_common.secs s) r.merge_s
+        @ [ (if r.deterministic then "yes" else "NO") ])
+      rows
+  in
+  Exp_common.table ~header ~rows:table_rows;
+  if List.exists (fun r -> not r.deterministic) rows then
+    failwith "pipeline-scale: parallel merge diverged from sequential merge";
+  let json = json_of_rows ~host_domains rows in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json\n"

@@ -20,11 +20,12 @@ let experiments =
     ("io", Exp_io.run);
     ("extrapolate", Exp_extrapolate.run);
     ("scaling", Exp_scaling.run);
+    ("pipeline-scale", Exp_pipeline_scale.run);
     ("bechamel", Exp_bechamel.run);
   ]
 
 let default_order =
-  [ "table2"; "table3"; "fig4"; "fig6"; "fig7"; "fig8"; "fig9"; "ablate"; "io"; "extrapolate"; "scaling"; "bechamel" ]
+  [ "table2"; "table3"; "fig4"; "fig6"; "fig7"; "fig8"; "fig9"; "ablate"; "io"; "extrapolate"; "scaling"; "pipeline-scale"; "bechamel" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

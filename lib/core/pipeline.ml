@@ -70,8 +70,8 @@ type artifact = {
   factor : float;
 }
 
-let synthesize ?(factor = 1.0) ?(rle = true) traced =
-  let config = { Merge_pipeline.default_config with rle } in
+let synthesize ?(factor = 1.0) ?(rle = true) ?domains traced =
+  let config = { Merge_pipeline.default_config with rle; domains } in
   let merged = Merge_pipeline.merge_recorder ~config traced.recorder in
   let proxy =
     Proxy_ir.synthesize ~platform:traced.run_spec.platform ~impl:traced.run_spec.impl ~factor

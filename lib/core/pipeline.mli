@@ -56,10 +56,12 @@ type artifact = {
   factor : float;
 }
 
-val synthesize : ?factor:float -> ?rle:bool -> traced -> artifact
+val synthesize : ?factor:float -> ?rle:bool -> ?domains:int -> traced -> artifact
 (** Compress, merge and search computation proxies.  [factor] (default 1)
     produces a shrunk proxy; [rle] (default true) controls the Sequitur
-    run-length constraint (ablation). *)
+    run-length constraint (ablation); [domains] sizes the merge stage's
+    domain pool (default: auto via
+    {!Siesta_util.Parallel.num_domains}). *)
 
 val run_proxy :
   artifact ->

@@ -8,7 +8,23 @@
    includes both symbols' repetition counts, so only exactly-equal digrams
    unify.  Rule utility under run-length encoding reads: a rule is useful
    if it has >= 2 referencing occurrences, or one occurrence with
-   repetition count >= 2. *)
+   repetition count >= 2.
+
+   Digram keys.  A digram is identified by (enc a, reps a, enc b, reps b).
+   The historical representation was that boxed 4-tuple in a generic
+   Hashtbl — one allocation plus a polymorphic hash walk per digram
+   operation, on the hottest path of the whole pipeline.  The default
+   [Packed] mode instead interns each (enc, reps) pair into a dense
+   symbol id (the pair packs into one immediate int: enc < 2^31 shifted
+   over reps < 2^31), and keys the digram index by
+   [sid a lsl 31 lor sid b] — a single unboxed int in an int-specialized
+   open-addressing table ({!Siesta_util.Int_table}).  Interned ids are
+   dense counters, so they always fit 31 bits.  [Boxed] mode keeps the
+   original tuple-keyed index; both modes index exactly the same digrams
+   under the same find/replace/remove sequence, so they produce identical
+   grammars (the test suite checks this equivalence property). *)
+
+module Int_table = Siesta_util.Int_table
 
 type kind = Guard of rule | Sym of sym
 and sym = Term of int | Nonterm of rule
@@ -22,8 +38,16 @@ and node = {
 
 and rule = { rid : int; guard : node; mutable refcount : int }
 
+type key_mode = Packed | Boxed
+
+type digram_index =
+  | Packed_index of node Int_table.t
+  | Boxed_index of (int * int * int * int, node) Hashtbl.t
+
 type t = {
-  digrams : (int * int * int * int, node) Hashtbl.t;
+  digrams : digram_index;
+  pair_ids : int Int_table.t;  (* packed (enc, reps) -> dense symbol id *)
+  mutable next_sid : int;
   live_rules : (int, rule) Hashtbl.t;
   mutable next_rid : int;
   s : rule;
@@ -44,7 +68,29 @@ let same_sym a b =
   | Sym (Nonterm r1), Sym (Nonterm r2) -> r1 == r2
   | _ -> false
 
-let key_of n = (enc n, n.reps, enc n.next, n.next.reps)
+(* ------------------------------------------------------------------ *)
+(* Digram keys *)
+
+let max_packable = 1 lsl 31
+
+(* Dense id of the (enc, reps) pair, interning on first sight.  Ids are
+   sequential, so they stay below 2^31 long before memory runs out. *)
+let sid t e reps =
+  if e >= max_packable || reps >= max_packable then
+    invalid_arg "Sequitur: symbol id or repetition count exceeds packable range";
+  let pair = (e lsl 31) lor reps in
+  match Int_table.find_opt t.pair_ids pair with
+  | Some id -> id
+  | None ->
+      let id = t.next_sid in
+      t.next_sid <- id + 1;
+      Int_table.replace t.pair_ids pair id;
+      id
+
+let packed_key t n = (sid t (enc n) n.reps lsl 31) lor sid t (enc n.next) n.next.reps
+let boxed_key n = (enc n, n.reps, enc n.next, n.next.reps)
+
+(* ------------------------------------------------------------------ *)
 
 let make_rule rid =
   let rec guard = { kind = Sym (Term 0); reps = 1; prev = guard; next = guard }
@@ -58,12 +104,18 @@ let new_rule t =
   Hashtbl.replace t.live_rules r.rid r;
   r
 
-let create ?(rle = true) () =
+let create ?(rle = true) ?(key_mode = Packed) () =
+  let s = make_rule (-1) in
   {
-    digrams = Hashtbl.create 1024;
+    digrams =
+      (match key_mode with
+      | Packed -> Packed_index (Int_table.create ~initial_capacity:1024 ~dummy:s.guard ())
+      | Boxed -> Boxed_index (Hashtbl.create 1024));
+    pair_ids = Int_table.create ~initial_capacity:1024 ~dummy:0 ();
+    next_sid = 0;
     live_rules = Hashtbl.create 64;
     next_rid = 0;
-    s = make_rule (-1);
+    s;
     rle;
   }
 
@@ -75,10 +127,34 @@ let new_node kind reps =
 
 let delete_digram t n =
   if not (is_guard n || is_guard n.next) then begin
-    match Hashtbl.find_opt t.digrams (key_of n) with
-    | Some m when m == n -> Hashtbl.remove t.digrams (key_of n)
-    | Some _ | None -> ()
+    match t.digrams with
+    | Packed_index tbl -> (
+        let key = packed_key t n in
+        match Int_table.find_opt tbl key with
+        | Some m when m == n -> Int_table.remove tbl key
+        | Some _ | None -> ())
+    | Boxed_index tbl -> (
+        let key = boxed_key n in
+        match Hashtbl.find_opt tbl key with
+        | Some m when m == n -> Hashtbl.remove tbl key
+        | Some _ | None -> ())
   end
+
+(* Index the digram starting at [n] (unconditional replace). *)
+let index_digram t n =
+  match t.digrams with
+  | Packed_index tbl -> Int_table.replace tbl (packed_key t n) n
+  | Boxed_index tbl -> Hashtbl.replace tbl (boxed_key n) n
+
+let find_digram t n =
+  match t.digrams with
+  | Packed_index tbl -> Int_table.find_opt tbl (packed_key t n)
+  | Boxed_index tbl -> Hashtbl.find_opt tbl (boxed_key n)
+
+let digram_count t =
+  match t.digrams with
+  | Packed_index tbl -> Int_table.length tbl
+  | Boxed_index tbl -> Hashtbl.length tbl
 
 (* Insert the fresh, unlinked node [x] right after [y]. *)
 let insert_after t y x =
@@ -121,10 +197,9 @@ let rec check t n =
     true
   end
   else begin
-    let key = key_of n in
-    match Hashtbl.find_opt t.digrams key with
+    match find_digram t n with
     | None ->
-        Hashtbl.replace t.digrams key n;
+        index_digram t n;
         false
     | Some m when m == n || m.next == n || n.next == m -> false
     | Some m ->
@@ -170,7 +245,7 @@ and process_match t n m =
       append_raw r c2;
       substitute t m r;
       substitute t n r;
-      Hashtbl.replace t.digrams (key_of c1) c1;
+      index_digram t c1;
       r
     end
   in
@@ -236,8 +311,8 @@ let to_grammar t =
     rules = Array.of_list (List.map (fun rid -> body_of (Hashtbl.find t.live_rules rid)) rids);
   }
 
-let of_seq ?rle a =
-  let t = create ?rle () in
+let of_seq ?rle ?key_mode a =
+  let t = create ?rle ?key_mode () in
   append_seq t a;
   to_grammar t
 
@@ -246,7 +321,8 @@ let of_seq ?rle a =
 
 let check_invariants t =
   let rules = t.s :: Hashtbl.fold (fun _ r acc -> r :: acc) t.live_rules [] in
-  (* digram uniqueness, allowing physically-overlapping duplicates *)
+  (* digram uniqueness, allowing physically-overlapping duplicates; keyed
+     here by the boxed tuple regardless of the index's key mode *)
   let seen = Hashtbl.create 256 in
   let violation = ref None in
   let note fmt = Printf.ksprintf (fun s -> if !violation = None then violation := Some s) fmt in
@@ -261,7 +337,7 @@ let check_invariants t =
          at all. *)
       let rec pairs = function
         | a :: (b :: _ as rest) ->
-            let key = key_of a in
+            let key = boxed_key a in
             (match Hashtbl.find_opt seen key with
             | Some (other : node) when other != a && other.next != a && a.next != other ->
                 if t.rle || not (same_sym a b) then note "duplicate digram in rule %d" r.rid
@@ -309,4 +385,4 @@ let check_invariants t =
   | None ->
       Ok
         (Printf.sprintf "%d rules, %d digrams indexed" (Hashtbl.length t.live_rules)
-           (Hashtbl.length t.digrams))
+           (digram_count t))

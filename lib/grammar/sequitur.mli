@@ -17,9 +17,22 @@
 
 type t
 
-val create : ?rle:bool -> unit -> t
+type key_mode =
+  | Packed
+      (** Digram keys are (enc, reps) pairs interned to dense ids and
+          packed two-per-int into an int-specialized open-addressing
+          table — no allocation and no polymorphic hashing on the hot
+          path.  The default. *)
+  | Boxed
+      (** The historical boxed 4-tuple keys in a generic [Hashtbl].
+          Kept as the reference implementation: both modes produce
+          identical grammars (a property the test suite checks), and the
+          bechamel micro-benchmarks compare their cost. *)
+
+val create : ?rle:bool -> ?key_mode:key_mode -> unit -> t
 (** [rle:false] disables constraint 3 (plain Sequitur), used by the
-    ablation benchmark. *)
+    ablation benchmark.  [key_mode] selects the digram-index key
+    representation (default {!Packed}). *)
 
 val append : t -> int -> unit
 (** Feed the next terminal of the stream. *)
@@ -30,7 +43,7 @@ val to_grammar : t -> Grammar.t
 (** Export the current grammar with rules compacted to a dense [0..n-1]
     numbering.  The builder remains usable afterwards. *)
 
-val of_seq : ?rle:bool -> int array -> Grammar.t
+val of_seq : ?rle:bool -> ?key_mode:key_mode -> int array -> Grammar.t
 (** One-shot convenience: feed the whole sequence and export. *)
 
 val check_invariants : t -> (string, string) result

@@ -1,23 +1,43 @@
 (** Longest common subsequence and insert/delete edit distance, used by the
     main-rule merge (Section 2.6.2).
 
-    Main rules after Sequitur compression are short (tens to a few hundred
-    entries), so a quadratic DP is ample.  A safety valve degrades
-    gracefully on pathological inputs: above the cell budget, {!pairs}
-    returns no matches (the merge then simply concatenates, which is
-    correct, just less compact). *)
+    Two families of entry points:
+
+    - the generic [~eq] functions work on any element type with a
+      quadratic rolling-row DP — kept as the reference implementation and
+      for callers with structured elements;
+    - the [_int] functions are the hot path: the merge pipeline interns
+      main-rule positions into immediate [int]s, so {!length_int} runs
+      the bit-parallel LLCS (Crochemore et al. / Hyyro, ~62 DP cells per
+      word operation) and {!pairs_int} runs monomorphic loops with [=] on
+      unboxed ints.
+
+    Backtracking uses Hirschberg's divide-and-conquer, so {!pairs} needs
+    only O(min(n, m)) memory and has {e no} input-size cliff (the old
+    implementation returned no matches above a 16M-cell budget, degrading
+    large merges to concatenation). *)
 
 val length : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> int
 (** Length of an LCS. *)
 
+val length_int : int array -> int array -> int
+(** {!length} specialized to ints, bit-parallel. *)
+
 val pairs : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> (int * int) list
 (** Matched index pairs [(i, j)] of one LCS, strictly increasing in both
-    components. *)
+    components; the list length equals {!length}.  O(min(n, m)) memory. *)
+
+val pairs_int : int array -> int array -> (int * int) list
+(** {!pairs} specialized to ints. *)
 
 val indel_distance : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> int
 (** Minimum insertions+deletions turning one array into the other:
     [n + m - 2 * lcs]. *)
 
+val indel_distance_int : int array -> int array -> int
+
 val normalized_distance : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> float
 (** {!indel_distance} / (n + m); 0 for identical, 1 for disjoint.  Two
     empty arrays have distance 0. *)
+
+val normalized_distance_int : int array -> int array -> float

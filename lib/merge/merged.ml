@@ -51,6 +51,18 @@ let serialized_bytes t =
   in
   terminal_bytes + rule_bytes + main_bytes
 
+let mentry_equal a b =
+  a.sym = b.sym && a.reps = b.reps && Rank_list.equal a.ranks b.ranks
+
+let equal a b =
+  a.nranks = b.nranks
+  && a.terminals = b.terminals
+  && a.rules = b.rules
+  && Array.length a.mains = Array.length b.mains
+  && Array.for_all2 (List.equal mentry_equal) a.mains b.mains
+  && Array.length a.main_ranks = Array.length b.main_ranks
+  && Array.for_all2 Rank_list.equal a.main_ranks b.main_ranks
+
 let stats t =
   Printf.sprintf "%d terminals, %d rules, %d main cluster(s), %d main entries, %s"
     (Array.length t.terminals) (Array.length t.rules) (Array.length t.mains)

@@ -25,6 +25,10 @@ type t = {
   main_ranks : Rank_list.t array;  (** ranks covered by each main; disjoint *)
 }
 
+val equal : t -> t -> bool
+(** Structural equality (rank lists compared as sets).  Used by the
+    parallel/sequential determinism checks. *)
+
 val cluster_of_rank : t -> int -> int
 (** Index into [mains] for a rank.  @raise Not_found if uncovered. *)
 

@@ -1,10 +1,33 @@
 module Grammar = Siesta_grammar.Grammar
 module Sequitur = Siesta_grammar.Sequitur
 module Recorder = Siesta_trace.Recorder
+module Parallel = Siesta_util.Parallel
 
-type config = { rle : bool; cluster_threshold : float }
+type config = { rle : bool; cluster_threshold : float; domains : int option }
 
-let default_config = { rle = true; cluster_threshold = 0.35 }
+let default_config = { rle = true; cluster_threshold = 0.35; domains = None }
+
+(* ------------------------------------------------------------------ *)
+(* Interned entry keys.
+
+   Every hot structure below used to key hash tables by strings built
+   with [Printf]/[String.concat] ("T3^2 N1^4 ..."), and to run the LCS on
+   boxed records compared with polymorphic [=].  Both are replaced by a
+   packed-int encoding of a body entry: the symbol's integer encoding
+   (2v for terminals, 2i+1 for rule references — ids are global after the
+   non-terminal merge) shifted over the repetition count.  The packing is
+   injective, so int equality on packed ids is exactly entry equality,
+   rule bodies become [int array]s keyed directly in hash tables, and the
+   LCS runs on immediates. *)
+
+let max_packable = 1 lsl 31
+
+let pack_entry enc reps =
+  if enc >= max_packable || reps >= max_packable then
+    invalid_arg "Merge_pipeline: symbol id or repetition count exceeds packable range";
+  (enc lsl 31) lor reps
+
+let enc_sym = function Grammar.T v -> 2 * v | Grammar.N i -> (2 * i) + 1
 
 (* ------------------------------------------------------------------ *)
 (* Non-terminal merging (Section 2.6.2, first half)                     *)
@@ -16,16 +39,10 @@ type nt_merge = {
 }
 
 let body_key body =
-  String.concat " "
-    (List.map
-       (fun { Grammar.sym; reps } ->
-         match sym with
-         | Grammar.T v -> Printf.sprintf "T%d^%d" v reps
-         | Grammar.N i -> Printf.sprintf "N%d^%d" i reps)
-       body)
+  Array.of_list (List.map (fun { Grammar.sym; reps } -> pack_entry (enc_sym sym) reps) body)
 
 let merge_nonterminals (grammars : Grammar.t array) =
-  let table : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let table : (int array, int) Hashtbl.t = Hashtbl.create 256 in
   let bodies_rev = ref [] in
   let count = ref 0 in
   let depths = Array.map Grammar.depth grammars in
@@ -70,7 +87,8 @@ let merge_nonterminals (grammars : Grammar.t array) =
 (* A main-rule position before rank attribution. *)
 type pos = { p_sym : Grammar.symbol; p_reps : int }
 
-let pos_eq a b = a.p_sym = b.p_sym && a.p_reps = b.p_reps
+let id_of_pos p = pack_entry (enc_sym p.p_sym) p.p_reps
+let id_of_mentry (e : Merged.mentry) = pack_entry (enc_sym e.Merged.sym) e.Merged.reps
 
 let positions_of_main rule_map main =
   Array.of_list
@@ -84,16 +102,15 @@ let positions_of_main rule_map main =
          { p_sym = sym; p_reps = reps })
        main)
 
-let mentry_pos (e : Merged.mentry) = { p_sym = e.Merged.sym; p_reps = e.Merged.reps }
-
 (* Merge a variant (with its rank set) into an already-merged entry list:
    LCS positions get the union of rank lists; the rest interleaves in
-   original order (a's gap before b's gap between anchors). *)
-let lcs_merge (merged : Merged.mentry list) (variant : pos array) (vranks : Rank_list.t) :
-    Merged.mentry list =
+   original order (a's gap before b's gap between anchors).  The LCS runs
+   on the interned entry ids of both sides. *)
+let lcs_merge (merged : Merged.mentry list) (variant : pos array) (vids : int array)
+    (vranks : Rank_list.t) : Merged.mentry list =
   let a = Array.of_list merged in
-  let a_pos = Array.map mentry_pos a in
-  let matches = Lcs.pairs ~eq:pos_eq a_pos variant in
+  let a_ids = Array.map id_of_mentry a in
+  let matches = Lcs.pairs_int a_ids vids in
   let out = ref [] in
   let emit_a i = out := a.(i) :: !out in
   let emit_b j =
@@ -128,72 +145,100 @@ let lcs_merge (merged : Merged.mentry list) (variant : pos array) (vranks : Rank
   List.rev !out
 
 type cluster = {
-  mutable representative : pos array;  (* first variant seen *)
+  rep_ids : int array;  (* interned ids of the first variant seen *)
   mutable entries : Merged.mentry list;
   mutable ranks : Rank_list.t;
 }
 
-let merge_mains ~threshold (mains : pos array array) =
+let merge_mains ~threshold (mains : pos array array) (main_ids : int array array) =
   (* Group exactly-equal mains first: in SPMD programs the overwhelming
      majority of ranks share one main verbatim, so the LCS only ever runs
-     on the handful of distinct variants. *)
-  let exact : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
-  let key_of_positions ps =
-    String.concat " "
-      (Array.to_list
-         (Array.map
-            (fun p ->
-              match p.p_sym with
-              | Grammar.T v -> Printf.sprintf "T%d^%d" v p.p_reps
-              | Grammar.N i -> Printf.sprintf "N%d^%d" i p.p_reps)
-            ps))
-  in
+     on the handful of distinct variants.  Keys are the per-rank interned
+     id arrays (computed in parallel by the caller). *)
+  let exact : (int array, int list ref) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
-    (fun rank ps ->
-      let key = key_of_positions ps in
-      match Hashtbl.find_opt exact key with
+    (fun rank ids ->
+      match Hashtbl.find_opt exact ids with
       | Some l -> l := rank :: !l
-      | None -> Hashtbl.add exact key (ref [ rank ]))
-    mains;
+      | None -> Hashtbl.add exact ids (ref [ rank ]))
+    main_ids;
   (* distinct variants, each with its rank set, in first-rank order *)
   let variants =
     Hashtbl.fold (fun _ ranks acc -> !ranks :: acc) exact []
     |> List.map (fun ranks ->
            let ranks = List.sort compare ranks in
-           (mains.(List.hd ranks), Rank_list.of_list ranks))
-    |> List.sort (fun (_, r1) (_, r2) -> compare (Rank_list.to_list r1) (Rank_list.to_list r2))
+           let first = List.hd ranks in
+           (mains.(first), main_ids.(first), Rank_list.of_list ranks))
+    |> List.sort (fun (_, _, r1) (_, _, r2) ->
+           compare (Rank_list.to_list r1) (Rank_list.to_list r2))
   in
-  let clusters : cluster list ref = ref [] in
+  (* Clusters live in a growable array: order is creation order (the
+     variant scan below searches oldest-first, as the original list-based
+     code did) and appending is O(1) amortized — the previous
+     [!clusters @ [c]] rebuild made cluster growth O(k^2). *)
+  let clusters = ref [||] in
+  let ncl = ref 0 in
+  let push c =
+    let cap = Array.length !clusters in
+    if !ncl = cap then begin
+      let bigger = Array.make (max 4 (2 * cap)) c in
+      Array.blit !clusters 0 bigger 0 cap;
+      clusters := bigger
+    end;
+    !clusters.(!ncl) <- c;
+    incr ncl
+  in
+  let find_close ids =
+    let rec go i =
+      if i >= !ncl then None
+      else
+        let c = !clusters.(i) in
+        if Lcs.normalized_distance_int c.rep_ids ids <= threshold then Some c else go (i + 1)
+    in
+    go 0
+  in
   List.iter
-    (fun (ps, ranks) ->
-      let close c = Lcs.normalized_distance ~eq:pos_eq c.representative ps <= threshold in
-      match List.find_opt close !clusters with
+    (fun (ps, ids, ranks) ->
+      match find_close ids with
       | Some c ->
-          c.entries <- lcs_merge c.entries ps ranks;
+          c.entries <- lcs_merge c.entries ps ids ranks;
           c.ranks <- Rank_list.union c.ranks ranks
       | None ->
           let entries =
             Array.to_list
               (Array.map (fun p -> { Merged.sym = p.p_sym; reps = p.p_reps; ranks }) ps)
           in
-          clusters := !clusters @ [ { representative = ps; entries; ranks } ])
+          push { rep_ids = ids; entries; ranks })
     variants;
-  ( Array.of_list (List.map (fun c -> c.entries) !clusters),
-    Array.of_list (List.map (fun c -> c.ranks) !clusters) )
+  ( Array.init !ncl (fun i -> !clusters.(i).entries),
+    Array.init !ncl (fun i -> !clusters.(i).ranks) )
 
 (* ------------------------------------------------------------------ *)
 
 let merge_streams ?(config = default_config) ~nranks streams =
   if Array.length streams <> nranks then invalid_arg "Pipeline.merge_streams: stream count";
   let table = Terminal_table.build streams in
-  let grammars =
-    Array.map (fun seq -> Sequitur.of_seq ~rle:config.rle seq) (Terminal_table.sequences table)
-  in
+  let seqs = Terminal_table.sequences table in
+  (* The per-rank stages — grammar construction, main-rule positioning and
+     exact-main keying — are independent across ranks and fan out over one
+     domain pool.  Results are slotted by rank index, so the output is
+     byte-identical to the sequential path (domains = 1 / small inputs
+     skip the pool entirely). *)
+  let domains = max 1 (match config.domains with Some d -> d | None -> Parallel.num_domains ()) in
+  let pool = if domains > 1 && nranks > 1 then Some (Parallel.create ~domains ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
+  let pmap f arr = match pool with Some p -> Parallel.map ~pool:p f arr | None -> Array.mapi f arr in
+  let grammars = pmap (fun _ seq -> Sequitur.of_seq ~rle:config.rle seq) seqs in
   let { global_rules; rule_maps } = merge_nonterminals grammars in
-  let mains =
-    Array.mapi (fun r g -> positions_of_main rule_maps.(r) g.Grammar.main) grammars
+  let positioned =
+    pmap
+      (fun r g ->
+        let ps = positions_of_main rule_maps.(r) g.Grammar.main in
+        (ps, Array.map id_of_pos ps))
+      grammars
   in
-  let mains, main_ranks = merge_mains ~threshold:config.cluster_threshold mains in
+  let mains = Array.map fst positioned and main_ids = Array.map snd positioned in
+  let mains, main_ranks = merge_mains ~threshold:config.cluster_threshold mains main_ids in
   {
     Merged.nranks;
     terminals = Terminal_table.terminals table;

@@ -9,13 +9,25 @@
       deeper rules can refer to already-merged ids;
     + group main rules into clusters by normalized edit distance (merging
       dissimilar mains would inflate branch statements — Section 2.6.2),
-      then LCS-merge each cluster's mains, attaching rank lists. *)
+      then LCS-merge each cluster's mains, attaching rank lists.
+
+    The per-rank stages (Sequitur construction, main-rule positioning,
+    exact-main keying) are embarrassingly parallel and fan out over a
+    {!Siesta_util.Parallel} domain pool; because every parallel result is
+    slotted by rank index and all cross-rank state is built sequentially,
+    the merged output is identical for every domain count (the test suite
+    checks parallel/sequential equality). *)
 
 type config = {
   rle : bool;  (** run-length constraint in Sequitur (default true) *)
   cluster_threshold : float;
       (** max normalized edit distance for two main rules to share a
           cluster (default 0.35) *)
+  domains : int option;
+      (** domain-pool size for the per-rank stages; [None] (default)
+          resolves via {!Siesta_util.Parallel.num_domains} (the
+          [SIESTA_NUM_DOMAINS] environment variable, else the recommended
+          domain count).  [Some 1] forces the sequential path. *)
 }
 
 val default_config : config

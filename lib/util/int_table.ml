@@ -1,0 +1,125 @@
+(* Open-addressing int-keyed hash table: flat key/value arrays, linear
+   probing, tombstone deletion.  The slot state lives in a [Bytes.t] so a
+   probe touches at most three cache lines (state, key, value). *)
+
+let slot_empty = '\000'
+let slot_full = '\001'
+let slot_tomb = '\002'
+
+type 'a t = {
+  mutable keys : int array;
+  mutable vals : 'a array;
+  mutable state : Bytes.t;
+  mutable count : int;  (* live bindings *)
+  mutable occupied : int;  (* live + tombstones *)
+  dummy : 'a;
+}
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+
+let create ?(initial_capacity = 16) ~dummy () =
+  let cap = pow2_at_least (max 8 initial_capacity) 8 in
+  {
+    keys = Array.make cap 0;
+    vals = Array.make cap dummy;
+    state = Bytes.make cap slot_empty;
+    count = 0;
+    occupied = 0;
+    dummy;
+  }
+
+let length t = t.count
+
+(* Multiplicative mix (splitmix64's second multiplier, truncated to
+   OCaml's 63-bit int) — one multiply, one shift, one xor. *)
+let hash k =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 32)) land max_int
+
+(* Insert a binding known to be absent into a table with no tombstones
+   (used when rehashing). *)
+let raw_insert t k v =
+  let mask = Array.length t.keys - 1 in
+  let i = ref (hash k land mask) in
+  while Bytes.unsafe_get t.state !i <> slot_empty do
+    i := (!i + 1) land mask
+  done;
+  Bytes.unsafe_set t.state !i slot_full;
+  t.keys.(!i) <- k;
+  t.vals.(!i) <- v
+
+let resize t =
+  let cap = pow2_at_least (max 8 (4 * (t.count + 1))) 8 in
+  let old_keys = t.keys and old_vals = t.vals and old_state = t.state in
+  t.keys <- Array.make cap 0;
+  t.vals <- Array.make cap t.dummy;
+  t.state <- Bytes.make cap slot_empty;
+  t.occupied <- t.count;
+  for i = 0 to Array.length old_keys - 1 do
+    if Bytes.unsafe_get old_state i = slot_full then raw_insert t old_keys.(i) old_vals.(i)
+  done
+
+(* Find the slot holding [k], or -1. *)
+let find_slot t k =
+  let mask = Array.length t.keys - 1 in
+  let rec go i =
+    match Bytes.unsafe_get t.state i with
+    | c when c = slot_empty -> -1
+    | c when c = slot_full && Array.unsafe_get t.keys i = k -> i
+    | _ -> go ((i + 1) land mask)
+  in
+  go (hash k land mask)
+
+let find_opt t k =
+  let s = find_slot t k in
+  if s < 0 then None else Some t.vals.(s)
+
+let mem t k = find_slot t k >= 0
+
+let replace t k v =
+  let mask = Array.length t.keys - 1 in
+  (* Walk the probe chain: overwrite the key if present; otherwise insert
+     at the first tombstone seen, or at the terminating empty slot. *)
+  let rec go i tomb =
+    match Bytes.unsafe_get t.state i with
+    | c when c = slot_empty ->
+        if tomb >= 0 then begin
+          (* reuse the tombstone: occupancy unchanged *)
+          Bytes.unsafe_set t.state tomb slot_full;
+          t.keys.(tomb) <- k;
+          t.vals.(tomb) <- v;
+          t.count <- t.count + 1
+        end
+        else begin
+          Bytes.unsafe_set t.state i slot_full;
+          t.keys.(i) <- k;
+          t.vals.(i) <- v;
+          t.count <- t.count + 1;
+          t.occupied <- t.occupied + 1;
+          if 2 * t.occupied >= Array.length t.keys then resize t
+        end
+    | c when c = slot_full && Array.unsafe_get t.keys i = k -> t.vals.(i) <- v
+    | c ->
+        let tomb = if tomb < 0 && c = slot_tomb then i else tomb in
+        go ((i + 1) land mask) tomb
+  in
+  go (hash k land mask) (-1)
+
+let remove t k =
+  let s = find_slot t k in
+  if s >= 0 then begin
+    Bytes.unsafe_set t.state s slot_tomb;
+    t.vals.(s) <- t.dummy;
+    t.count <- t.count - 1
+  end
+
+let iter f t =
+  for i = 0 to Array.length t.keys - 1 do
+    if Bytes.unsafe_get t.state i = slot_full then f t.keys.(i) t.vals.(i)
+  done
+
+let clear t =
+  Bytes.fill t.state 0 (Bytes.length t.state) slot_empty;
+  Array.fill t.vals 0 (Array.length t.vals) t.dummy;
+  t.count <- 0;
+  t.occupied <- 0

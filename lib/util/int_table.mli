@@ -1,0 +1,39 @@
+(** Open-addressing hash table specialized to unboxed [int] keys.
+
+    The generic [Hashtbl] pays for polymorphic hashing and (for tuple keys)
+    a key allocation per operation.  The Sequitur digram index and the
+    merge pipeline's interning tables only ever key on immediates, so this
+    table stores keys in a flat [int array] with linear probing — no
+    allocation on lookup, insert or delete, and a single multiplicative
+    mix as the hash.
+
+    Deletions are supported via tombstones (the digram index deletes
+    constantly); the table rehashes away tombstones when it grows.
+
+    Not thread-safe; every domain builds its own tables. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty table.  [dummy] fills empty value
+    slots (it is never returned by lookups); any value of the right type
+    works. *)
+
+val length : 'a t -> int
+(** Number of live bindings. *)
+
+val find_opt : 'a t -> int -> 'a option
+
+val mem : 'a t -> int -> bool
+
+val replace : 'a t -> int -> 'a -> unit
+(** Insert or overwrite the binding for a key. *)
+
+val remove : 'a t -> int -> unit
+(** Remove the binding if present; no-op otherwise. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Iterate over live bindings in unspecified order. *)
+
+val clear : 'a t -> unit
+(** Drop all bindings, keeping the current capacity. *)

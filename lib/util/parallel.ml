@@ -1,0 +1,154 @@
+(* Domain pool: Domain.spawn workers around a chunked work queue guarded
+   by a Mutex/Condition pair.  No dependencies beyond the stdlib.
+
+   Lifecycle: [create] spawns the workers, which block on [work] until a
+   job is posted or [stop] is raised; [run] posts a job, participates in
+   chunk execution, then blocks on [finished] until the last chunk
+   completes; [shutdown] raises [stop] and joins.  One job at a time —
+   the pipeline's stages are sequential phases, each internally
+   parallel. *)
+
+type job = {
+  body : int -> unit;
+  chunks : int;
+  mutable next : int;  (* next unclaimed chunk *)
+  mutable live : int;  (* chunks not yet completed *)
+  mutable failed : exn option;
+}
+
+type pool = {
+  lock : Mutex.t;
+  work : Condition.t;  (* workers: a job was posted / shutdown *)
+  finished : Condition.t;  (* submitter: the job completed *)
+  mutable job : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  total : int;  (* workers + the participating caller *)
+}
+
+let num_domains () =
+  let recommended () = max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "SIESTA_NUM_DOMAINS" with
+  | None -> recommended ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> recommended ())
+
+(* Claim-and-execute loop.  Called (and returns) with [pool.lock] held. *)
+let claim_chunks pool j =
+  while j.next < j.chunks do
+    let i = j.next in
+    j.next <- i + 1;
+    Mutex.unlock pool.lock;
+    let error = (try j.body i; None with e -> Some e) in
+    Mutex.lock pool.lock;
+    (match error with
+    | None -> ()
+    | Some e ->
+        if j.failed = None then j.failed <- Some e;
+        (* abandon unclaimed chunks so the job can terminate *)
+        let unclaimed = j.chunks - j.next in
+        j.next <- j.chunks;
+        j.live <- j.live - unclaimed);
+    j.live <- j.live - 1;
+    if j.live = 0 then begin
+      pool.job <- None;
+      Condition.broadcast pool.finished
+    end
+  done
+
+let worker pool () =
+  Mutex.lock pool.lock;
+  let rec loop () =
+    if pool.stop then Mutex.unlock pool.lock
+    else
+      match pool.job with
+      | Some j when j.next < j.chunks ->
+          claim_chunks pool j;
+          loop ()
+      | Some _ | None ->
+          Condition.wait pool.work pool.lock;
+          loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let total = max 1 (match domains with Some d -> d | None -> num_domains ()) in
+  let pool =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      stop = false;
+      workers = [];
+      total;
+    }
+  in
+  pool.workers <- List.init (total - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let size pool = pool.total
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let run pool ~chunks body =
+  if chunks > 0 then
+    if pool.workers = [] then
+      (* 1-domain pool: no queue traffic at all *)
+      for i = 0 to chunks - 1 do
+        body i
+      done
+    else begin
+      let j = { body; chunks; next = 0; live = chunks; failed = None } in
+      Mutex.lock pool.lock;
+      if pool.job <> None then begin
+        Mutex.unlock pool.lock;
+        invalid_arg "Parallel.run: pool already has a job in flight"
+      end;
+      pool.job <- Some j;
+      Condition.broadcast pool.work;
+      (* the caller participates *)
+      claim_chunks pool j;
+      while j.live > 0 do
+        Condition.wait pool.finished pool.lock
+      done;
+      Mutex.unlock pool.lock;
+      match j.failed with Some e -> raise e | None -> ()
+    end
+
+let map_with_pool pool ?(min_chunk = 1) f a =
+  let n = Array.length a in
+  let out = Array.make n None in
+  (* ~8 chunks per domain: coarse enough to amortize queue traffic, fine
+     enough to balance uneven per-rank costs *)
+  let target = 8 * size pool in
+  let chunk = max (max 1 min_chunk) ((n + target - 1) / target) in
+  let chunks = (n + chunk - 1) / chunk in
+  run pool ~chunks (fun c ->
+      let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+      for i = lo to hi - 1 do
+        out.(i) <- Some (f i a.(i))
+      done);
+  Array.map (function Some v -> v | None -> assert false) out
+
+let map ?pool ?domains ?min_chunk f a =
+  let n = Array.length a in
+  match pool with
+  | Some p when size p > 1 && n > 1 -> map_with_pool p ?min_chunk f a
+  | Some _ -> Array.mapi f a
+  | None ->
+      let d = max 1 (match domains with Some d -> d | None -> num_domains ()) in
+      if d <= 1 || n <= 1 then Array.mapi f a
+      else with_pool ~domains:(min d n) (fun p -> map_with_pool p ?min_chunk f a)

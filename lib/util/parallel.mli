@@ -1,0 +1,56 @@
+(** Dependency-free domain pool for embarrassingly parallel per-rank work.
+
+    The merge pipeline's per-rank stages (Sequitur construction, main-rule
+    positioning, exact-main keying) are independent across ranks, so they
+    fan out over OCaml 5 domains.  This module provides the pool: a fixed
+    set of worker domains pulling chunks from a shared queue guarded by a
+    [Mutex]/[Condition] pair.  The submitting domain participates in the
+    work, so a pool of size [d] applies [d] domains in total ([d - 1]
+    spawned workers plus the caller).
+
+    {b Determinism.}  [map] writes each result into its input's slot, so
+    the output is identical to the sequential [Array.mapi] no matter how
+    chunks are scheduled — provided the mapped function itself is pure
+    (all pipeline stages are).
+
+    {b Sizing.}  The default pool size comes from the [SIESTA_NUM_DOMAINS]
+    environment variable when set to a positive integer, otherwise from
+    {!Domain.recommended_domain_count}.  Small inputs and 1-domain pools
+    fall back to the plain sequential loop with no domain traffic at
+    all. *)
+
+type pool
+
+val num_domains : unit -> int
+(** Effective default parallelism: [SIESTA_NUM_DOMAINS] if set to a
+    positive integer, else {!Domain.recommended_domain_count} (>= 1). *)
+
+val create : ?domains:int -> unit -> pool
+(** Spawn a pool of [domains] (default {!num_domains}) total domains;
+    [domains - 1] workers are spawned, the caller is the last.  A pool of
+    size [<= 1] spawns nothing and runs everything inline. *)
+
+val size : pool -> int
+(** Total domains the pool applies, caller included (>= 1). *)
+
+val shutdown : pool -> unit
+(** Terminate and join the workers.  Idempotent.  The pool must be idle
+    (no [run]/[map] in flight). *)
+
+val with_pool : ?domains:int -> (pool -> 'a) -> 'a
+(** [create], apply, [shutdown] — also on exception. *)
+
+val run : pool -> chunks:int -> (int -> unit) -> unit
+(** [run pool ~chunks body] executes [body 0 .. body (chunks - 1)],
+    distributing chunk indices over the pool's domains.  Re-raises the
+    first exception any chunk raised (after all claimed chunks finish).
+    Pools are not re-entrant: calling [run] from inside a running body
+    raises [Invalid_argument]. *)
+
+val map : ?pool:pool -> ?domains:int -> ?min_chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.mapi].  With [?pool], uses that pool; otherwise a
+    transient pool of [?domains] (default {!num_domains}) is created and
+    shut down around the call.  Elements are grouped into chunks of at
+    least [min_chunk] (default 1) consecutive indices.  Falls back to
+    sequential [Array.mapi] when the pool has one domain or the input has
+    fewer than two elements.  Output ordering is deterministic. *)

@@ -200,6 +200,23 @@ let prop_no_expansion_blowup =
     (fun input ->
       Array.length input = 0 || G.entry_count (Q.of_seq input) <= Array.length input + 2)
 
+(* The packed single-int digram key is an optimization only: both key
+   modes must drive the construction through identical digram matches and
+   so emit the *exact* same grammar. *)
+let grammar_identical rle input =
+  Q.of_seq ~rle ~key_mode:Q.Packed input = Q.of_seq ~rle ~key_mode:Q.Boxed input
+
+let prop_packed_key_equivalence rle =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "packed = boxed digram keys (rle=%b)" rle)
+    ~count:300 arbitrary_seq (grammar_identical rle)
+
+let prop_packed_key_equivalence_nest rle =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "packed = boxed digram keys, loop nests (rle=%b)" rle)
+    ~count:150 arbitrary_nest
+    (fun input -> Array.length input > 20_000 || grammar_identical rle input)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -210,6 +227,10 @@ let qcheck_tests =
       prop_invariants;
       prop_valid_grammar;
       prop_no_expansion_blowup;
+      prop_packed_key_equivalence true;
+      prop_packed_key_equivalence false;
+      prop_packed_key_equivalence_nest true;
+      prop_packed_key_equivalence_nest false;
     ]
 
 let suite =

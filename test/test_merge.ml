@@ -87,6 +87,70 @@ let test_indel_distance () =
     (Lcs.normalized_distance ~eq:ieq [| 1 |] [| 2 |]);
   Alcotest.(check (float 1e-9)) "both empty" 0.0 (Lcs.normalized_distance ~eq:ieq [||] [||])
 
+let test_lcs_int_known () =
+  Alcotest.(check int) "abcbdab/bdcaba" 4
+    (Lcs.length_int [| 1; 2; 3; 2; 4; 1; 2 |] [| 2; 4; 3; 1; 2; 1 |]);
+  Alcotest.(check int) "disjoint" 0 (Lcs.length_int [| 1; 2 |] [| 3; 4 |]);
+  Alcotest.(check int) "identical" 3 (Lcs.length_int [| 1; 2; 3 |] [| 1; 2; 3 |]);
+  Alcotest.(check int) "empty" 0 (Lcs.length_int [||] [| 1 |]);
+  (* crosses the 62-bit word boundary of the bit-parallel kernel *)
+  let a = Array.init 200 (fun i -> i mod 9) in
+  let b = Array.init 170 (fun i -> (i * 5) mod 9) in
+  Alcotest.(check int) "multiword = generic" (Lcs.length ~eq:ieq a b) (Lcs.length_int a b)
+
+let test_lcs_pairs_regression_above_old_budget () =
+  (* The old [pairs] materialized the full DP table and silently returned
+     [] when n * m exceeded a 16M-cell budget, so [lcs_merge] degraded to
+     pure concatenation with no anchors.  Hirschberg backtracking has no
+     such cliff: two near-identical 4100-element mains (16.8M cells) must
+     still anchor on their common subsequence. *)
+  let n = 4_100 in
+  let a = Array.init n (fun i -> i mod 13) in
+  let b = Array.init n (fun i -> if i mod 500 = 250 then 977 else i mod 13) in
+  let expect = Lcs.length_int a b in
+  Alcotest.(check bool) "old budget exceeded" true (n * n > 16_000_000);
+  Alcotest.(check bool) "most elements anchor" true (expect > n - 20);
+  let ps = Lcs.pairs_int a b in
+  Alcotest.(check int) "pairs found above old budget (int)" expect (List.length ps);
+  List.iter (fun (i, j) -> if a.(i) <> b.(j) then Alcotest.fail "invalid pair") ps;
+  let ps_generic = Lcs.pairs ~eq:ieq a b in
+  Alcotest.(check int) "pairs found above old budget (generic)" expect (List.length ps_generic)
+
+(* qcheck: the int-specialized LCS entry points agree with the generic
+   reference implementation *)
+let int_pair_gen =
+  QCheck.Gen.(
+    let* n = 0 -- 60 in
+    let* m = 0 -- 60 in
+    let* alpha = 1 -- 6 in
+    let arr k = array_repeat k (0 -- (alpha - 1)) in
+    pair (arr n) (arr m))
+
+let arb_int_pair =
+  QCheck.make ~print:QCheck.Print.(pair (array int) (array int)) int_pair_gen
+
+let prop_length_int_matches_generic =
+  QCheck.Test.make ~name:"Lcs.length_int = Lcs.length" ~count:500 arb_int_pair (fun (a, b) ->
+      Lcs.length_int a b = Lcs.length ~eq:ieq a b)
+
+let prop_pairs_int_is_an_lcs =
+  QCheck.Test.make ~name:"Lcs.pairs_int is a maximal common subsequence" ~count:500 arb_int_pair
+    (fun (a, b) ->
+      let ps = Lcs.pairs_int a b in
+      let rec increasing prev = function
+        | [] -> true
+        | (i, j) :: rest ->
+            (match prev with Some (pi, pj) -> i > pi && j > pj | None -> true)
+            && a.(i) = b.(j)
+            && increasing (Some (i, j)) rest
+      in
+      increasing None ps && List.length ps = Lcs.length ~eq:ieq a b)
+
+let prop_normalized_int_matches_generic =
+  QCheck.Test.make ~name:"normalized_distance_int = normalized_distance" ~count:500 arb_int_pair
+    (fun (a, b) ->
+      Float.abs (Lcs.normalized_distance_int a b -. Lcs.normalized_distance ~eq:ieq a b) < 1e-12)
+
 let test_indel_triangle_bound () =
   let rng = Rng.create 29 in
   for _ = 1 to 100 do
@@ -227,6 +291,31 @@ let test_cluster_of_rank () =
   Alcotest.check_raises "unknown rank" Not_found (fun () ->
       ignore (Merged.cluster_of_rank merged 9))
 
+let test_many_variant_clusters () =
+  (* Regression for the O(k^2) cluster accumulation (`!clusters @ [c]`):
+     every rank gets its own dissimilar main, so with threshold 0 each
+     becomes its own cluster.  Checks cluster count, creation order
+     (first-rank order, as the list-based code produced) and
+     losslessness. *)
+  let nranks = 160 in
+  let streams =
+    Array.init nranks (fun r ->
+        Array.init 6 (fun k -> Event.Compute ((r * 6) + k)))
+  in
+  let config = { MPipe.default_config with MPipe.cluster_threshold = 0.0 } in
+  let merged = MPipe.merge_streams ~config ~nranks streams in
+  Merged.validate merged;
+  Alcotest.(check int) "one cluster per variant" nranks (Array.length merged.Merged.mains);
+  Array.iteri
+    (fun i rl ->
+      Alcotest.(check (list int)) (Printf.sprintf "cluster %d order" i) [ i ]
+        (Rank_list.to_list rl))
+    merged.Merged.main_ranks;
+  let seqs = Terminal_table.sequences (Terminal_table.build streams) in
+  for r = 0 to nranks - 1 do
+    if Merged.expand_for_rank merged r <> seqs.(r) then Alcotest.failf "rank %d lost" r
+  done
+
 (* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
@@ -299,6 +388,19 @@ let prop_merge_lossless =
       Array.for_all Fun.id
         (Array.init nranks (fun r -> Merged.expand_for_rank merged r = seqs.(r))))
 
+let prop_merge_parallel_equals_sequential =
+  (* The tentpole determinism guarantee: merge_streams produces the same
+     Merged.t for every domain-pool size. *)
+  QCheck.Test.make ~name:"parallel merge = sequential merge (domains 1/2/4)" ~count:60 arb_bundle
+    (fun (nranks, streams) ->
+      let merge d =
+        MPipe.merge_streams
+          ~config:{ MPipe.default_config with MPipe.domains = Some d }
+          ~nranks streams
+      in
+      let reference = merge 1 in
+      List.for_all (fun d -> Merged.equal reference (merge d)) [ 2; 4 ])
+
 let prop_merge_size_bounded =
   QCheck.Test.make ~name:"merged size never exceeds raw streams" ~count:150 arb_bundle
     (fun (nranks, streams) ->
@@ -318,7 +420,11 @@ let qcheck_tests =
       prop_union_associative;
       prop_union_membership;
       prop_merge_lossless;
+      prop_merge_parallel_equals_sequential;
       prop_merge_size_bounded;
+      prop_length_int_matches_generic;
+      prop_pairs_int_is_an_lcs;
+      prop_normalized_int_matches_generic;
     ]
 
 let suite =
@@ -329,7 +435,9 @@ let suite =
     ("rank list shapes", `Quick, test_rank_list_shapes);
     ("rank list union randomized", `Quick, test_rank_list_union_preserves_sortedness);
     ("lcs known cases", `Quick, test_lcs_known);
+    ("lcs int-specialized known cases", `Quick, test_lcs_int_known);
     ("lcs pairs are a valid common subsequence", `Quick, test_lcs_pairs_are_a_common_subsequence);
+    ("lcs pairs above the old cell budget", `Quick, test_lcs_pairs_regression_above_old_budget);
     ("indel distance", `Quick, test_indel_distance);
     ("indel distance triangle bound", `Quick, test_indel_triangle_bound);
     ("terminal table dedups across ranks", `Quick, test_terminal_table_dedup);
@@ -341,4 +449,5 @@ let suite =
     ("merged validate catches bad coverage", `Quick, test_merged_validate_catches_overlap);
     ("merged size accounting", `Quick, test_merged_size_accounting);
     ("cluster_of_rank", `Quick, test_cluster_of_rank);
+    ("many dissimilar variants cluster in order", `Quick, test_many_variant_clusters);
   ]

@@ -1,0 +1,168 @@
+(* Tests for the siesta_util domain pool (Parallel) and the int-keyed
+   open-addressing table (Int_table) backing the Sequitur digram index. *)
+
+module Parallel = Siesta_util.Parallel
+module Int_table = Siesta_util.Int_table
+module Rng = Siesta_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Int_table *)
+
+let test_int_table_basics () =
+  let t = Int_table.create ~dummy:"" () in
+  Alcotest.(check int) "empty" 0 (Int_table.length t);
+  Int_table.replace t 42 "a";
+  Int_table.replace t (-7) "b";
+  Int_table.replace t 0 "c";
+  Alcotest.(check int) "three" 3 (Int_table.length t);
+  Alcotest.(check (option string)) "find 42" (Some "a") (Int_table.find_opt t 42);
+  Alcotest.(check (option string)) "find -7" (Some "b") (Int_table.find_opt t (-7));
+  Alcotest.(check (option string)) "miss" None (Int_table.find_opt t 1);
+  Int_table.replace t 42 "a2";
+  Alcotest.(check int) "overwrite keeps count" 3 (Int_table.length t);
+  Alcotest.(check (option string)) "overwritten" (Some "a2") (Int_table.find_opt t 42);
+  Int_table.remove t 42;
+  Alcotest.(check (option string)) "removed" None (Int_table.find_opt t 42);
+  Alcotest.(check int) "two" 2 (Int_table.length t);
+  Int_table.remove t 42 (* no-op *);
+  Alcotest.(check int) "still two" 2 (Int_table.length t)
+
+let test_int_table_vs_hashtbl () =
+  (* randomized differential test against the stdlib Hashtbl *)
+  let rng = Rng.create 11 in
+  let t = Int_table.create ~dummy:0 () in
+  let h : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  for step = 1 to 20_000 do
+    let k = Rng.int rng 500 - 250 in
+    match Rng.int rng 3 with
+    | 0 | 1 ->
+        Int_table.replace t k step;
+        Hashtbl.replace h k step
+    | _ ->
+        Int_table.remove t k;
+        Hashtbl.remove h k
+  done;
+  Alcotest.(check int) "same cardinality" (Hashtbl.length h) (Int_table.length t);
+  Hashtbl.iter
+    (fun k v ->
+      match Int_table.find_opt t k with
+      | Some v' when v' = v -> ()
+      | Some _ -> Alcotest.failf "key %d has wrong value" k
+      | None -> Alcotest.failf "key %d missing" k)
+    h;
+  let seen = ref 0 in
+  Int_table.iter (fun k v ->
+      incr seen;
+      if Hashtbl.find_opt h k <> Some v then Alcotest.failf "stray key %d" k)
+    t;
+  Alcotest.(check int) "iter covers all" (Hashtbl.length h) !seen;
+  Int_table.clear t;
+  Alcotest.(check int) "cleared" 0 (Int_table.length t);
+  Alcotest.(check (option int)) "cleared lookup" None (Int_table.find_opt t 1)
+
+let test_int_table_tombstone_reuse () =
+  (* churn a small key space to force tombstone reuse in probe chains *)
+  let t = Int_table.create ~initial_capacity:8 ~dummy:(-1) () in
+  for round = 1 to 200 do
+    for k = 0 to 15 do
+      Int_table.replace t k (round * 100 + k)
+    done;
+    for k = 0 to 15 do
+      if k mod 2 = 0 then Int_table.remove t k
+    done
+  done;
+  Alcotest.(check int) "odd keys live" 8 (Int_table.length t);
+  for k = 0 to 15 do
+    let expect = if k mod 2 = 0 then None else Some (200 * 100 + k) in
+    Alcotest.(check (option int)) (Printf.sprintf "key %d" k) expect (Int_table.find_opt t k)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Parallel *)
+
+let test_num_domains_positive () =
+  Alcotest.(check bool) ">= 1" true (Parallel.num_domains () >= 1)
+
+let test_map_matches_sequential () =
+  let a = Array.init 1000 (fun i -> i * 3) in
+  let f i x = (i * 7) + x in
+  let expect = Array.mapi f a in
+  List.iter
+    (fun d ->
+      let got = Parallel.map ~domains:d f a in
+      Alcotest.(check bool) (Printf.sprintf "domains=%d" d) true (got = expect))
+    [ 1; 2; 3; 4 ]
+
+let test_map_edge_inputs () =
+  Alcotest.(check bool) "empty" true (Parallel.map ~domains:4 (fun _ x -> x) [||] = [||]);
+  Alcotest.(check bool) "singleton" true
+    (Parallel.map ~domains:4 (fun i x -> i + x) [| 5 |] = [| 5 |])
+
+let test_pool_reuse () =
+  Parallel.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "size" 3 (Parallel.size pool);
+      let a = Array.init 257 (fun i -> i) in
+      let r1 = Parallel.map ~pool (fun _ x -> x * 2) a in
+      let r2 = Parallel.map ~pool (fun _ x -> x + 1) a in
+      Alcotest.(check bool) "first job" true (r1 = Array.map (fun x -> x * 2) a);
+      Alcotest.(check bool) "second job" true (r2 = Array.map (fun x -> x + 1) a))
+
+let test_run_distributes_all_chunks () =
+  Parallel.with_pool ~domains:4 (fun pool ->
+      let hits = Array.make 100 0 in
+      Parallel.run pool ~chunks:100 (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "each chunk exactly once" true (Array.for_all (( = ) 1) hits))
+
+exception Boom
+
+let test_exception_propagates () =
+  List.iter
+    (fun d ->
+      let raised =
+        try
+          ignore
+            (Parallel.map ~domains:d (fun i x -> if i = 37 then raise Boom else x)
+               (Array.init 100 Fun.id));
+          false
+        with Boom -> true
+      in
+      Alcotest.(check bool) (Printf.sprintf "Boom at domains=%d" d) true raised)
+    [ 1; 4 ];
+  (* the pool survives a failed job *)
+  Parallel.with_pool ~domains:4 (fun pool ->
+      (try ignore (Parallel.map ~pool (fun _ _ -> raise Boom) (Array.init 10 Fun.id))
+       with Boom -> ());
+      let ok = Parallel.map ~pool (fun i _ -> i) (Array.init 10 Fun.id) in
+      Alcotest.(check bool) "pool usable after failure" true (ok = Array.init 10 Fun.id))
+
+let test_shutdown_idempotent () =
+  let pool = Parallel.create ~domains:2 () in
+  ignore (Parallel.map ~pool (fun i x -> i + x) (Array.init 64 Fun.id));
+  Parallel.shutdown pool;
+  Parallel.shutdown pool
+
+(* qcheck: parallel map == sequential map for arbitrary arrays/domains *)
+let prop_map_deterministic =
+  QCheck.Test.make ~name:"Parallel.map = Array.mapi (qcheck)" ~count:100
+    (QCheck.pair (QCheck.list QCheck.small_int) (QCheck.int_range 1 4))
+    (fun (l, d) ->
+      let a = Array.of_list l in
+      let f i x = (i * 31) lxor x in
+      Parallel.map ~domains:d f a = Array.mapi f a)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_map_deterministic ]
+
+let suite =
+  [
+    ("int table basics", `Quick, test_int_table_basics);
+    ("int table differential vs Hashtbl", `Quick, test_int_table_vs_hashtbl);
+    ("int table tombstone churn", `Quick, test_int_table_tombstone_reuse);
+    ("num_domains positive", `Quick, test_num_domains_positive);
+    ("map matches sequential at 1..4 domains", `Quick, test_map_matches_sequential);
+    ("map edge inputs", `Quick, test_map_edge_inputs);
+    ("pool runs several jobs", `Quick, test_pool_reuse);
+    ("run covers every chunk once", `Quick, test_run_distributes_all_chunks);
+    ("exceptions propagate, pool survives", `Quick, test_exception_propagates);
+    ("shutdown idempotent", `Quick, test_shutdown_idempotent);
+  ]
+  @ qcheck_tests
