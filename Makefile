@@ -1,0 +1,31 @@
+# Convenience targets; everything real lives in dune.
+
+SMOKE_TRACE := /tmp/siesta_smoke_trace.json
+SMOKE_PROXY := /tmp/siesta_smoke_proxy.c
+
+.PHONY: all build test check smoke bench-quick clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# build + full test suite + a CLI smoke run that exercises the
+# --trace-out path end-to-end and validates the emitted Chrome trace.
+check: build test smoke
+
+smoke: build
+	dune exec bin/siesta_cli.exe -- synth CG -n 8 \
+		--trace-out $(SMOKE_TRACE) -o $(SMOKE_PROXY)
+	dune exec bin/siesta_cli.exe -- check-trace $(SMOKE_TRACE) \
+		--min-stage-spans 5
+	@rm -f $(SMOKE_TRACE) $(SMOKE_PROXY)
+
+bench-quick:
+	dune exec bench/main.exe -- --quick all
+
+clean:
+	dune clean

@@ -13,6 +13,12 @@ let quick = ref false
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 let secs x = Printf.sprintf "%.4f" x
 
+let wall = Siesta_obs.Clock.wall
+(** Wall-clock timing on the telemetry layer's monotonic clock — the same
+    source the spans use, so bench numbers and --trace-out output are
+    directly comparable.  [Sys.time] would sum CPU time across domains
+    and hide parallel speedups. *)
+
 let heading title =
   let bar = String.make (String.length title) '=' in
   Printf.printf "\n%s\n%s\n" title bar

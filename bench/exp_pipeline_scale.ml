@@ -7,7 +7,9 @@
    table and to [BENCH_pipeline.json] for downstream tooling.
 
    Wall-clock matters here: [Sys.time] sums CPU time across domains and
-   would hide any speedup, so this driver uses [Unix.gettimeofday]. *)
+   would hide any speedup, so this driver times on
+   [Siesta_obs.Clock] (monotonic wall clock, shared with the span
+   layer). *)
 
 module Pipeline = Siesta.Pipeline
 module MPipe = Siesta_merge.Pipeline
@@ -15,10 +17,7 @@ module Merged = Siesta_merge.Merged
 module Recorder = Siesta_trace.Recorder
 module Parallel = Siesta_util.Parallel
 
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let wall = Exp_common.wall
 
 type row = {
   workload : string;

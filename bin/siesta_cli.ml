@@ -8,7 +8,13 @@
      replay      <workload>       synthesize, replay, and score the proxy
      analyze     <workload>       communication matrix, topology, mpiP stats
      report      <workload>       markdown quality report of a full run
-     extrapolate <workload>       proxy for an untraced process count *)
+     extrapolate <workload>       proxy for an untraced process count
+     check-trace <file>           validate a --trace-out Chrome trace
+
+   Every subcommand takes the global observability flags:
+     --trace-out FILE.json        Chrome trace_event spans (chrome://tracing)
+     --metrics-out FILE[.json]    metrics-registry snapshot
+     -v / -vv                     info / debug structured logging to stderr *)
 
 open Cmdliner
 module Pipeline = Siesta.Pipeline
@@ -18,6 +24,65 @@ module Recorder = Siesta_trace.Recorder
 module Registry = Siesta_workloads.Registry
 module Spec = Siesta_platform.Spec
 module Mpi_impl = Siesta_platform.Mpi_impl
+module Obs_span = Siesta_obs.Span
+module Obs_metrics = Siesta_obs.Metrics
+module Obs_log = Siesta_obs.Log
+module Obs_json = Siesta_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Observability flags (shared by every subcommand)                     *)
+
+type obs = { trace_out : string option; metrics_out : string option; verbosity : int }
+
+let obs_term =
+  let trace_out_arg =
+    let doc =
+      "Write a Chrome trace_event JSON of pipeline/merge/pool spans to $(docv) \
+       (load it in chrome://tracing or https://ui.perfetto.dev)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_out_arg =
+    let doc =
+      "Write a snapshot of the metrics registry (MPI call counters, histograms, QP \
+       iterations) to $(docv); JSON when it ends in .json, aligned text otherwise."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Structured logging to stderr: once for info, twice for debug (overrides SIESTA_LOG)." in
+    Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+  in
+  let make trace_out metrics_out verbose =
+    { trace_out; metrics_out; verbosity = List.length verbose }
+  in
+  Term.(const make $ trace_out_arg $ metrics_out_arg $ verbose_arg)
+
+(* Arm the sinks before the command body runs; drain them afterwards —
+   also on exit/exception paths, so a failing run still leaves its
+   telemetry behind. *)
+let with_obs o f =
+  (match o.verbosity with
+  | 0 -> ()
+  | 1 -> Obs_log.set_level Obs_log.Info
+  | _ -> Obs_log.set_level Obs_log.Debug);
+  if o.trace_out <> None then Obs_span.set_enabled true;
+  if o.metrics_out <> None then Obs_metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun path ->
+          Obs_span.write ~path;
+          Printf.eprintf "trace: %d events -> %s (chrome://tracing / ui.perfetto.dev)\n"
+            (Obs_span.event_count ()) path)
+        o.trace_out;
+      Option.iter
+        (fun path ->
+          Obs_metrics.write ~path;
+          Printf.eprintf "metrics: wrote %s\n" path)
+        o.metrics_out;
+      Obs_log.flush ())
+    f
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                     *)
@@ -79,7 +144,8 @@ let spec_of workload nranks iters platform impl seed =
 (* Subcommands                                                          *)
 
 let list_cmd =
-  let run () =
+  let run obs =
+    with_obs obs @@ fun () ->
     Printf.printf "Workloads:\n";
     List.iter
       (fun (w : Registry.t) ->
@@ -98,17 +164,20 @@ let list_cmd =
       (String.concat ", " (List.map (fun i -> i.Mpi_impl.name) Mpi_impl.all))
   in
   Cmd.v (Cmd.info "list" ~doc:"List workloads, platforms and MPI implementations")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 let run_cmd =
-  let run workload nranks iters platform impl seed =
+  let run obs workload nranks iters platform impl seed =
+    with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
     let res = Pipeline.run_original s ~platform ~impl in
     Printf.printf "%s on %d ranks (platform %s, %s): %.4f s, %d MPI calls\n" workload nranks
       platform.Spec.name impl.Mpi_impl.name res.Engine.elapsed res.Engine.total_calls
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a workload on the simulated MPI runtime")
-    Term.(const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg)
+    Term.(
+      const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
+      $ seed_arg)
 
 let trace_cmd =
   let dump_arg =
@@ -119,7 +188,8 @@ let trace_cmd =
     let doc = "Print an mpiP-style aggregate statistics report." in
     Arg.(value & flag & info [ "report" ] ~doc)
   in
-  let run workload nranks iters platform impl seed dump report =
+  let run obs workload nranks iters platform impl seed dump report =
+    with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
     let traced = Pipeline.trace s in
     let r = traced.Pipeline.recorder in
@@ -138,8 +208,8 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc:"Execute a workload under the PMPI tracer")
     Term.(
-      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
-      $ dump_arg $ report_arg)
+      const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
+      $ seed_arg $ dump_arg $ report_arg)
 
 let synth_cmd =
   let output_arg =
@@ -172,7 +242,8 @@ let synth_cmd =
         Siesta_synth.Codegen_c.write_file proxy ~path;
         Printf.printf "wrote %s\n" path
   in
-  let run workload nranks iters platform impl seed output factor from bundle =
+  let run obs workload nranks iters platform impl seed output factor from bundle =
+    with_obs obs @@ fun () ->
     match from with
     | Some trace_path ->
         let t = Siesta_trace.Trace_io.load ~path:trace_path in
@@ -199,8 +270,8 @@ let synth_cmd =
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a C proxy-app from a traced execution")
     Term.(
-      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
-      $ output_arg $ factor_arg $ from_arg $ bundle_arg)
+      const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
+      $ seed_arg $ output_arg $ factor_arg $ from_arg $ bundle_arg)
 
 let replay_cmd =
   let target_platform_arg =
@@ -215,7 +286,8 @@ let replay_cmd =
     let doc = "Scaling factor (reported estimate is multiplied back)." in
     Arg.(value & opt float 1.0 & info [ "factor" ] ~docv:"K" ~doc)
   in
-  let run workload nranks iters platform impl seed to_platform to_impl factor =
+  let run obs workload nranks iters platform impl seed to_platform to_impl factor =
+    with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
     let target_platform = Option.value ~default:platform to_platform in
     let target_impl = Option.value ~default:impl to_impl in
@@ -236,15 +308,16 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay" ~doc:"Synthesize a proxy and replay it, possibly elsewhere")
     Term.(
-      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
-      $ target_platform_arg $ target_impl_arg $ factor_arg)
+      const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
+      $ seed_arg $ target_platform_arg $ target_impl_arg $ factor_arg)
 
 let analyze_cmd =
   let heatmap_arg =
     let doc = "Also print the point-to-point volume heat map." in
     Arg.(value & flag & info [ "heatmap" ] ~doc)
   in
-  let run workload nranks iters platform impl seed heatmap =
+  let run obs workload nranks iters platform impl seed heatmap =
+    with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
     let traced = Pipeline.trace s in
     let m = Siesta_analysis.Comm_matrix.of_recorder traced.Pipeline.recorder in
@@ -268,8 +341,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Trace a workload and report its communication structure")
     Term.(
-      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
-      $ heatmap_arg)
+      const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
+      $ seed_arg $ heatmap_arg)
 
 let report_cmd =
   let output_arg =
@@ -280,7 +353,8 @@ let report_cmd =
     let doc = "Scaling factor for a shrunk proxy." in
     Arg.(value & opt float 1.0 & info [ "factor" ] ~docv:"K" ~doc)
   in
-  let run workload nranks iters platform impl seed output factor =
+  let run obs workload nranks iters platform impl seed output factor =
+    with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
     let traced = Pipeline.trace s in
     let art = Pipeline.synthesize ~factor traced in
@@ -293,8 +367,8 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full pipeline and produce a markdown quality report")
     Term.(
-      const run $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
-      $ output_arg $ factor_arg)
+      const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
+      $ seed_arg $ output_arg $ factor_arg)
 
 let extrapolate_cmd =
   let scales_arg =
@@ -309,7 +383,8 @@ let extrapolate_cmd =
     let doc = "Write the generated C proxy-app to $(docv)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run workload iters platform impl seed scales target output =
+  let run obs workload iters platform impl seed scales target output =
+    with_obs obs @@ fun () ->
     let trace_at nranks =
       let s = spec_of workload nranks iters platform impl seed in
       let traced = Pipeline.trace s in
@@ -352,8 +427,87 @@ let extrapolate_cmd =
     (Cmd.info "extrapolate"
        ~doc:"Fit a scale model from several traced scales and emit a proxy for an untraced one")
     Term.(
-      const run $ workload_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg $ scales_arg
-      $ target_arg $ output_arg)
+      const run $ obs_term $ workload_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
+      $ scales_arg $ target_arg $ output_arg)
+
+(* check-trace: reload a --trace-out file with the in-tree JSON parser
+   and validate the Chrome trace_event structure.  Exercised by `make
+   check` so the telemetry output is smoke-tested on every run. *)
+let check_trace_cmd =
+  let file_arg =
+    let doc = "Chrome trace JSON written by --trace-out." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let min_spans_arg =
+    let doc = "Fail unless at least $(docv) distinct pipeline-stage spans are present." in
+    Arg.(value & opt int 0 & info [ "min-stage-spans" ] ~docv:"N" ~doc)
+  in
+  let min_tracks_arg =
+    let doc = "Fail unless at least $(docv) distinct thread tracks are present." in
+    Arg.(value & opt int 0 & info [ "min-tracks" ] ~docv:"N" ~doc)
+  in
+  let run file min_spans min_tracks =
+    let contents =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Obs_json.parse contents with
+    | Error msg ->
+        Printf.eprintf "check-trace: %s: %s\n" file msg;
+        exit 1
+    | Ok doc -> (
+        match Obs_json.member "traceEvents" doc with
+        | None ->
+            Printf.eprintf "check-trace: %s: no \"traceEvents\" array\n" file;
+            exit 1
+        | Some events ->
+            let events = Obs_json.to_list events in
+            let bad = ref 0 in
+            let stage_names = Hashtbl.create 16 in
+            let all_names = Hashtbl.create 64 in
+            let tracks = Hashtbl.create 8 in
+            List.iter
+              (fun e ->
+                let name = Option.bind (Obs_json.member "name" e) Obs_json.to_string_opt in
+                let ph = Option.bind (Obs_json.member "ph" e) Obs_json.to_string_opt in
+                let cat = Option.bind (Obs_json.member "cat" e) Obs_json.to_string_opt in
+                let tid = Option.bind (Obs_json.member "tid" e) Obs_json.to_float_opt in
+                (match (name, ph, tid) with
+                | Some name, Some ph, Some tid ->
+                    Hashtbl.replace tracks tid ();
+                    if ph = "X" then begin
+                      Hashtbl.replace all_names name ();
+                      if cat = Some "pipeline" then Hashtbl.replace stage_names name ()
+                    end
+                | _ -> incr bad))
+              events;
+            Printf.printf
+              "%s: %d events, %d distinct complete spans, %d pipeline stages (%s), %d thread tracks\n"
+              file (List.length events) (Hashtbl.length all_names) (Hashtbl.length stage_names)
+              (String.concat ", "
+                 (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) stage_names [])))
+              (Hashtbl.length tracks);
+            if !bad > 0 then begin
+              Printf.eprintf "check-trace: %d malformed event(s)\n" !bad;
+              exit 1
+            end;
+            if Hashtbl.length stage_names < min_spans then begin
+              Printf.eprintf "check-trace: expected >= %d pipeline-stage spans, found %d\n"
+                min_spans (Hashtbl.length stage_names);
+              exit 1
+            end;
+            if Hashtbl.length tracks < min_tracks then begin
+              Printf.eprintf "check-trace: expected >= %d thread tracks, found %d\n" min_tracks
+                (Hashtbl.length tracks);
+              exit 1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "check-trace" ~doc:"Validate a --trace-out Chrome trace_event file")
+    Term.(const run $ file_arg $ min_spans_arg $ min_tracks_arg)
 
 let () =
   let doc = "synthesize proxy applications for MPI programs (Siesta)" in
@@ -361,4 +515,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; trace_cmd; synth_cmd; replay_cmd; analyze_cmd; report_cmd; extrapolate_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            trace_cmd;
+            synth_cmd;
+            replay_cmd;
+            analyze_cmd;
+            report_cmd;
+            extrapolate_cmd;
+            check_trace_cmd;
+          ]))

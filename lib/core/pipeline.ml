@@ -6,6 +6,10 @@ module Merge_pipeline = Siesta_merge.Pipeline
 module Proxy_ir = Siesta_synth.Proxy_ir
 module Spec_p = Siesta_platform.Spec
 module Mpi_impl = Siesta_platform.Mpi_impl
+module Span = Siesta_obs.Span
+module Metrics = Siesta_obs.Metrics
+module Log = Siesta_obs.Log
+module Clock = Siesta_obs.Clock
 
 type spec = {
   workload : Registry.t;
@@ -41,45 +45,84 @@ type traced = {
   instrumented : Engine.result;
   recorder : Recorder.t;
   overhead : float;
+  timings : (string * float) list;
 }
 
 let program_of s = s.workload.Registry.program ~nranks:s.nranks ~iters:s.iters
 
+(* Time a stage under a pipeline-category span; wall seconds are kept in
+   the result records so `siesta report` can print a stage table without
+   a trace sink being configured. *)
+let stage name f =
+  let (r, s) = Clock.wall (fun () -> Span.with_ ~cat:"pipeline" name f) in
+  if Metrics.enabled () then
+    Metrics.observe (Metrics.histogram (Printf.sprintf "pipeline.%s_s" name)) s;
+  (r, (name, s))
+
 let trace s =
   let program = program_of s in
-  let original =
-    Engine.run ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed program
+  let original, t_orig =
+    stage "trace.original" (fun () ->
+        Engine.run ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed program)
   in
   let recorder =
     Recorder.create ~nranks:s.nranks ~cluster_threshold:s.cluster_threshold ()
   in
-  let instrumented =
-    Engine.run ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed
-      ~hook:(Recorder.hook recorder) program
+  let instrumented, t_instr =
+    stage "trace.instrumented" (fun () ->
+        Engine.run ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed
+          ~hook:(Recorder.hook recorder) program)
   in
   let overhead =
     if original.Engine.elapsed = 0.0 then 0.0
     else (instrumented.Engine.elapsed -. original.Engine.elapsed) /. original.Engine.elapsed
   in
-  { run_spec = s; original; instrumented; recorder; overhead }
+  if Metrics.enabled () then begin
+    Metrics.incr (Metrics.counter "pipeline.traces") 1;
+    Metrics.incr (Metrics.counter "pipeline.trace.events") (Recorder.total_events recorder);
+    Metrics.incr (Metrics.counter "pipeline.trace.calls") instrumented.Engine.total_calls
+  end;
+  Log.info (fun () ->
+      ( "pipeline.trace",
+        [
+          ("workload", s.workload.Registry.name);
+          ("nranks", string_of_int s.nranks);
+          ("events", string_of_int (Recorder.total_events recorder));
+          ("calls", string_of_int instrumented.Engine.total_calls);
+          ("overhead_pct", Printf.sprintf "%.2f" (100.0 *. overhead));
+        ] ));
+  { run_spec = s; original; instrumented; recorder; overhead; timings = [ t_orig; t_instr ] }
 
 type artifact = {
   traced : traced;
   merged : Merged.t;
   proxy : Proxy_ir.t;
   factor : float;
+  timings : (string * float) list;
 }
 
 let synthesize ?(factor = 1.0) ?(rle = true) ?domains traced =
   let config = { Merge_pipeline.default_config with rle; domains } in
-  let merged = Merge_pipeline.merge_recorder ~config traced.recorder in
-  let proxy =
-    Proxy_ir.synthesize ~platform:traced.run_spec.platform ~impl:traced.run_spec.impl ~factor
-      ~merged
-      ~compute_table:(Recorder.compute_table traced.recorder)
-      ()
+  let merged, t_merge =
+    stage "merge" (fun () -> Merge_pipeline.merge_recorder ~config traced.recorder)
   in
-  { traced; merged; proxy; factor }
+  let proxy, t_synth =
+    stage "synthesize" (fun () ->
+        Proxy_ir.synthesize ~platform:traced.run_spec.platform ~impl:traced.run_spec.impl
+          ~factor ~merged
+          ~compute_table:(Recorder.compute_table traced.recorder)
+          ())
+  in
+  Log.info (fun () ->
+      ( "pipeline.synthesize",
+        [
+          ("workload", traced.run_spec.workload.Registry.name);
+          ("factor", Printf.sprintf "%g" factor);
+          ("merged", Merged.stats merged);
+          ("merge_s", Printf.sprintf "%.6f" (snd t_merge));
+          ("synthesize_s", Printf.sprintf "%.6f" (snd t_synth));
+        ] ));
+  { traced; merged; proxy; factor; timings = traced.timings @ [ t_merge; t_synth ] }
 
 let run_proxy artifact ~platform ~impl =
   Engine.run ~platform ~impl ~nranks:artifact.traced.run_spec.nranks

@@ -43,6 +43,10 @@ type traced = {
   instrumented : Siesta_mpi.Engine.result;  (** run under the tracer *)
   recorder : Siesta_trace.Recorder.t;
   overhead : float;  (** (instrumented - original) / original elapsed *)
+  timings : (string * float) list;
+      (** wall seconds per stage ("trace.original", "trace.instrumented"),
+          measured on {!Siesta_obs.Clock} — the same clock the spans and
+          bench drivers use *)
 }
 
 val trace : spec -> traced
@@ -54,6 +58,8 @@ type artifact = {
   merged : Siesta_merge.Merged.t;
   proxy : Siesta_synth.Proxy_ir.t;
   factor : float;
+  timings : (string * float) list;
+      (** the traced stages plus "merge" and "synthesize" *)
 }
 
 val synthesize : ?factor:float -> ?rle:bool -> ?domains:int -> traced -> artifact

@@ -63,6 +63,15 @@ let generate (art : Pipeline.artifact) =
   done;
   if Compute_table.cluster_count table > shown then
     p "| ... | | | | (%d more) |\n" (Compute_table.cluster_count table - shown);
+  p "\n## Pipeline stage timings\n\n";
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 art.Pipeline.timings in
+  p "| stage | wall (s) | share |\n|---|---|---|\n";
+  List.iter
+    (fun (name, s) ->
+      p "| %s | %.4f | %s |\n" name s (if total > 0.0 then pct (s /. total) else "-"))
+    art.Pipeline.timings;
+  p "| total | %.4f | |\n" total;
+  p "\n(one clock source — `Siesta_obs.Clock` — shared with `--trace-out` spans and the bench drivers)\n";
   p "\n## Validation (replay on the generation platform)\n\n";
   let t_orig = traced.Pipeline.original.Engine.elapsed in
   let t_proxy = art.Pipeline.factor *. proxy_run.Engine.elapsed in

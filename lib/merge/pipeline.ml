@@ -2,6 +2,9 @@ module Grammar = Siesta_grammar.Grammar
 module Sequitur = Siesta_grammar.Sequitur
 module Recorder = Siesta_trace.Recorder
 module Parallel = Siesta_util.Parallel
+module Span = Siesta_obs.Span
+module Metrics = Siesta_obs.Metrics
+module Log = Siesta_obs.Log
 
 type config = { rle : bool; cluster_threshold : float; domains : int option }
 
@@ -217,7 +220,14 @@ let merge_mains ~threshold (mains : pos array array) (main_ids : int array array
 
 let merge_streams ?(config = default_config) ~nranks streams =
   if Array.length streams <> nranks then invalid_arg "Pipeline.merge_streams: stream count";
-  let table = Terminal_table.build streams in
+  Span.with_ ~cat:"pipeline" ~attrs:[ ("nranks", string_of_int nranks) ] "merge" @@ fun () ->
+  if Metrics.enabled () then begin
+    Metrics.incr (Metrics.counter "merge.invocations") 1;
+    Metrics.incr
+      (Metrics.counter "merge.events_in")
+      (Array.fold_left (fun a s -> a + Array.length s) 0 streams)
+  end;
+  let table = Span.with_ ~cat:"merge" "merge.terminal_table" (fun () -> Terminal_table.build streams) in
   let seqs = Terminal_table.sequences table in
   (* The per-rank stages — grammar construction, main-rule positioning and
      exact-main keying — are independent across ranks and fan out over one
@@ -228,17 +238,38 @@ let merge_streams ?(config = default_config) ~nranks streams =
   let pool = if domains > 1 && nranks > 1 then Some (Parallel.create ~domains ()) else None in
   Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let pmap f arr = match pool with Some p -> Parallel.map ~pool:p f arr | None -> Array.mapi f arr in
-  let grammars = pmap (fun _ seq -> Sequitur.of_seq ~rle:config.rle seq) seqs in
-  let { global_rules; rule_maps } = merge_nonterminals grammars in
+  let grammars =
+    Span.with_ ~cat:"merge" "merge.sequitur" (fun () ->
+        pmap (fun _ seq -> Sequitur.of_seq ~rle:config.rle seq) seqs)
+  in
+  let { global_rules; rule_maps } =
+    Span.with_ ~cat:"merge" "merge.nonterminals" (fun () -> merge_nonterminals grammars)
+  in
   let positioned =
-    pmap
-      (fun r g ->
-        let ps = positions_of_main rule_maps.(r) g.Grammar.main in
-        (ps, Array.map id_of_pos ps))
-      grammars
+    Span.with_ ~cat:"merge" "merge.position" (fun () ->
+        pmap
+          (fun r g ->
+            let ps = positions_of_main rule_maps.(r) g.Grammar.main in
+            (ps, Array.map id_of_pos ps))
+          grammars)
   in
   let mains = Array.map fst positioned and main_ids = Array.map snd positioned in
-  let mains, main_ranks = merge_mains ~threshold:config.cluster_threshold mains main_ids in
+  let mains, main_ranks =
+    Span.with_ ~cat:"merge" "merge.mains" (fun () ->
+        merge_mains ~threshold:config.cluster_threshold mains main_ids)
+  in
+  if Metrics.enabled () then begin
+    Metrics.incr (Metrics.counter "merge.rules_global") (Array.length global_rules);
+    Metrics.incr (Metrics.counter "merge.clusters") (Array.length mains)
+  end;
+  Log.debug (fun () ->
+      ( "merge.done",
+        [
+          ("nranks", string_of_int nranks);
+          ("rules", string_of_int (Array.length global_rules));
+          ("clusters", string_of_int (Array.length mains));
+          ("domains", string_of_int domains);
+        ] ));
   {
     Merged.nranks;
     terminals = Terminal_table.terminals table;

@@ -6,6 +6,7 @@ module Papi = Siesta_perf.Papi
 module Counters = Siesta_perf.Counters
 module Kernel = Siesta_perf.Kernel
 module Rng = Siesta_util.Rng
+module Metrics = Siesta_obs.Metrics
 
 exception Deadlock of string
 exception Collective_mismatch of string
@@ -87,6 +88,11 @@ type engine = {
   mutable next_comm : int;
   mutable next_file : int;
   mutable total_calls : int;
+  (* per-call-kind (count, bytes) metric cells, cached so the hot [emit]
+     path pays one plain Hashtbl lookup instead of a registry lookup
+     under the global mutex; the scheduler is single-domain, so a plain
+     table is safe *)
+  metric_cache : (string, Metrics.counter * Metrics.counter) Hashtbl.t;
 }
 
 type file = { f_id : int; f_comm : comm }
@@ -278,8 +284,25 @@ let comm_size _ctx comm = Array.length comm.c_ranks
 let comm_id _ctx comm = comm.c_id
 let wtime ctx = ctx.proc.clock
 
+let count_call eng call =
+  (* Per-MPI-call-type count and volume counters ("mpi.calls.MPI_Send",
+     "mpi.bytes.MPI_Send", ...).  Only reached when the metrics registry
+     is enabled; off, the caller's branch is the entire cost. *)
+  let name = Call.name call in
+  let c, v =
+    match Hashtbl.find_opt eng.metric_cache name with
+    | Some cell -> cell
+    | None ->
+        let cell = (Metrics.counter ("mpi.calls." ^ name), Metrics.counter ("mpi.bytes." ^ name)) in
+        Hashtbl.add eng.metric_cache name cell;
+        cell
+  in
+  Metrics.incr c 1;
+  Metrics.incr v (Call.payload_bytes call)
+
 let emit ctx call =
   ctx.eng.total_calls <- ctx.eng.total_calls + 1;
+  if Metrics.enabled () then count_call ctx.eng call;
   match ctx.eng.hook with
   | None -> ()
   | Some h ->
@@ -489,6 +512,12 @@ let coll_finish ?(advance_self = true) ctx comm cp cp_key ~kind =
   let eng = ctx.eng in
   let max_bytes = List.fold_left (fun acc a -> max acc a.cpl_bytes) 0 cp.cp_arrived in
   let finish = cp.cp_maxclock +. coll_cost eng comm.c_ranks kind max_bytes in
+  (* simulated latency of the collective itself (last arrival -> finish),
+     one log-scale histogram across all kinds *)
+  if Metrics.enabled () then
+    Metrics.observe
+      (Metrics.histogram "mpi.collective.latency_s")
+      (finish -. cp.cp_maxclock);
   Hashtbl.remove eng.pending_colls cp_key;
   List.iter
     (fun rk ->
@@ -735,6 +764,7 @@ let run ~platform ~impl ~nranks ?hook ?(seed = 42) ?(counter_noise = 0.01) progr
       next_comm = 1;
       next_file = 0;
       total_calls = 0;
+      metric_cache = Hashtbl.create 32;
     }
   in
   let world_ranks = Array.init nranks (fun i -> i) in
@@ -799,6 +829,13 @@ let run ~platform ~impl ~nranks ?hook ?(seed = 42) ?(counter_noise = 0.01) progr
   in
   loop ();
   let unreceived = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) eng.unexpected 0 in
+  if Metrics.enabled () then begin
+    Metrics.incr (Metrics.counter "engine.runs") 1;
+    Metrics.incr (Metrics.counter "engine.calls") eng.total_calls;
+    Metrics.observe
+      (Metrics.histogram "engine.simulated_elapsed_s")
+      (Array.fold_left (fun acc p -> max acc p.clock) 0.0 procs)
+  end;
   {
     elapsed = Array.fold_left (fun acc p -> max acc p.clock) 0.0 procs;
     per_rank_elapsed = Array.map (fun p -> p.clock) procs;

@@ -1,0 +1,22 @@
+let epoch_unix_s = Unix.gettimeofday ()
+
+(* Last reading handed out, as seconds-since-start.  [float Atomic.t]
+   boxes on store, but the CAS loop only stores when time advanced past
+   the previous reading observed by *some* domain, i.e. almost every
+   call; the allocation is one boxed float per reading — noise next to
+   the [gettimeofday] syscall itself. *)
+let last : float Atomic.t = Atomic.make 0.0
+
+let rec clamp raw =
+  let prev = Atomic.get last in
+  if raw <= prev then prev
+  else if Atomic.compare_and_set last prev raw then raw
+  else clamp raw
+
+let now_s () = clamp (Unix.gettimeofday () -. epoch_unix_s)
+let now_us () = 1e6 *. now_s ()
+
+let wall f =
+  let t0 = now_s () in
+  let r = f () in
+  (r, now_s () -. t0)

@@ -1,0 +1,23 @@
+(** Monotonic-ish wall clock shared by spans, metrics and the bench
+    drivers.
+
+    OCaml's stdlib has no monotonic clock; this module is the
+    [Mtime]-style fallback built on [Unix.gettimeofday]: timestamps are
+    seconds since process start, clamped so they never run backwards
+    across domains (a CAS loop on the last observed reading absorbs NTP
+    steps).  One clock source for everything means bench numbers and
+    Chrome-trace spans are directly comparable. *)
+
+val now_s : unit -> float
+(** Monotonic seconds since process start. *)
+
+val now_us : unit -> float
+(** Monotonic microseconds since process start (Chrome trace_event's
+    native unit). *)
+
+val epoch_unix_s : float
+(** [Unix.gettimeofday] at process start — add to {!now_s} to recover an
+    absolute wall-clock time. *)
+
+val wall : (unit -> 'a) -> 'a * float
+(** [wall f] runs [f] and returns its result with elapsed seconds. *)

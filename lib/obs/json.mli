@@ -1,0 +1,33 @@
+(** Minimal JSON support for the telemetry layer: string escaping for
+    the emitters, and a strict recursive-descent parser so tests (and
+    `siesta check-trace`) can load emitted documents back and validate
+    them without external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escape for inclusion between double quotes in a JSON document. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document (trailing whitespace allowed).
+    The error string carries a byte offset. *)
+
+val parse_exn : string -> t
+(** @raise Failure on invalid input. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_list : t -> t list
+(** [Arr] elements; [] otherwise. *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option

@@ -1,0 +1,40 @@
+(** Nestable timing spans exported as Chrome [trace_event] JSON.
+
+    [with_ ~name f] times [f] and records a complete ("ph":"X") event
+    with the current domain's id as the thread id, so the
+    {!Siesta_util.Parallel} pool's workers render as separate tracks in
+    [chrome://tracing] / Perfetto.  Nesting falls out of the format:
+    complete events on one track whose time ranges enclose each other
+    are drawn stacked.
+
+    Recording is off by default; when disabled, [with_ name f] is
+    [f ()] plus one branch — no timestamps are read and nothing
+    allocates. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_ : ?cat:string -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span.  The span closes (and is
+    recorded) even if [f] raises.  [attrs] land in the event's ["args"].
+    [cat] defaults to ["siesta"]. *)
+
+val instant : ?cat:string -> ?attrs:(string * string) list -> string -> unit
+(** A zero-duration marker ("ph":"i"). *)
+
+val set_thread_name : string -> unit
+(** Label the current domain's track (defaults to ["domain-<id>"], with
+    domain 0 as ["main"]). *)
+
+val event_count : unit -> int
+(** Events buffered so far. *)
+
+val reset : unit -> unit
+(** Drop all buffered events (keeps the enabled flag). *)
+
+val to_chrome_json : unit -> string
+(** The buffered events as a Chrome trace: an object with a
+    ["traceEvents"] array, loadable by [chrome://tracing] and Perfetto.
+    Valid (empty) even when nothing was recorded. *)
+
+val write : path:string -> unit

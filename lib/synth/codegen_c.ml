@@ -246,6 +246,7 @@ let emit_entry buf ~indent terminals (e : Grammar.entry) =
       (Printf.sprintf "%sfor (long k = 0; k < %dL; k++) { %s }\n" pad e.Grammar.reps call)
 
 let generate (ir : Proxy_ir.t) =
+  Siesta_obs.Span.with_ ~cat:"pipeline" "codegen" @@ fun () ->
   let merged = ir.Proxy_ir.merged in
   let terminals = merged.Merged.terminals in
   let nranks = merged.Merged.nranks in
@@ -410,8 +411,13 @@ let generate (ir : Proxy_ir.t) =
   Buffer.contents buf
 
 let write_file ir ~path =
+  let code = generate ir in
+  if Siesta_obs.Metrics.enabled () then begin
+    Siesta_obs.Metrics.incr (Siesta_obs.Metrics.counter "codegen.files") 1;
+    Siesta_obs.Metrics.incr (Siesta_obs.Metrics.counter "codegen.bytes") (String.length code)
+  end;
   let oc = open_out path in
-  output_string oc (generate ir);
+  output_string oc code;
   close_out oc
 
 let makefile ir ~name =

@@ -3,6 +3,8 @@ module Matrix = Siesta_numerics.Matrix
 module Nnls = Siesta_numerics.Nnls
 module Block = Siesta_blocks.Block
 module Microbench = Siesta_blocks.Microbench
+module Metrics = Siesta_obs.Metrics
+module Log = Siesta_obs.Log
 
 type solution = {
   x : float array;
@@ -103,4 +105,18 @@ let search ?(loop_constraint = true) ~platform target =
   done;
   let predicted = predict ~platform ~x in
   let error = Counters.mean_relative_error ~actual:predicted ~reference:target in
+  if Metrics.enabled () then begin
+    (* "QP iterations": NNLS solve + integer-refinement hill-climb passes *)
+    Metrics.incr (Metrics.counter "synth.search.calls") 1;
+    Metrics.incr (Metrics.counter "synth.search.qp_iterations") !passes;
+    Metrics.observe (Metrics.histogram "synth.search.residual") residual;
+    Metrics.observe (Metrics.histogram "synth.search.error") error
+  end;
+  Log.debug (fun () ->
+      ( "synth.search",
+        [
+          ("qp_iterations", string_of_int !passes);
+          ("residual", Printf.sprintf "%.6g" residual);
+          ("error_pct", Printf.sprintf "%.3f" (100.0 *. error));
+        ] ));
   { x; predicted; objective = residual; error }

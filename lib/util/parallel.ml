@@ -1,16 +1,34 @@
 (* Domain pool: Domain.spawn workers around a chunked work queue guarded
-   by a Mutex/Condition pair.  No dependencies beyond the stdlib.
+   by a Mutex/Condition pair.  No dependencies beyond the stdlib (plus
+   the in-tree Siesta_obs telemetry layer).
 
    Lifecycle: [create] spawns the workers, which block on [work] until a
    job is posted or [stop] is raised; [run] posts a job, participates in
    chunk execution, then blocks on [finished] until the last chunk
    completes; [shutdown] raises [stop] and joins.  One job at a time —
    the pipeline's stages are sequential phases, each internally
-   parallel. *)
+   parallel.
+
+   Observability: each pool carries per-slot busy-time/chunk counters
+   and a queue-wait histogram (time from job posting to a chunk's
+   execution start), exposed via [stats] and published to the
+   Siesta_obs.Metrics registry on [shutdown].  Slot 0 is the submitting
+   caller, slots 1..d-1 the spawned workers.  The per-chunk clock reads
+   are two [gettimeofday]s per chunk; chunks are deliberately coarse
+   (~8 per domain per job), so this stays invisible next to the work.
+   Per-chunk spans are emitted only when Siesta_obs.Span is enabled,
+   rendering each domain as its own track in the Chrome trace. *)
+
+module Obs_log = Siesta_obs.Log
+module Obs_span = Siesta_obs.Span
+module Obs_metrics = Siesta_obs.Metrics
+module Histo = Siesta_obs.Metrics.Histo
+module Clock = Siesta_obs.Clock
 
 type job = {
   body : int -> unit;
   chunks : int;
+  posted_at : float;  (* Clock.now_s at posting, for queue-wait accounting *)
   mutable next : int;  (* next unclaimed chunk *)
   mutable live : int;  (* chunks not yet completed *)
   mutable failed : exn option;
@@ -24,24 +42,53 @@ type pool = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   total : int;  (* workers + the participating caller *)
+  (* --- telemetry (slot 0 = caller, 1.. = workers) --- *)
+  busy_s : float array;  (* per-slot seconds inside chunk bodies *)
+  chunks_done : int array;  (* per-slot chunks executed *)
+  queue_wait : Histo.t;  (* posting -> chunk start, seconds *)
+  mutable jobs : int;  (* jobs submitted *)
 }
 
-let num_domains () =
+type stats = {
+  domains : int;
+  jobs : int;
+  busy_s : float array;
+  chunks_done : int array;
+  queue_wait : Histo.t;
+}
+
+let num_domains_with_source () =
   let recommended () = max 1 (Domain.recommended_domain_count ()) in
   match Sys.getenv_opt "SIESTA_NUM_DOMAINS" with
-  | None -> recommended ()
+  | None -> (recommended (), "recommended")
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> n
-      | Some _ | None -> recommended ())
+      | Some n when n >= 1 -> (n, "SIESTA_NUM_DOMAINS")
+      | Some _ | None -> (recommended (), "recommended"))
 
-(* Claim-and-execute loop.  Called (and returns) with [pool.lock] held. *)
-let claim_chunks pool j =
+let num_domains () = fst (num_domains_with_source ())
+
+(* Claim-and-execute loop.  Called (and returns) with [pool.lock] held.
+   [slot] identifies the executing domain for busy-time attribution. *)
+let claim_chunks pool ~slot j =
   while j.next < j.chunks do
     let i = j.next in
     j.next <- i + 1;
     Mutex.unlock pool.lock;
-    let error = (try j.body i; None with e -> Some e) in
+    let t0 = Clock.now_s () in
+    Histo.observe pool.queue_wait (t0 -. j.posted_at);
+    let error =
+      try
+        if Obs_span.enabled () then
+          Obs_span.with_ ~cat:"pool"
+            ~attrs:[ ("chunk", string_of_int i); ("slot", string_of_int slot) ]
+            "parallel.chunk" (fun () -> j.body i)
+        else j.body i;
+        None
+      with e -> Some e
+    in
+    pool.busy_s.(slot) <- pool.busy_s.(slot) +. (Clock.now_s () -. t0);
+    pool.chunks_done.(slot) <- pool.chunks_done.(slot) + 1;
     Mutex.lock pool.lock;
     (match error with
     | None -> ()
@@ -58,14 +105,14 @@ let claim_chunks pool j =
     end
   done
 
-let worker pool () =
+let worker pool ~slot () =
   Mutex.lock pool.lock;
   let rec loop () =
     if pool.stop then Mutex.unlock pool.lock
     else
       match pool.job with
       | Some j when j.next < j.chunks ->
-          claim_chunks pool j;
+          claim_chunks pool ~slot j;
           loop ()
       | Some _ | None ->
           Condition.wait pool.work pool.lock;
@@ -74,7 +121,19 @@ let worker pool () =
   loop ()
 
 let create ?domains () =
-  let total = max 1 (match domains with Some d -> d | None -> num_domains ()) in
+  let total, source =
+    match domains with
+    | Some d -> (max 1 d, "explicit")
+    | None -> num_domains_with_source ()
+  in
+  let total = max 1 total in
+  Obs_log.info (fun () ->
+      ( "parallel.pool",
+        [
+          ("domains", string_of_int total);
+          ("source", source);
+          ("recommended", string_of_int (Domain.recommended_domain_count ()));
+        ] ));
   let pool =
     {
       lock = Mutex.create ();
@@ -84,12 +143,45 @@ let create ?domains () =
       stop = false;
       workers = [];
       total;
+      busy_s = Array.make total 0.0;
+      chunks_done = Array.make total 0;
+      queue_wait = Histo.create ();
+      jobs = 0;
     }
   in
-  pool.workers <- List.init (total - 1) (fun _ -> Domain.spawn (worker pool));
+  pool.workers <- List.init (total - 1) (fun i -> Domain.spawn (worker pool ~slot:(i + 1)));
   pool
 
 let size pool = pool.total
+
+let stats (pool : pool) : stats =
+  {
+    domains = pool.total;
+    jobs = pool.jobs;
+    busy_s = Array.copy pool.busy_s;
+    chunks_done = Array.copy pool.chunks_done;
+    queue_wait = pool.queue_wait;
+  }
+
+(* Publish the pool's lifetime totals into the global registry (no-op
+   when metrics are disabled). *)
+let publish_stats (pool : pool) =
+  if Obs_metrics.enabled () then begin
+    Obs_metrics.incr (Obs_metrics.counter "parallel.pools") 1;
+    Obs_metrics.incr (Obs_metrics.counter "parallel.jobs") pool.jobs;
+    Obs_metrics.incr
+      (Obs_metrics.counter "parallel.chunks")
+      (Array.fold_left ( + ) 0 pool.chunks_done);
+    let busy = Array.fold_left ( +. ) 0.0 pool.busy_s in
+    Obs_metrics.observe (Obs_metrics.histogram "parallel.busy_s_per_pool") busy;
+    let wait_h = Obs_metrics.histogram "parallel.queue_wait_s" in
+    List.iter
+      (fun (_, upper, c) ->
+        for _ = 1 to c do
+          Obs_metrics.observe wait_h upper
+        done)
+      (Histo.nonzero_buckets pool.queue_wait)
+  end
 
 let shutdown pool =
   Mutex.lock pool.lock;
@@ -97,7 +189,17 @@ let shutdown pool =
   Condition.broadcast pool.work;
   Mutex.unlock pool.lock;
   List.iter Domain.join pool.workers;
-  pool.workers <- []
+  pool.workers <- [];
+  publish_stats pool;
+  Obs_log.debug (fun () ->
+      let s = stats pool in
+      ( "parallel.pool.shutdown",
+        [
+          ("domains", string_of_int s.domains);
+          ("jobs", string_of_int s.jobs);
+          ("chunks", string_of_int (Array.fold_left ( + ) 0 s.chunks_done));
+          ("busy_s", Printf.sprintf "%.6f" (Array.fold_left ( +. ) 0.0 s.busy_s));
+        ] ))
 
 let with_pool ?domains f =
   let pool = create ?domains () in
@@ -105,22 +207,31 @@ let with_pool ?domains f =
 
 let run pool ~chunks body =
   if chunks > 0 then
-    if pool.workers = [] then
-      (* 1-domain pool: no queue traffic at all *)
+    if pool.workers = [] then begin
+      (* 1-domain pool: no queue traffic; one clock pair around the whole
+         loop keeps the fast path fast while busy time stays honest *)
+      pool.jobs <- pool.jobs + 1;
+      let t0 = Clock.now_s () in
       for i = 0 to chunks - 1 do
         body i
-      done
+      done;
+      pool.busy_s.(0) <- pool.busy_s.(0) +. (Clock.now_s () -. t0);
+      pool.chunks_done.(0) <- pool.chunks_done.(0) + chunks
+    end
     else begin
-      let j = { body; chunks; next = 0; live = chunks; failed = None } in
+      let j =
+        { body; chunks; posted_at = Clock.now_s (); next = 0; live = chunks; failed = None }
+      in
       Mutex.lock pool.lock;
       if pool.job <> None then begin
         Mutex.unlock pool.lock;
         invalid_arg "Parallel.run: pool already has a job in flight"
       end;
+      pool.jobs <- pool.jobs + 1;
       pool.job <- Some j;
       Condition.broadcast pool.work;
       (* the caller participates *)
-      claim_chunks pool j;
+      claim_chunks pool ~slot:0 j;
       while j.live > 0 do
         Condition.wait pool.finished pool.lock
       done;

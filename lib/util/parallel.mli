@@ -17,13 +17,25 @@
     environment variable when set to a positive integer, otherwise from
     {!Domain.recommended_domain_count}.  Small inputs and 1-domain pools
     fall back to the plain sequential loop with no domain traffic at
-    all. *)
+    all.
+
+    {b Observability.}  Pool creation logs the effective domain count
+    and its source at info level ([SIESTA_LOG=info]).  Every pool
+    tracks per-slot busy time, chunk counts and a queue-wait histogram
+    ({!stats}); [shutdown] publishes lifetime totals to
+    {!Siesta_obs.Metrics} when the registry is enabled, and per-chunk
+    spans are emitted to {!Siesta_obs.Span} when tracing is on, so each
+    worker domain renders as its own track in [chrome://tracing]. *)
 
 type pool
 
 val num_domains : unit -> int
 (** Effective default parallelism: [SIESTA_NUM_DOMAINS] if set to a
     positive integer, else {!Domain.recommended_domain_count} (>= 1). *)
+
+val num_domains_with_source : unit -> int * string
+(** {!num_domains} plus where the value came from
+    (["SIESTA_NUM_DOMAINS"] or ["recommended"]). *)
 
 val create : ?domains:int -> unit -> pool
 (** Spawn a pool of [domains] (default {!num_domains}) total domains;
@@ -46,6 +58,22 @@ val run : pool -> chunks:int -> (int -> unit) -> unit
     first exception any chunk raised (after all claimed chunks finish).
     Pools are not re-entrant: calling [run] from inside a running body
     raises [Invalid_argument]. *)
+
+type stats = {
+  domains : int;  (** total slots (caller + workers) *)
+  jobs : int;  (** jobs submitted so far *)
+  busy_s : float array;  (** per-slot seconds spent inside chunk bodies *)
+  chunks_done : int array;  (** per-slot chunks executed *)
+  queue_wait : Siesta_obs.Metrics.Histo.t;
+      (** job-posting -> chunk-start latency, seconds (multi-domain jobs
+          only; the 1-domain fast path records no per-chunk waits) *)
+}
+
+val stats : pool -> stats
+(** Lifetime utilisation counters.  Slot 0 is the submitting caller,
+    slots [1 .. domains-1] the spawned workers.  The arrays are copies;
+    calling this while a job is in flight yields a best-effort
+    snapshot. *)
 
 val map : ?pool:pool -> ?domains:int -> ?min_chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.mapi].  With [?pool], uses that pool; otherwise a

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "siesta"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
       ("numerics", Test_numerics.suite);
       ("platform", Test_platform.suite);
