@@ -1,9 +1,10 @@
 # Convenience targets; everything real lives in dune.
 
 SMOKE_TRACE := /tmp/siesta_smoke_trace.json
+SMOKE_TIMELINE := /tmp/siesta_smoke_timeline.json
 SMOKE_PROXY := /tmp/siesta_smoke_proxy.c
 
-.PHONY: all build test check smoke bench-quick clean
+.PHONY: all build test check smoke bench-check bench-quick clean
 
 all: build
 
@@ -14,15 +15,25 @@ test:
 	dune runtest
 
 # build + full test suite + a CLI smoke run that exercises the
-# --trace-out path end-to-end and validates the emitted Chrome trace.
-check: build test smoke
+# --trace-out/--timeline-out paths end-to-end + the strict bench gate.
+check: build test smoke bench-check
 
 smoke: build
 	dune exec bin/siesta_cli.exe -- synth CG -n 8 \
 		--trace-out $(SMOKE_TRACE) -o $(SMOKE_PROXY)
 	dune exec bin/siesta_cli.exe -- check-trace $(SMOKE_TRACE) \
 		--min-stage-spans 5
-	@rm -f $(SMOKE_TRACE) $(SMOKE_PROXY)
+	dune exec bin/siesta_cli.exe -- trace CG -n 8 \
+		--timeline-out $(SMOKE_TIMELINE)
+	dune exec bin/siesta_cli.exe -- check-trace $(SMOKE_TIMELINE) \
+		--min-tracks 8
+	dune exec bin/siesta_cli.exe -- diff -w CG -n 8
+	@rm -f $(SMOKE_TRACE) $(SMOKE_TIMELINE) $(SMOKE_PROXY)
+
+# regression gate: telemetry overhead budget (<= 3%) and parallel-merge
+# determinism, failing the build instead of printing a warning.
+bench-check: build
+	dune exec bench/main.exe -- --quick --strict obs-overhead pipeline-scale
 
 bench-quick:
 	dune exec bench/main.exe -- --quick all

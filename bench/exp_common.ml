@@ -10,6 +10,11 @@ module Recorder = Siesta_trace.Recorder
 
 let quick = ref false
 
+let strict = ref false
+(** Under [--strict] the regression-guard experiments (obs-overhead,
+    pipeline-scale) exit non-zero on a failed acceptance check instead of
+    printing a warning — this is what [make bench-check] runs. *)
+
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 let secs x = Printf.sprintf "%.4f" x
 

@@ -9,7 +9,22 @@
    Wall-clock matters here: [Sys.time] sums CPU time across domains and
    would hide any speedup, so this driver times on
    [Siesta_obs.Clock] (monotonic wall clock, shared with the span
-   layer). *)
+   layer).
+
+   On the merge_speedup < 1 readings at d=2..8 seen in earlier
+   BENCH_pipeline.json captures: the pool's queue-wait histogram
+   ([Parallel.stats], surfaced below as "queue-wait p95") shows chunk
+   start latencies on the order of the whole merge wall whenever the
+   requested domain count exceeds the host's usable cores
+   (Domain.recommended_domain_count — 1 on the CI container).  The
+   spawned domains are not waiting for work, they are waiting for a
+   timeslice: the pool oversubscribes the host and each "parallel" chunk
+   serializes behind the caller.  The default pool size already clamps
+   to the recommended count, so only an explicit d > cores hits this;
+   the bench now records per-domain efficiency (sum busy / d * wall) so
+   the condition is visible in the JSON rather than inferred.  See
+   ROADMAP "Open items" for the remaining idea (skip pool fan-out when
+   d > recommended). *)
 
 module Pipeline = Siesta.Pipeline
 module MPipe = Siesta_merge.Pipeline
@@ -19,36 +34,66 @@ module Parallel = Siesta_util.Parallel
 
 let wall = Exp_common.wall
 
+type probe = {
+  p_domains : int;
+  p_wall_s : float;
+  p_efficiency : float;  (* sum(busy_s) / (domains * wall) — 1.0 = fully busy *)
+  p_queue_wait_p95_s : float;  (* nan when the pool recorded no waits *)
+}
+
 type row = {
   workload : string;
   nranks : int;
   events : int;
   trace_s : float;
   synthesize_s : float;
-  merge_s : (int * float) list;  (* domain count -> seconds *)
+  merge_s : probe list;  (* one probe per domain count *)
   deterministic : bool;
 }
+
+(* Each domain count gets its own explicitly owned pool (config.pool), so
+   domain spawn/join cost sits *outside* the timed region — what remains
+   in [p_wall_s] is the steady-state merge — and [Parallel.stats] is
+   still readable after the merge returns. *)
+let probe ~nranks ~streams d =
+  if d <= 1 then begin
+    let merged, s =
+      wall (fun () ->
+          MPipe.merge_streams
+            ~config:{ MPipe.default_config with MPipe.domains = Some 1 }
+            ~nranks streams)
+    in
+    ( merged,
+      { p_domains = d; p_wall_s = s; p_efficiency = 1.0; p_queue_wait_p95_s = Float.nan } )
+  end
+  else
+    Parallel.with_pool ~domains:d (fun pool ->
+        let merged, s =
+          wall (fun () ->
+              MPipe.merge_streams
+                ~config:{ MPipe.default_config with MPipe.pool = Some pool }
+                ~nranks streams)
+        in
+        let st = Parallel.stats pool in
+        let busy = Array.fold_left ( +. ) 0.0 st.Parallel.busy_s in
+        let eff = if s > 0.0 then busy /. (float_of_int d *. s) else 0.0 in
+        let p95 =
+          if Siesta_obs.Metrics.Histo.count st.Parallel.queue_wait = 0 then Float.nan
+          else Siesta_obs.Metrics.Histo.quantile st.Parallel.queue_wait 0.95
+        in
+        ( merged,
+          { p_domains = d; p_wall_s = s; p_efficiency = eff; p_queue_wait_p95_s = p95 } ))
 
 let measure ~domain_counts (workload, nranks) =
   let spec = Pipeline.spec ~workload ~nranks () in
   let traced, trace_s = wall (fun () -> Pipeline.trace spec) in
   let streams = Array.init nranks (Recorder.events traced.Pipeline.recorder) in
   let events = Array.fold_left (fun a s -> a + Array.length s) 0 streams in
-  let merge d =
-    MPipe.merge_streams
-      ~config:{ MPipe.default_config with MPipe.domains = Some d }
-      ~nranks streams
-  in
-  let reference = merge 1 in
-  let merge_s =
-    List.map
-      (fun d ->
-        let _, s = wall (fun () -> ignore (merge d)) in
-        (d, s))
-      domain_counts
-  in
+  let reference, _ = probe ~nranks ~streams 1 in
+  let results = List.map (fun d -> (d, probe ~nranks ~streams d)) domain_counts in
+  let merge_s = List.map (fun (_, (_, p)) -> p) results in
   let deterministic =
-    List.for_all (fun d -> Merged.equal reference (merge d)) domain_counts
+    List.for_all (fun (_, (merged, _)) -> Merged.equal reference merged) results
   in
   let _, synthesize_s = wall (fun () -> ignore (Pipeline.synthesize traced)) in
   { workload; nranks; events; trace_s; synthesize_s; merge_s; deterministic }
@@ -60,28 +105,28 @@ let json_of_rows ~host_domains rows =
     (Printf.sprintf "  \"host_domains\": %d,\n  \"workloads\": [\n" host_domains);
   List.iteri
     (fun i r ->
-      let merge_fields =
+      let field fmt f =
         String.concat ", "
-          (List.map
-             (fun (d, s) -> Printf.sprintf "\"d%d\": %.6f" d s)
-             r.merge_s)
+          (List.map (fun p -> Printf.sprintf "\"d%d\": %s" p.p_domains (fmt (f p))) r.merge_s)
       in
-      let base = match r.merge_s with (_, s) :: _ -> s | [] -> 0.0 in
+      let num6 x = Printf.sprintf "%.6f" x in
+      let num3 x = Printf.sprintf "%.3f" x in
+      let nullable fmt x = if Float.is_nan x then "null" else fmt x in
+      let base = match r.merge_s with p :: _ -> p.p_wall_s | [] -> 0.0 in
+      let merge_fields = field num6 (fun p -> p.p_wall_s) in
       let speedups =
-        String.concat ", "
-          (List.map
-             (fun (d, s) ->
-               Printf.sprintf "\"d%d\": %.3f" d
-                 (if s > 0.0 then base /. s else 0.0))
-             r.merge_s)
+        field num3 (fun p -> if p.p_wall_s > 0.0 then base /. p.p_wall_s else 0.0)
       in
+      let efficiency = field num3 (fun p -> p.p_efficiency) in
+      let queue_wait = field (nullable num6) (fun p -> p.p_queue_wait_p95_s) in
       Buffer.add_string b
         (Printf.sprintf
            "    {\"workload\": %S, \"nranks\": %d, \"events\": %d, \
             \"trace_s\": %.6f, \"synthesize_s\": %.6f, \"merge_s\": {%s}, \
-            \"merge_speedup\": {%s}, \"deterministic\": %b}%s\n"
+            \"merge_speedup\": {%s}, \"merge_efficiency\": {%s}, \
+            \"queue_wait_p95_s\": {%s}, \"deterministic\": %b}%s\n"
            r.workload r.nranks r.events r.trace_s r.synthesize_s merge_fields
-           speedups r.deterministic
+           speedups efficiency queue_wait r.deterministic
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -100,6 +145,7 @@ let run () =
   let header =
     [ "workload"; "ranks"; "events"; "trace (s)"; "synth (s)" ]
     @ List.map (fun d -> Printf.sprintf "merge d=%d (s)" d) domain_counts
+    @ List.map (fun d -> Printf.sprintf "eff d=%d" d) domain_counts
     @ [ "det" ]
   in
   let table_rows =
@@ -112,13 +158,29 @@ let run () =
           Exp_common.secs r.trace_s;
           Exp_common.secs r.synthesize_s;
         ]
-        @ List.map (fun (_, s) -> Exp_common.secs s) r.merge_s
+        @ List.map (fun p -> Exp_common.secs p.p_wall_s) r.merge_s
+        @ List.map (fun p -> Exp_common.pct p.p_efficiency) r.merge_s
         @ [ (if r.deterministic then "yes" else "NO") ])
       rows
   in
   Exp_common.table ~header ~rows:table_rows;
-  if List.exists (fun r -> not r.deterministic) rows then
-    failwith "pipeline-scale: parallel merge diverged from sequential merge";
+  List.iter
+    (fun r ->
+      List.iter
+        (fun p ->
+          if not (Float.is_nan p.p_queue_wait_p95_s) then
+            Printf.printf "  %s d=%d: queue-wait p95 %.2e s, efficiency %s\n" r.workload
+              p.p_domains p.p_queue_wait_p95_s
+              (Exp_common.pct p.p_efficiency))
+        r.merge_s)
+    rows;
+  if List.exists (fun r -> not r.deterministic) rows then begin
+    if !Exp_common.strict then begin
+      Printf.eprintf "pipeline-scale: parallel merge diverged from sequential merge\n";
+      exit 1
+    end;
+    failwith "pipeline-scale: parallel merge diverged from sequential merge"
+  end;
   let json = json_of_rows ~host_domains rows in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;

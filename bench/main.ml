@@ -4,7 +4,9 @@
    Usage:
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table3 fig6  # selected experiments
-     dune exec bench/main.exe -- --quick all  # reduced process counts *)
+     dune exec bench/main.exe -- --quick all  # reduced process counts
+     dune exec bench/main.exe -- --quick --strict obs-overhead pipeline-scale
+                                              # regression gate (make bench-check) *)
 
 let experiments =
   [
@@ -33,11 +35,14 @@ let () =
   let args =
     List.filter
       (fun a ->
-        if a = "--quick" then begin
-          Exp_common.quick := true;
-          false
-        end
-        else true)
+        match a with
+        | "--quick" ->
+            Exp_common.quick := true;
+            false
+        | "--strict" ->
+            Exp_common.strict := true;
+            false
+        | _ -> true)
       args
   in
   let selected = match args with [] | [ "all" ] -> default_order | l -> l in

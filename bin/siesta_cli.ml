@@ -9,7 +9,8 @@
      analyze     <workload>       communication matrix, topology, mpiP stats
      report      <workload>       markdown quality report of a full run
      extrapolate <workload>       proxy for an untraced process count
-     check-trace <file>           validate a --trace-out Chrome trace
+     diff        -w <workload>    proxy-vs-original fidelity report
+     check-trace <file>           validate a --trace-out / --timeline-out trace
 
    Every subcommand takes the global observability flags:
      --trace-out FILE.json        Chrome trace_event spans (chrome://tracing)
@@ -28,6 +29,9 @@ module Obs_span = Siesta_obs.Span
 module Obs_metrics = Siesta_obs.Metrics
 module Obs_log = Siesta_obs.Log
 module Obs_json = Siesta_obs.Json
+module Timeline = Siesta_analysis.Timeline
+module Critical_path = Siesta_analysis.Critical_path
+module Divergence = Siesta_analysis.Divergence
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags (shared by every subcommand)                     *)
@@ -128,6 +132,18 @@ let seed_arg =
   let doc = "Random seed (runs are deterministic per seed)." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let timeline_out_arg =
+  let doc =
+    "Write a per-rank $(i,simulated-clock) timeline of the original run as Chrome trace_event \
+     JSON to $(docv) (one track per rank; otherData.clock = \"simulated\")."
+  in
+  Arg.(value & opt (some string) None & info [ "timeline-out" ] ~docv:"FILE" ~doc)
+
+let write_timeline ~path tl =
+  Timeline.write tl ~path;
+  Printf.eprintf "timeline: wrote %s (simulated clock, %d rank tracks)\n" path
+    tl.Timeline.nranks
+
 let spec_of workload nranks iters platform impl seed =
   match
     Pipeline.spec ?iters ~platform ~impl ~seed ~workload ~nranks ()
@@ -188,10 +204,13 @@ let trace_cmd =
     let doc = "Print an mpiP-style aggregate statistics report." in
     Arg.(value & flag & info [ "report" ] ~doc)
   in
-  let run obs workload nranks iters platform impl seed dump report =
+  let run obs workload nranks iters platform impl seed dump report timeline_out =
     with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
     let traced = Pipeline.trace s in
+    Option.iter
+      (fun path -> write_timeline ~path (fst (Pipeline.record_timeline s)))
+      timeline_out;
     let r = traced.Pipeline.recorder in
     Printf.printf "%s on %d ranks: %.4f s original, %.4f s traced (overhead %.2f%%)\n" workload
       nranks traced.Pipeline.original.Engine.elapsed traced.Pipeline.instrumented.Engine.elapsed
@@ -209,7 +228,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc:"Execute a workload under the PMPI tracer")
     Term.(
       const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
-      $ seed_arg $ dump_arg $ report_arg)
+      $ seed_arg $ dump_arg $ report_arg $ timeline_out_arg)
 
 let synth_cmd =
   let output_arg =
@@ -353,11 +372,14 @@ let report_cmd =
     let doc = "Scaling factor for a shrunk proxy." in
     Arg.(value & opt float 1.0 & info [ "factor" ] ~docv:"K" ~doc)
   in
-  let run obs workload nranks iters platform impl seed output factor =
+  let run obs workload nranks iters platform impl seed output factor timeline_out =
     with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
     let traced = Pipeline.trace s in
     let art = Pipeline.synthesize ~factor traced in
+    Option.iter
+      (fun path -> write_timeline ~path (fst (Pipeline.record_timeline s)))
+      timeline_out;
     match output with
     | Some path ->
         Siesta.Report.write_file art ~path;
@@ -368,7 +390,7 @@ let report_cmd =
     (Cmd.info "report" ~doc:"Run the full pipeline and produce a markdown quality report")
     Term.(
       const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
-      $ seed_arg $ output_arg $ factor_arg)
+      $ seed_arg $ output_arg $ factor_arg $ timeline_out_arg)
 
 let extrapolate_cmd =
   let scales_arg =
@@ -430,6 +452,95 @@ let extrapolate_cmd =
       const run $ obs_term $ workload_arg $ iters_arg $ platform_arg $ impl_arg $ seed_arg
       $ scales_arg $ target_arg $ output_arg)
 
+(* diff: the fidelity observatory's front end.  Synthesizes the proxy,
+   replays both the original and the proxy under the simulated-clock
+   observer, and reports where they diverge.  Exit status 1 when the
+   communication replay is not lossless — the paper's hard claim. *)
+let diff_cmd =
+  let workload_opt_arg =
+    let doc = "Workload name (see `siesta list`)." in
+    Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
+  in
+  let factor_arg =
+    let doc = "Scaling factor for a shrunk proxy." in
+    Arg.(value & opt float 1.0 & info [ "factor" ] ~docv:"K" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the divergence report as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let perturb_arg =
+    let doc =
+      "Deliberately damage the synthesized proxy before diffing ($(b,comm) bumps a send \
+       count, $(b,compute) scales the block combinations) — for exercising the detector."
+    in
+    Arg.(
+      value
+      & opt (some (enum [ ("comm", `Comm); ("compute", `Compute) ])) None
+      & info [ "perturb" ] ~docv:"WHAT" ~doc)
+  in
+  let run obs workload nranks iters platform impl seed factor json perturb timeline_out =
+    with_obs obs @@ fun () ->
+    let s = spec_of workload nranks iters platform impl seed in
+    let traced = Pipeline.trace s in
+    let art = Pipeline.synthesize ~factor traced in
+    let art =
+      match perturb with
+      | None -> art
+      | Some what -> { art with Pipeline.proxy = Divergence.perturb what art.Pipeline.proxy }
+    in
+    let fid = Pipeline.diff art in
+    let r = fid.Pipeline.f_report in
+    Option.iter
+      (fun path -> write_timeline ~path fid.Pipeline.f_original.Divergence.c_timeline)
+      timeline_out;
+    if json then print_string (Divergence.to_json r)
+    else begin
+      Printf.printf "%s @ %d ranks (platform %s, %s)%s\n" workload nranks platform.Spec.name
+        impl.Mpi_impl.name
+        (match perturb with
+        | None -> ""
+        | Some `Comm -> " [perturbed: comm]"
+        | Some `Compute -> " [perturbed: compute]");
+      if r.Divergence.r_lossless then
+        print_endline "communication replay: lossless"
+      else begin
+        print_endline "communication replay: NOT lossless:";
+        List.iter (fun reason -> Printf.printf "  - %s\n" reason) r.Divergence.r_reasons
+      end;
+      Printf.printf "comm-matrix distance: %.3e\n" r.Divergence.r_comm_matrix_dist;
+      print_endline "computation error (per-event relative):";
+      List.iter
+        (fun e ->
+          Printf.printf "  %-6s mean %7.3f%%  p95 %7.3f%%  max %7.3f%%  (%d events)\n"
+            (Siesta_perf.Counters.metric_name e.Divergence.me_metric)
+            (100.0 *. e.Divergence.me_mean)
+            (100.0 *. e.Divergence.me_p95)
+            (100.0 *. e.Divergence.me_max)
+            e.Divergence.me_events)
+        r.Divergence.r_compute_errors;
+      Printf.printf "simulated time: original %.6e s, proxy %.6e s (error %.2f%%)\n"
+        r.Divergence.r_time_orig r.Divergence.r_time_proxy
+        (100.0 *. r.Divergence.r_time_error);
+      Printf.printf "timeline distance: %.3e\n" r.Divergence.r_timeline_distance;
+      let cp =
+        Critical_path.compute ~merged:art.Pipeline.merged
+          fid.Pipeline.f_original.Divergence.c_timeline
+      in
+      print_string (Critical_path.render cp);
+      Printf.printf "verdict: %s\n" (Divergence.verdict_name (Divergence.verdict r))
+    end;
+    match Divergence.verdict r with Divergence.Comm_divergent _ -> exit 1 | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Replay the synthesized proxy next to the original and report divergence (exit 1 \
+          unless the communication replay is lossless)")
+    Term.(
+      const run $ obs_term $ workload_opt_arg $ nranks_arg $ iters_arg $ platform_arg
+      $ impl_arg $ seed_arg $ factor_arg $ json_arg $ perturb_arg $ timeline_out_arg)
+
 (* check-trace: reload a --trace-out file with the in-tree JSON parser
    and validate the Chrome trace_event structure.  Exercised by `make
    check` so the telemetry output is smoke-tested on every run. *)
@@ -464,6 +575,18 @@ let check_trace_cmd =
             Printf.eprintf "check-trace: %s: no \"traceEvents\" array\n" file;
             exit 1
         | Some events ->
+            (* Both clock domains are accepted: host-time traces from
+               --trace-out and simulated-time traces from --timeline-out.
+               We report which kind we saw. *)
+            let clock =
+              match
+                Option.bind
+                  (Obs_json.member "otherData" doc)
+                  (fun o -> Option.bind (Obs_json.member "clock" o) Obs_json.to_string_opt)
+              with
+              | Some c -> c
+              | None -> "host (unmarked)"
+            in
             let events = Obs_json.to_list events in
             let bad = ref 0 in
             let stage_names = Hashtbl.create 16 in
@@ -485,11 +608,12 @@ let check_trace_cmd =
                 | _ -> incr bad))
               events;
             Printf.printf
-              "%s: %d events, %d distinct complete spans, %d pipeline stages (%s), %d thread tracks\n"
+              "%s: %d events, %d distinct complete spans, %d pipeline stages (%s), %d thread \
+               tracks, %s clock\n"
               file (List.length events) (Hashtbl.length all_names) (Hashtbl.length stage_names)
               (String.concat ", "
                  (List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) stage_names [])))
-              (Hashtbl.length tracks);
+              (Hashtbl.length tracks) clock;
             if !bad > 0 then begin
               Printf.eprintf "check-trace: %d malformed event(s)\n" !bad;
               exit 1
@@ -524,5 +648,6 @@ let () =
             analyze_cmd;
             report_cmd;
             extrapolate_cmd;
+            diff_cmd;
             check_trace_cmd;
           ]))

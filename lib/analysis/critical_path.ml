@@ -1,0 +1,297 @@
+module Merged = Siesta_merge.Merged
+module Rank_list = Siesta_merge.Rank_list
+module Grammar = Siesta_grammar.Grammar
+module Event = Siesta_trace.Event
+
+type step = {
+  st_rank : int;
+  st_t0 : float;
+  st_t1 : float;
+  st_name : string;
+  st_kind : Timeline.kind;
+  st_remote : bool;
+}
+
+type t = {
+  length : float;
+  steps : step array;
+  by_name : (string * float) list;
+  by_kind : (Timeline.kind * float) list;
+  by_rule : (string * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Binding tables.
+
+   The engine advances clocks with [clock <- max clock t], so a segment
+   that ends at a completion event ends at the *bit-identical* float the
+   matcher computed.  That makes exact-float keys — [Int64.bits_of_float]
+   — a sound way to ask "does an inter-rank dependency end here?". *)
+
+let bits = Int64.bits_of_float
+
+type binding = Remote of int * float  (* rank, instant the dependency starts *)
+
+let add_tbl tbl key v =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (v :: prev)
+
+let binding_tables (tl : Timeline.t) =
+  let tbl : (int * int64, binding list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun (m : Timeline.p2p_match) ->
+      if m.pm_rdv then begin
+        (* completion = max(send_ready, post) + handshake + wire, shared by
+           both sides.  The receiver was bound by the sender iff the send
+           was ready after the post, and vice versa. *)
+        if m.pm_send_ready > m.pm_post then
+          add_tbl tbl (m.pm_dst, bits m.pm_completion) (Remote (m.pm_src, m.pm_send_ready))
+        else if m.pm_post > m.pm_send_ready then
+          add_tbl tbl (m.pm_src, bits m.pm_completion) (Remote (m.pm_dst, m.pm_post))
+        else if m.pm_src <> m.pm_dst then begin
+          (* simultaneous readiness: either side may bind the other *)
+          add_tbl tbl (m.pm_dst, bits m.pm_completion) (Remote (m.pm_src, m.pm_send_ready));
+          add_tbl tbl (m.pm_src, bits m.pm_completion) (Remote (m.pm_dst, m.pm_post))
+        end
+      end
+      else if
+        (* eager: completion = max(post, avail); the receiver waited for
+           the message iff it completed after the post *)
+        m.pm_post < m.pm_completion
+      then add_tbl tbl (m.pm_dst, bits m.pm_completion) (Remote (m.pm_src, m.pm_send_ready)))
+    tl.matches;
+  Array.iter
+    (fun (c : Timeline.coll_sync) ->
+      Array.iter
+        (fun rk ->
+          if rk <> c.cs_last_rank then
+            add_tbl tbl (rk, bits c.cs_finish) (Remote (c.cs_last_rank, c.cs_last_arrival)))
+        c.cs_ranks)
+    tl.colls;
+  tbl
+
+(* Segment holding instant [t] on rank [r]: the unique [i] with
+   [t0 < t <= t1].  Segments tile [0, elapsed_r], so binary search on the
+   end times suffices. *)
+let find_segment (segs : Timeline.segment array) t =
+  let lo = ref 0 and hi = ref (Array.length segs - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if segs.(mid).Timeline.t1 >= t then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* ------------------------------------------------------------------ *)
+(* Grammar-rule attribution *)
+
+(* Innermost-rule label of every terminal in [rank]'s expansion, in
+   order: "main<c>" for terminals sitting directly in the merged main
+   rule, "R<i>" for terminals inside rule [i]. *)
+let terminal_labels (m : Merged.t) rank =
+  let cluster = Merged.cluster_of_rank m rank in
+  let out = ref [] in
+  let rec walk_rule label rule =
+    List.iter
+      (fun { Grammar.sym; reps } ->
+        for _ = 1 to reps do
+          match sym with
+          | Grammar.T tid -> out := (label, tid) :: !out
+          | Grammar.N gid -> walk_rule (Printf.sprintf "R%d" gid) m.Merged.rules.(gid)
+        done)
+      rule
+  in
+  let main_label = Printf.sprintf "main%d" cluster in
+  List.iter
+    (fun { Merged.sym; reps; ranks } ->
+      if Rank_list.mem ranks rank then
+        for _ = 1 to reps do
+          match sym with
+          | Grammar.T tid -> out := (main_label, tid) :: !out
+          | Grammar.N gid -> walk_rule (Printf.sprintf "R%d" gid) m.Merged.rules.(gid)
+        done)
+    m.Merged.mains.(cluster);
+  List.rev !out
+
+let is_call_seg (s : Timeline.segment) = s.Timeline.name <> "compute" && s.Timeline.name <> "idle"
+
+(* One label per timeline segment of [rank], aligned through the call
+   (non-compute) positions; compute/idle segments inherit the following
+   call's label (falling back to the preceding one).  [None] when the
+   grammar's call sequence does not match the timeline's. *)
+let segment_labels (m : Merged.t) (tl : Timeline.t) rank =
+  match terminal_labels m rank with
+  | exception Not_found -> None
+  | labels ->
+      let call_labels =
+        List.filter_map
+          (fun (label, tid) ->
+            if Event.is_compute m.Merged.terminals.(tid) then None else Some label)
+          labels
+      in
+      let segs = tl.Timeline.segments.(rank) in
+      let ncall = Array.fold_left (fun acc s -> if is_call_seg s then acc + 1 else acc) 0 segs in
+      if ncall <> List.length call_labels then None
+      else begin
+        let out = Array.make (Array.length segs) "" in
+        let rem = ref call_labels in
+        Array.iteri
+          (fun i s ->
+            if is_call_seg s then begin
+              out.(i) <- List.hd !rem;
+              rem := List.tl !rem
+            end)
+          segs;
+        let last = ref "" in
+        for i = Array.length out - 1 downto 0 do
+          if out.(i) = "" then out.(i) <- !last else last := out.(i)
+        done;
+        let last = ref "" in
+        for i = 0 to Array.length out - 1 do
+          if out.(i) = "" then out.(i) <- !last else last := out.(i)
+        done;
+        Some out
+      end
+
+(* ------------------------------------------------------------------ *)
+
+let accum_assoc acc key v =
+  let prev = Option.value ~default:0.0 (List.assoc_opt key acc) in
+  (key, prev +. v) :: List.remove_assoc key acc
+
+let compute ?merged (tl : Timeline.t) =
+  if tl.Timeline.elapsed <= 0.0 then
+    { length = 0.0; steps = [||]; by_name = []; by_kind = []; by_rule = [] }
+  else begin
+    let bindings = binding_tables tl in
+    (* start on the first rank achieving the global elapsed time *)
+    let start_rank = ref 0 in
+    (try
+       Array.iteri
+         (fun i e ->
+           if e = tl.Timeline.elapsed then begin
+             start_rank := i;
+             raise Exit
+           end)
+         tl.Timeline.per_rank_elapsed
+     with Exit -> ());
+    let steps = ref [] in
+    let r = ref !start_rank in
+    let tcur = ref tl.Timeline.elapsed in
+    while !tcur > 0.0 do
+      let segs = tl.Timeline.segments.(!r) in
+      if Array.length segs = 0 then begin
+        (* a rank with no recorded time cannot be reached above 0 *)
+        steps :=
+          { st_rank = !r; st_t0 = 0.0; st_t1 = !tcur; st_name = "idle"; st_kind = Timeline.Wait;
+            st_remote = false }
+          :: !steps;
+        tcur := 0.0
+      end
+      else begin
+        let i = find_segment segs !tcur in
+        let seg = segs.(i) in
+        if seg.Timeline.t0 >= !tcur || seg.Timeline.t1 < !tcur then
+          invalid_arg "Critical_path.compute: inconsistent timeline tiling";
+        (* best remote binding ending exactly now *)
+        let best = ref None in
+        (match Hashtbl.find_opt bindings (!r, bits !tcur) with
+        | None -> ()
+        | Some cands ->
+            List.iter
+              (fun (Remote (rk, t)) ->
+                if t < !tcur then
+                  match !best with
+                  | Some (_, bt) when bt >= t -> ()
+                  | _ -> best := Some (rk, t))
+              cands);
+        match !best with
+        | Some (rk, t) ->
+            steps :=
+              { st_rank = !r; st_t0 = t; st_t1 = !tcur; st_name = seg.Timeline.name;
+                st_kind = seg.Timeline.kind; st_remote = true }
+              :: !steps;
+            r := rk;
+            tcur := t
+        | None ->
+            steps :=
+              { st_rank = !r; st_t0 = seg.Timeline.t0; st_t1 = !tcur;
+                st_name = seg.Timeline.name; st_kind = seg.Timeline.kind; st_remote = false }
+              :: !steps;
+            tcur := seg.Timeline.t0
+      end
+    done;
+    let steps = Array.of_list !steps in
+    (* chronological order *)
+    let by_name = ref [] in
+    let by_kind = ref [ (Timeline.Compute, 0.0); (Timeline.Transfer, 0.0); (Timeline.Wait, 0.0) ] in
+    Array.iter
+      (fun s ->
+        let d = s.st_t1 -. s.st_t0 in
+        by_name := accum_assoc !by_name s.st_name d;
+        by_kind := accum_assoc !by_kind s.st_kind d)
+      steps;
+    let by_rule =
+      match merged with
+      | None -> []
+      | Some m -> begin
+          let cache = Hashtbl.create 8 in
+          let labels_for rk =
+            match Hashtbl.find_opt cache rk with
+            | Some l -> l
+            | None ->
+                let l = segment_labels m tl rk in
+                Hashtbl.add cache rk l;
+                l
+          in
+          let acc = ref [] in
+          let ok = ref true in
+          Array.iter
+            (fun s ->
+            if !ok then
+              match labels_for s.st_rank with
+              | None -> ok := false
+              | Some labels ->
+                  let segs = tl.Timeline.segments.(s.st_rank) in
+                  (* segment owning the step's end instant *)
+                  let i = find_segment segs s.st_t1 in
+                  let label = if labels.(i) = "" then "?" else labels.(i) in
+                  acc := accum_assoc !acc label (s.st_t1 -. s.st_t0))
+            steps;
+          if !ok then !acc else []
+        end
+    in
+    let desc l = List.sort (fun (_, a) (_, b) -> compare b a) l in
+    {
+      length = tl.Timeline.elapsed;
+      steps;
+      by_name = desc !by_name;
+      by_kind = List.rev !by_kind |> List.sort (fun (a, _) (b, _) -> compare a b);
+      by_rule = desc by_rule;
+    }
+  end
+
+let render t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "critical path: %.6e s over %d steps\n" t.length (Array.length t.steps));
+  let pct v = if t.length > 0.0 then 100.0 *. v /. t.length else 0.0 in
+  Buffer.add_string b "  by kind:";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf "  %s %.1f%%" (Timeline.kind_name k) (pct v)))
+    t.by_kind;
+  Buffer.add_char b '\n';
+  let top n l = List.filteri (fun i _ -> i < n) l in
+  Buffer.add_string b "  by call:";
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %s %.1f%%" name (pct v)))
+    (top 6 t.by_name);
+  Buffer.add_char b '\n';
+  if t.by_rule <> [] then begin
+    Buffer.add_string b "  by rule:";
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %s %.1f%%" name (pct v)))
+      (top 6 t.by_rule);
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b

@@ -1,0 +1,43 @@
+(** Critical path through a simulated run.
+
+    The {!Timeline} gives per-rank segment tilings plus the cross-rank
+    dependency records (send→recv matchings, collective synchronization
+    points).  This module walks that implicit DAG *backwards* from the
+    globally last-finishing rank: inside a rank it follows the segment
+    tiling; whenever the current instant coincides with a remotely-bound
+    completion (a receive that waited for its sender, a rendezvous send
+    that waited for its receiver, a collective whose last arriver was
+    another rank), it hops to the binding rank at the binding instant.
+
+    The resulting steps tile the interval [(0, elapsed]] exactly — each
+    hop or local move covers the simulated time it accounts for — so
+    every attribution ([by_name], [by_kind], [by_rule]) sums to the
+    critical-path length by construction. *)
+
+type step = {
+  st_rank : int;
+  st_t0 : float;
+  st_t1 : float;  (** the step accounts for simulated time [(st_t0, st_t1]] *)
+  st_name : string;  (** call name, ["compute"] or ["idle"] of the owning segment *)
+  st_kind : Timeline.kind;
+  st_remote : bool;  (** true when the step ended at a cross-rank binding *)
+}
+
+type t = {
+  length : float;  (** = the run's elapsed simulated time *)
+  steps : step array;  (** chronological; step intervals tile [(0, length]] *)
+  by_name : (string * float) list;  (** seconds per owning call name, descending *)
+  by_kind : (Timeline.kind * float) list;  (** all three kinds *)
+  by_rule : (string * float) list;
+      (** seconds per innermost grammar rule (["R<i>"], or ["main<c>"] for
+          direct main-rule terminals), descending.  Empty when no [merged]
+          grammar was given or its call sequence does not align with the
+          timeline (e.g. the timeline is not of that grammar's program). *)
+}
+
+val compute : ?merged:Siesta_merge.Merged.t -> Timeline.t -> t
+(** @raise Invalid_argument if the timeline is internally inconsistent. *)
+
+val render : t -> string
+(** Multi-line human-readable summary: length, kind shares, top calls and
+    (when attributed) top rules. *)

@@ -1,0 +1,411 @@
+module Engine = Siesta_mpi.Engine
+module Call = Siesta_mpi.Call
+module Papi = Siesta_perf.Papi
+module Counters = Siesta_perf.Counters
+module Metrics = Siesta_obs.Metrics
+module Json = Siesta_obs.Json
+module Event = Siesta_trace.Event
+module Merged = Siesta_merge.Merged
+module Proxy_ir = Siesta_synth.Proxy_ir
+
+type capture = {
+  c_nranks : int;
+  c_result : Engine.result;
+  c_calls : Call.t array array;
+  c_compute : Counters.t array array;
+  c_timeline : Timeline.t;
+}
+
+let capture ~platform ~impl ~nranks ?(seed = 42) program =
+  let calls = Array.make nranks [] in
+  let compute = Array.make nranks [] in
+  let hook =
+    {
+      Engine.on_event =
+        (fun ~rank ~papi ~call ->
+          (* PMPI-style: the delta read at a call boundary is the counter
+             signature of the computation event that just finished *)
+          let d = Papi.read_delta papi in
+          if d.Counters.cyc > 0.0 then compute.(rank) <- d :: compute.(rank);
+          calls.(rank) <- call :: calls.(rank));
+      per_event_overhead = 0.0;
+    }
+  in
+  let tl, result = Timeline.record ~platform ~impl ~nranks ~hook ~seed program in
+  {
+    c_nranks = nranks;
+    c_result = result;
+    c_calls = Array.map (fun l -> Array.of_list (List.rev l)) calls;
+    c_compute = Array.map (fun l -> Array.of_list (List.rev l)) compute;
+    c_timeline = tl;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type call_stat = {
+  cs_name : string;
+  cs_count_orig : int;
+  cs_count_proxy : int;
+  cs_bytes_orig : int;
+  cs_bytes_proxy : int;
+}
+
+type metric_err = {
+  me_metric : Counters.metric;
+  me_mean : float;
+  me_p95 : float;
+  me_max : float;
+  me_events : int;
+}
+
+type report = {
+  r_nranks : int;
+  r_call_stats : call_stat list;
+  r_comm_matrix_dist : float;
+  r_lossless : bool;
+  r_reasons : string list;
+  r_compute_errors : metric_err list;
+  r_compute_unpaired : int;
+  r_timeline_distance : float;
+  r_time_orig : float;
+  r_time_proxy : float;
+  r_time_error : float;
+}
+
+let call_table c =
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (Array.iter (fun call ->
+         let name = Call.name call in
+         let n, b = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl name) in
+         Hashtbl.replace tbl name (n + 1, b + Call.payload_bytes call)))
+    c.c_calls;
+  tbl
+
+(* World-rank send-side communication matrix (bytes). *)
+let comm_matrix c =
+  let m = Array.make_matrix c.c_nranks c.c_nranks 0.0 in
+  Array.iteri
+    (fun src calls ->
+      Array.iter
+        (fun call ->
+          match call with
+          | Call.Send p | Call.Isend (p, _) ->
+              let d = p.Call.peer in
+              if d >= 0 && d < c.c_nranks then
+                m.(src).(d) <- m.(src).(d) +. float_of_int (Call.payload_bytes call)
+          | Call.Sendrecv { send; _ } ->
+              let d = send.Call.peer in
+              if d >= 0 && d < c.c_nranks then
+                m.(src).(d) <- m.(src).(d) +. float_of_int (Call.payload_bytes call)
+          | _ -> ())
+        calls)
+    c.c_calls;
+  m
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) i))
+  end
+
+let diff ~original ~proxy =
+  let nr = min original.c_nranks proxy.c_nranks in
+  (* --- communication ------------------------------------------------ *)
+  let to_ = call_table original and tp = call_table proxy in
+  let names =
+    let s = Hashtbl.create 32 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace s k ()) to_;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace s k ()) tp;
+    Hashtbl.fold (fun k () acc -> k :: acc) s [] |> List.sort compare
+  in
+  let call_stats =
+    List.map
+      (fun name ->
+        let co, bo = Option.value ~default:(0, 0) (Hashtbl.find_opt to_ name) in
+        let cp, bp = Option.value ~default:(0, 0) (Hashtbl.find_opt tp name) in
+        {
+          cs_name = name;
+          cs_count_orig = co;
+          cs_count_proxy = cp;
+          cs_bytes_orig = bo;
+          cs_bytes_proxy = bp;
+        })
+      names
+  in
+  let mo = comm_matrix original and mp = comm_matrix proxy in
+  let l1 = ref 0.0 and vol = ref 0.0 in
+  for i = 0 to nr - 1 do
+    for j = 0 to nr - 1 do
+      l1 := !l1 +. Float.abs (mo.(i).(j) -. mp.(i).(j));
+      vol := !vol +. mo.(i).(j)
+    done
+  done;
+  let matrix_dist =
+    if !vol > 0.0 then !l1 /. !vol else if !l1 > 0.0 then 1.0 else 0.0
+  in
+  let reasons = ref [] in
+  if original.c_nranks <> proxy.c_nranks then
+    reasons :=
+      Printf.sprintf "rank count differs: %d vs %d" original.c_nranks proxy.c_nranks :: !reasons;
+  List.iter
+    (fun s ->
+      if s.cs_count_orig <> s.cs_count_proxy then
+        reasons :=
+          Printf.sprintf "%s count %d -> %d" s.cs_name s.cs_count_orig s.cs_count_proxy :: !reasons
+      else if s.cs_bytes_orig <> s.cs_bytes_proxy then
+        reasons :=
+          Printf.sprintf "%s bytes %d -> %d" s.cs_name s.cs_bytes_orig s.cs_bytes_proxy :: !reasons)
+    call_stats;
+  if matrix_dist > 0.0 then
+    reasons := Printf.sprintf "comm-matrix L1 distance %.3e" matrix_dist :: !reasons;
+  if original.c_result.Engine.unreceived_messages <> proxy.c_result.Engine.unreceived_messages then
+    reasons :=
+      Printf.sprintf "unreceived messages %d -> %d"
+        original.c_result.Engine.unreceived_messages proxy.c_result.Engine.unreceived_messages
+      :: !reasons;
+  let reasons = List.rev !reasons in
+  (* --- computation, per-event --------------------------------------- *)
+  let unpaired = ref 0 in
+  let per_metric = List.map (fun m -> (m, ref [])) Counters.all_metrics in
+  for rk = 0 to nr - 1 do
+    let ea = original.c_compute.(rk) and eb = proxy.c_compute.(rk) in
+    let na = Array.length ea and nb = Array.length eb in
+    unpaired := !unpaired + abs (na - nb);
+    for i = 0 to min na nb - 1 do
+      List.iter
+        (fun (m, acc) ->
+          let a = Counters.get ea.(i) m and b = Counters.get eb.(i) m in
+          if a > 0.0 then acc := (Float.abs (b -. a) /. a) :: !acc)
+        per_metric
+    done
+  done;
+  if original.c_nranks <> proxy.c_nranks then
+    for rk = nr to max original.c_nranks proxy.c_nranks - 1 do
+      if rk < original.c_nranks then unpaired := !unpaired + Array.length original.c_compute.(rk);
+      if rk < proxy.c_nranks then unpaired := !unpaired + Array.length proxy.c_compute.(rk)
+    done;
+  let compute_errors =
+    List.map
+      (fun (m, acc) ->
+        let a = Array.of_list !acc in
+        Array.sort compare a;
+        let n = Array.length a in
+        let mean = if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+        {
+          me_metric = m;
+          me_mean = mean;
+          me_p95 = percentile a 0.95;
+          me_max = (if n = 0 then 0.0 else a.(n - 1));
+          me_events = n;
+        })
+      per_metric
+  in
+  (* --- time --------------------------------------------------------- *)
+  let ta = original.c_result.Engine.elapsed and tb = proxy.c_result.Engine.elapsed in
+  let tl_dist =
+    if nr = 0 || ta <= 0.0 then 0.0
+    else begin
+      let acc = ref 0.0 in
+      for rk = 0 to nr - 1 do
+        let ka = Timeline.kind_totals original.c_timeline rk in
+        let kb = Timeline.kind_totals proxy.c_timeline rk in
+        List.iter2 (fun (_, a) (_, b) -> acc := !acc +. Float.abs (a -. b)) ka kb
+      done;
+      !acc /. (float_of_int nr *. ta)
+    end
+  in
+  {
+    r_nranks = original.c_nranks;
+    r_call_stats = call_stats;
+    r_comm_matrix_dist = matrix_dist;
+    r_lossless = reasons = [];
+    r_reasons = reasons;
+    r_compute_errors = compute_errors;
+    r_compute_unpaired = !unpaired;
+    r_timeline_distance = tl_dist;
+    r_time_orig = ta;
+    r_time_proxy = tb;
+    r_time_error = (if ta > 0.0 then Float.abs (tb -. ta) /. ta else 0.0);
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type verdict = Faithful | Compute_divergent of string | Comm_divergent of string list
+
+let verdict ?(compute_tolerance = 0.5) r =
+  if not r.r_lossless then Comm_divergent r.r_reasons
+  else begin
+    let offenders =
+      List.filter (fun e -> e.me_mean > compute_tolerance) r.r_compute_errors
+    in
+    match offenders with
+    | [] -> Faithful
+    | l ->
+        Compute_divergent
+          (String.concat ", "
+             (List.map
+                (fun e ->
+                  Printf.sprintf "%s mean error %.2f > %.2f" (Counters.metric_name e.me_metric)
+                    e.me_mean compute_tolerance)
+                l))
+  end
+
+let verdict_name = function
+  | Faithful -> "faithful"
+  | Compute_divergent _ -> "compute-divergent"
+  | Comm_divergent _ -> "comm-divergent"
+
+(* ------------------------------------------------------------------ *)
+(* Renderings *)
+
+let to_markdown r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "### Communication replay\n\n";
+  Buffer.add_string b "| call | count orig | count proxy | bytes orig | bytes proxy |\n";
+  Buffer.add_string b "|---|---:|---:|---:|---:|\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %d | %d | %d | %d |\n" s.cs_name s.cs_count_orig s.cs_count_proxy
+           s.cs_bytes_orig s.cs_bytes_proxy))
+    r.r_call_stats;
+  Buffer.add_string b
+    (Printf.sprintf "\ncomm-matrix distance (normalized L1): %.3e\n" r.r_comm_matrix_dist);
+  if r.r_lossless then Buffer.add_string b "\n**Communication replay: lossless.**\n"
+  else begin
+    Buffer.add_string b "\n**Communication replay: NOT lossless:**\n\n";
+    List.iter (fun reason -> Buffer.add_string b (Printf.sprintf "- %s\n" reason)) r.r_reasons
+  end;
+  Buffer.add_string b "\n### Computation error (per-event relative)\n\n";
+  Buffer.add_string b "| metric | mean | p95 | max | events |\n|---|---:|---:|---:|---:|\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %.4f | %.4f | %.4f | %d |\n" (Counters.metric_name e.me_metric)
+           e.me_mean e.me_p95 e.me_max e.me_events))
+    r.r_compute_errors;
+  if r.r_compute_unpaired > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "\nunpaired computation events: %d\n" r.r_compute_unpaired);
+  Buffer.add_string b "\n### Simulated time\n\n";
+  Buffer.add_string b
+    (Printf.sprintf "- original: %.6e s, proxy: %.6e s, relative error %.2f%%\n" r.r_time_orig
+       r.r_time_proxy (100.0 *. r.r_time_error));
+  Buffer.add_string b
+    (Printf.sprintf "- timeline distance (per-rank kind totals): %.3e\n" r.r_timeline_distance);
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"nranks\": %d,\n" r.r_nranks);
+  Buffer.add_string b
+    (Printf.sprintf "  \"lossless\": %b,\n  \"comm_matrix_distance\": %.6e,\n" r.r_lossless
+       r.r_comm_matrix_dist);
+  Buffer.add_string b "  \"reasons\": [";
+  Buffer.add_string b
+    (String.concat ", "
+       (List.map (fun s -> Printf.sprintf "\"%s\"" (Json.escape s)) r.r_reasons));
+  Buffer.add_string b "],\n  \"calls\": {\n";
+  let n = List.length r.r_call_stats in
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    \"%s\": {\"count_orig\": %d, \"count_proxy\": %d, \"bytes_orig\": %d, \
+            \"bytes_proxy\": %d}%s\n"
+           (Json.escape s.cs_name) s.cs_count_orig s.cs_count_proxy s.cs_bytes_orig s.cs_bytes_proxy
+           (if i < n - 1 then "," else "")))
+    r.r_call_stats;
+  Buffer.add_string b "  },\n  \"compute_error\": {\n";
+  let n = List.length r.r_compute_errors in
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": {\"mean\": %.6e, \"p95\": %.6e, \"max\": %.6e, \"events\": %d}%s\n"
+           (Counters.metric_name e.me_metric) e.me_mean e.me_p95 e.me_max e.me_events
+           (if i < n - 1 then "," else "")))
+    r.r_compute_errors;
+  Buffer.add_string b
+    (Printf.sprintf "  },\n  \"compute_unpaired\": %d,\n" r.r_compute_unpaired);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"time_orig_s\": %.6e,\n  \"time_proxy_s\": %.6e,\n  \"time_error\": %.6e,\n\
+       \  \"timeline_distance\": %.6e\n}\n"
+       r.r_time_orig r.r_time_proxy r.r_time_error r.r_timeline_distance);
+  Buffer.contents b
+
+let publish_metrics r =
+  let count_delta, bytes_delta =
+    List.fold_left
+      (fun (c, v) s ->
+        ( c + abs (s.cs_count_orig - s.cs_count_proxy),
+          v + abs (s.cs_bytes_orig - s.cs_bytes_proxy) ))
+      (0, 0) r.r_call_stats
+  in
+  Metrics.set (Metrics.gauge "diff.comm.lossless") (if r.r_lossless then 1.0 else 0.0);
+  Metrics.set (Metrics.gauge "diff.comm.count_delta") (float_of_int count_delta);
+  Metrics.set (Metrics.gauge "diff.comm.bytes_delta") (float_of_int bytes_delta);
+  Metrics.set (Metrics.gauge "diff.comm.matrix_distance") r.r_comm_matrix_dist;
+  List.iter
+    (fun e ->
+      Metrics.set
+        (Metrics.gauge ("diff.compute.err_mean." ^ Counters.metric_name e.me_metric))
+        e.me_mean)
+    r.r_compute_errors;
+  Metrics.set (Metrics.gauge "diff.timeline.distance") r.r_timeline_distance;
+  Metrics.set (Metrics.gauge "diff.time.error") r.r_time_error
+
+(* ------------------------------------------------------------------ *)
+(* Deliberate damage, for testing the detector *)
+
+let perturb what (ir : Proxy_ir.t) =
+  match what with
+  | `Compute -> { ir with Proxy_ir.combos = Array.map (Array.map (fun x -> x *. 1.5)) ir.Proxy_ir.combos }
+  | `Comm ->
+      let m = ir.Proxy_ir.merged in
+      let terminals = Array.copy m.Merged.terminals in
+      let bump_p2p (p : Event.p2p) = { p with Event.count = p.Event.count + 1 } in
+      (* bump the first send-side terminal; fall back to any
+         payload-carrying collective *)
+      let done_ = ref false in
+      let n = Array.length terminals in
+      let i = ref 0 in
+      while (not !done_) && !i < n do
+        (match terminals.(!i) with
+        | Event.Send p ->
+            terminals.(!i) <- Event.Send (bump_p2p p);
+            done_ := true
+        | Event.Isend (p, r) ->
+            terminals.(!i) <- Event.Isend (bump_p2p p, r);
+            done_ := true
+        | Event.Sendrecv { send; recv } ->
+            terminals.(!i) <- Event.Sendrecv { send = bump_p2p send; recv };
+            done_ := true
+        | _ -> ());
+        incr i
+      done;
+      i := 0;
+      while (not !done_) && !i < n do
+        (match terminals.(!i) with
+        | Event.Bcast c -> terminals.(!i) <- Event.Bcast { c with count = c.count + 1 }; done_ := true
+        | Event.Allreduce c ->
+            terminals.(!i) <- Event.Allreduce { c with count = c.count + 1 };
+            done_ := true
+        | Event.Allgather c ->
+            terminals.(!i) <- Event.Allgather { c with count = c.count + 1 };
+            done_ := true
+        | Event.Alltoall c ->
+            terminals.(!i) <- Event.Alltoall { c with count = c.count + 1 };
+            done_ := true
+        | Event.Reduce c ->
+            terminals.(!i) <- Event.Reduce { c with count = c.count + 1 };
+            done_ := true
+        | _ -> ());
+        incr i
+      done;
+      if not !done_ then invalid_arg "Divergence.perturb: no perturbable terminal";
+      { ir with Proxy_ir.merged = { m with Merged.terminals } }

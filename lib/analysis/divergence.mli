@@ -1,0 +1,104 @@
+(** Proxy-vs-original divergence report (`siesta diff`).
+
+    The paper's claim is two-sided: the synthesized proxy replays the
+    original's communication *losslessly* and its computation
+    *approximately*.  This module measures both sides on the simulated
+    platform.  It {!capture}s a run — per-rank call streams, per-event
+    computation counters and the simulated-time {!Timeline} — for the
+    original program and for the proxy replay, then {!diff}s the two:
+
+    - {e communication}: per-call-type count and volume deltas, plus the
+      normalized L1 distance between the world-rank send matrices.  Any
+      non-zero delta breaks the lossless claim;
+    - {e computation}: the paper's six counter metrics compared
+      per-event (events paired in order within each rank), reported as
+      relative error mean / p95 / max per metric;
+    - {e time}: per-rank compute/transfer/wait totals compared
+      (timeline distance) and total simulated-time relative error.
+
+    The typed {!verdict} drives the CLI exit code: communication
+    divergence is always fatal; computation divergence is reported
+    against a tolerance. *)
+
+module Engine = Siesta_mpi.Engine
+module Call = Siesta_mpi.Call
+module Counters = Siesta_perf.Counters
+
+type capture = {
+  c_nranks : int;
+  c_result : Engine.result;
+  c_calls : Call.t array array;  (** per rank, in call order *)
+  c_compute : Counters.t array array;
+      (** per rank, one (noisy) counter delta per computation event, in
+          order — read PMPI-style at call boundaries *)
+  c_timeline : Timeline.t;
+}
+
+val capture :
+  platform:Siesta_platform.Spec.t ->
+  impl:Siesta_platform.Mpi_impl.t ->
+  nranks:int ->
+  ?seed:int ->
+  (Engine.ctx -> unit) ->
+  capture
+(** Run [program] under a zero-overhead hook and a timeline observer.
+    Timing is identical to an uninstrumented run with the same [seed]
+    (default 42). *)
+
+type call_stat = {
+  cs_name : string;
+  cs_count_orig : int;
+  cs_count_proxy : int;
+  cs_bytes_orig : int;
+  cs_bytes_proxy : int;
+}
+
+type metric_err = {
+  me_metric : Counters.metric;
+  me_mean : float;
+  me_p95 : float;
+  me_max : float;
+  me_events : int;  (** paired events that entered the statistics *)
+}
+
+type report = {
+  r_nranks : int;
+  r_call_stats : call_stat list;  (** union of observed call types, by name *)
+  r_comm_matrix_dist : float;  (** L1 distance / original volume *)
+  r_lossless : bool;
+  r_reasons : string list;  (** human-readable lossless violations *)
+  r_compute_errors : metric_err list;  (** one entry per paper metric *)
+  r_compute_unpaired : int;  (** computation events without a pair *)
+  r_timeline_distance : float;
+      (** mean over ranks of sum over kinds of absolute per-kind time
+          deltas, normalized by the original's elapsed time *)
+  r_time_orig : float;
+  r_time_proxy : float;
+  r_time_error : float;  (** |proxy - orig| / orig *)
+}
+
+val diff : original:capture -> proxy:capture -> report
+
+type verdict =
+  | Faithful
+  | Compute_divergent of string  (** comm lossless, computation off tolerance *)
+  | Comm_divergent of string list  (** replay is not lossless — fatal *)
+
+val verdict : ?compute_tolerance:float -> report -> verdict
+(** [compute_tolerance] (default 0.5) bounds each metric's *mean*
+    per-event relative error. *)
+
+val verdict_name : verdict -> string
+
+val to_markdown : report -> string
+val to_json : report -> string
+
+val publish_metrics : report -> unit
+(** Register the headline scores as [Siesta_obs.Metrics] gauges
+    ([diff.comm.*], [diff.compute.*], [diff.timeline.*], [diff.time.*])
+    so they land in [--metrics-out]. *)
+
+val perturb : [ `Comm | `Compute ] -> Siesta_synth.Proxy_ir.t -> Siesta_synth.Proxy_ir.t
+(** Deliberately damaged copy of a proxy IR, for testing the detector:
+    [`Comm] bumps the count of the first send-side terminal (falling back
+    to a collective), [`Compute] scales every block combination by 1.5. *)

@@ -1,0 +1,252 @@
+module Engine = Siesta_mpi.Engine
+module Call = Siesta_mpi.Call
+module Span = Siesta_obs.Span
+module Pretty_table = Siesta_util.Pretty_table
+
+type kind = Compute | Transfer | Wait
+
+let kind_name = function Compute -> "compute" | Transfer -> "transfer" | Wait -> "wait"
+
+type segment = { t0 : float; t1 : float; kind : kind; name : string }
+
+type p2p_match = {
+  pm_src : int;
+  pm_dst : int;
+  pm_rdv : bool;
+  pm_send_ready : float;
+  pm_post : float;
+  pm_completion : float;
+  pm_bytes : int;
+}
+
+type coll_sync = {
+  cs_kind : string;
+  cs_ranks : int array;
+  cs_last_rank : int;
+  cs_last_arrival : float;
+  cs_finish : float;
+}
+
+type t = {
+  nranks : int;
+  elapsed : float;
+  per_rank_elapsed : float array;
+  segments : segment array array;
+  matches : p2p_match array;
+  colls : coll_sync array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Classification *)
+
+(* Kind of the simulated interval owned by a call, decided statically by
+   the call type (the paper's compute/transfer/wait trichotomy).  A
+   rendezvous MPI_Send does block, but its classification stays with the
+   call type: the critical-path walk, not the classifier, decides whether
+   a given Send interval was remotely bound. *)
+let classify (call : Call.t) =
+  match call with
+  | Call.Send _ | Call.Isend _ | Call.Irecv _ | Call.Ibarrier _ | Call.Ibcast _
+  | Call.Iallreduce _ | Call.Comm_free _ | Call.File_write_at _ | Call.File_read_at _ ->
+      Transfer
+  | Call.Recv _ | Call.Wait _ | Call.Waitall _ | Call.Sendrecv _ | Call.Barrier _
+  | Call.Bcast _ | Call.Reduce _ | Call.Allreduce _ | Call.Alltoall _ | Call.Alltoallv _
+  | Call.Allgather _ | Call.Gather _ | Call.Scatter _ | Call.Scan _ | Call.Exscan _
+  | Call.Reduce_scatter _ | Call.Comm_split _ | Call.Comm_dup _ | Call.File_open _
+  | Call.File_close _ | Call.File_write_all _ | Call.File_read_all _ ->
+      Wait
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+type item =
+  | Rcall of string * kind * float  (* name, kind, start clock *)
+  | Rcomp of float * float  (* compute interval *)
+
+type recording = {
+  rec_nranks : int;
+  items : item list array;  (* newest first *)
+  mutable rmatches : p2p_match list;  (* newest first *)
+  mutable rcolls : coll_sync list;  (* newest first *)
+}
+
+let start ~nranks =
+  { rec_nranks = nranks; items = Array.make nranks []; rmatches = []; rcolls = [] }
+
+let observer r : Engine.observer =
+  {
+    Engine.on_call =
+      (fun ~rank ~call ~clock ->
+        r.items.(rank) <- Rcall (Call.name call, classify call, clock) :: r.items.(rank));
+    on_compute = (fun ~rank ~t0 ~t1 -> r.items.(rank) <- Rcomp (t0, t1) :: r.items.(rank));
+    on_p2p_match =
+      (fun ~src ~dst ~rendezvous ~send_ready ~post ~completion ~bytes ->
+        r.rmatches <-
+          {
+            pm_src = src;
+            pm_dst = dst;
+            pm_rdv = rendezvous;
+            pm_send_ready = send_ready;
+            pm_post = post;
+            pm_completion = completion;
+            pm_bytes = bytes;
+          }
+          :: r.rmatches);
+    on_coll_done =
+      (fun ~kind ~ranks ~last_rank ~last_arrival ~finish ->
+        r.rcolls <-
+          {
+            cs_kind = kind;
+            cs_ranks = Array.copy ranks;
+            cs_last_rank = last_rank;
+            cs_last_arrival = last_arrival;
+            cs_finish = finish;
+          }
+          :: r.rcolls);
+  }
+
+(* Turn one rank's item stream into a tiling of [0, elapsed_r].  A call
+   segment runs from its start clock to the start of the next item (or the
+   rank's final clock); compute intervals are exact and adjacent ones
+   coalesce.  Gaps — which the engine should never produce — are kept
+   visible as explicit "idle" wait segments rather than silently absorbed. *)
+let rank_segments items elapsed_r =
+  let items = List.rev items in
+  let out = ref [] in
+  let push s = if s.t1 > s.t0 then out := s :: !out in
+  let push_compute t0 t1 =
+    if t1 > t0 then
+      match !out with
+      | prev :: rest when prev.kind = Compute && prev.t1 = t0 ->
+          out := { prev with t1 } :: rest
+      | _ -> out := { t0; t1; kind = Compute; name = "compute" } :: !out
+  in
+  (* [open_call]: a call whose end we have not yet seen; [cursor]: end of
+     the last closed segment. *)
+  let open_call = ref None in
+  let cursor = ref 0.0 in
+  let close_open upto =
+    (match !open_call with
+    | Some (name, kind, t0) ->
+        push { t0; t1 = upto; kind; name };
+        open_call := None
+    | None -> if upto > !cursor then push { t0 = !cursor; t1 = upto; kind = Wait; name = "idle" });
+    cursor := upto
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | Rcall (name, kind, t) ->
+          close_open t;
+          open_call := Some (name, kind, t)
+      | Rcomp (t0, t1) ->
+          close_open t0;
+          push_compute t0 t1;
+          cursor := t1)
+    items;
+  close_open elapsed_r;
+  Array.of_list (List.rev !out)
+
+let finalize r ~result =
+  let per_rank = result.Engine.per_rank_elapsed in
+  {
+    nranks = r.rec_nranks;
+    elapsed = result.Engine.elapsed;
+    per_rank_elapsed = Array.copy per_rank;
+    segments = Array.init r.rec_nranks (fun rk -> rank_segments r.items.(rk) per_rank.(rk));
+    matches = Array.of_list (List.rev r.rmatches);
+    colls = Array.of_list (List.rev r.rcolls);
+  }
+
+let record ~platform ~impl ~nranks ?hook ?(seed = 42) program =
+  let r = start ~nranks in
+  let result = Engine.run ~platform ~impl ~nranks ?hook ~observer:(observer r) ~seed program in
+  (finalize r ~result, result)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+let kind_totals t rank =
+  let c = ref 0.0 and x = ref 0.0 and w = ref 0.0 in
+  Array.iter
+    (fun s ->
+      let d = s.t1 -. s.t0 in
+      match s.kind with Compute -> c := !c +. d | Transfer -> x := !x +. d | Wait -> w := !w +. d)
+    t.segments.(rank);
+  [ (Compute, !c); (Transfer, !x); (Wait, !w) ]
+
+let wait_breakdown t rank =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun s ->
+      if s.kind = Wait then begin
+        let n, d = Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl s.name) in
+        Hashtbl.replace tbl s.name (n + 1, d +. (s.t1 -. s.t0))
+      end)
+    t.segments.(rank);
+  Hashtbl.fold (fun name (n, d) acc -> (name, n, d) :: acc) tbl []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let render t =
+  let header = [ "rank"; "compute_s"; "transfer_s"; "wait_s"; "wait_%"; "top wait call" ] in
+  let rows =
+    List.init t.nranks (fun rk ->
+        let totals = kind_totals t rk in
+        let get k = List.assoc k totals in
+        let el = t.per_rank_elapsed.(rk) in
+        let top =
+          match wait_breakdown t rk with
+          | [] -> "-"
+          | (name, n, d) :: _ -> Printf.sprintf "%s (x%d, %.2e s)" name n d
+        in
+        [
+          string_of_int rk;
+          Printf.sprintf "%.3e" (get Compute);
+          Printf.sprintf "%.3e" (get Transfer);
+          Printf.sprintf "%.3e" (get Wait);
+          (if el > 0.0 then Printf.sprintf "%.1f" (100.0 *. get Wait /. el) else "0.0");
+          top;
+        ])
+  in
+  Pretty_table.render ~header ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export (simulated clock) *)
+
+let to_chrome_json t =
+  let us s = s *. 1e6 in
+  let evs = ref [] in
+  for rk = t.nranks - 1 downto 0 do
+    Array.iter
+      (fun s ->
+        evs :=
+          {
+            Span.e_name = s.name;
+            e_cat = "sim";
+            e_ph = 'X';
+            e_ts_us = us s.t0;
+            e_dur_us = us (s.t1 -. s.t0);
+            e_tid = rk;
+            e_args = [ ("kind", kind_name s.kind) ];
+          }
+          :: !evs)
+      t.segments.(rk);
+    (* metadata first on each track so every rank renders even when empty *)
+    evs :=
+      {
+        Span.e_name = "thread_name";
+        e_cat = "__metadata";
+        e_ph = 'M';
+        e_ts_us = 0.0;
+        e_dur_us = 0.0;
+        e_tid = rk;
+        e_args = [ ("name", Printf.sprintf "rank %d" rk) ];
+      }
+      :: !evs
+  done;
+  Span.chrome_json_of ~clock:"simulated" !evs
+
+let write t ~path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json t);
+  close_out oc

@@ -10,6 +10,8 @@ module Span = Siesta_obs.Span
 module Metrics = Siesta_obs.Metrics
 module Log = Siesta_obs.Log
 module Clock = Siesta_obs.Clock
+module Timeline = Siesta_analysis.Timeline
+module Divergence = Siesta_analysis.Divergence
 
 type spec = {
   workload : Registry.t;
@@ -131,3 +133,47 @@ let run_proxy artifact ~platform ~impl =
 
 let run_original s ~platform ~impl =
   Engine.run ~platform ~impl ~nranks:s.nranks ~seed:s.seed (program_of s)
+
+(* ------------------------------------------------------------------ *)
+(* Fidelity observatory (simulated clock) *)
+
+let record_timeline s =
+  Span.with_ ~cat:"pipeline" "timeline" (fun () ->
+      Timeline.record ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed
+        (program_of s))
+
+let capture_original s =
+  Span.with_ ~cat:"pipeline" "capture.original" (fun () ->
+      Divergence.capture ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed
+        (program_of s))
+
+let capture_proxy ?platform ?impl artifact =
+  let s = artifact.traced.run_spec in
+  let platform = Option.value ~default:s.platform platform in
+  let impl = Option.value ~default:s.impl impl in
+  Span.with_ ~cat:"pipeline" "capture.proxy" (fun () ->
+      Divergence.capture ~platform ~impl ~nranks:s.nranks ~seed:s.seed
+        (Proxy_ir.program artifact.proxy))
+
+type fidelity = {
+  f_original : Divergence.capture;
+  f_proxy : Divergence.capture;
+  f_report : Divergence.report;
+}
+
+let diff artifact =
+  let original = capture_original artifact.traced.run_spec in
+  let proxy = capture_proxy artifact in
+  let report =
+    Span.with_ ~cat:"pipeline" "diff" (fun () -> Divergence.diff ~original ~proxy)
+  in
+  Divergence.publish_metrics report;
+  Log.info (fun () ->
+      ( "pipeline.diff",
+        [
+          ("workload", artifact.traced.run_spec.workload.Registry.name);
+          ("lossless", string_of_bool report.Divergence.r_lossless);
+          ("time_error", Printf.sprintf "%.4f" report.Divergence.r_time_error);
+          ("timeline_distance", Printf.sprintf "%.4e" report.Divergence.r_timeline_distance);
+        ] ));
+  { f_original = original; f_proxy = proxy; f_report = report }

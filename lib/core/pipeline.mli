@@ -85,3 +85,36 @@ val run_original :
   Siesta_mpi.Engine.result
 (** Re-run the traced program itself elsewhere (the evaluation's ground
     truth for portability experiments). *)
+
+(** {1 Fidelity observatory}
+
+    Simulated-clock instrumentation of the runs themselves — see
+    {!Siesta_analysis.Timeline} / {!Siesta_analysis.Divergence}. *)
+
+val record_timeline : spec -> Siesta_analysis.Timeline.t * Siesta_mpi.Engine.result
+(** Run the workload once under a timeline observer (timing identical to
+    {!run_original} on the generation platform). *)
+
+val capture_original : spec -> Siesta_analysis.Divergence.capture
+(** Full divergence capture (calls + per-event counters + timeline) of
+    the original program on the generation platform. *)
+
+val capture_proxy :
+  ?platform:Siesta_platform.Spec.t ->
+  ?impl:Siesta_platform.Mpi_impl.t ->
+  artifact ->
+  Siesta_analysis.Divergence.capture
+(** Same capture for the synthesized proxy replay; platform and
+    implementation default to the generation pair. *)
+
+type fidelity = {
+  f_original : Siesta_analysis.Divergence.capture;
+  f_proxy : Siesta_analysis.Divergence.capture;
+  f_report : Siesta_analysis.Divergence.report;
+}
+
+val diff : artifact -> fidelity
+(** Capture original and proxy on the generation platform, diff them, and
+    publish the headline scores as [Siesta_obs.Metrics] gauges (a no-op
+    when the registry is disabled).  Drives [siesta diff] and the
+    report's Fidelity section. *)

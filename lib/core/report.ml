@@ -6,6 +6,9 @@ module Merged = Siesta_merge.Merged
 module Proxy_ir = Siesta_synth.Proxy_ir
 module Comm_matrix = Siesta_analysis.Comm_matrix
 module Topology = Siesta_analysis.Topology
+module Timeline = Siesta_analysis.Timeline
+module Critical_path = Siesta_analysis.Critical_path
+module Divergence = Siesta_analysis.Divergence
 module Counters = Siesta_perf.Counters
 module Registry = Siesta_workloads.Registry
 module Spec = Siesta_platform.Spec
@@ -21,9 +24,10 @@ let generate (art : Pipeline.artifact) =
   let table = Recorder.compute_table recorder in
   let mpip = Mpip.build recorder in
   let matrix = Comm_matrix.of_recorder recorder in
-  let proxy_run =
-    Pipeline.run_proxy art ~platform:spec.Pipeline.platform ~impl:spec.Pipeline.impl
-  in
+  let fid = Pipeline.diff art in
+  (* the capture's hook is zero-overhead and the observer is passive, so
+     this *is* the plain proxy replay on the generation platform *)
+  let proxy_run = fid.Pipeline.f_proxy.Divergence.c_result in
   let buf = Buffer.create 8192 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   p "# Siesta proxy report: %s @ %d ranks\n\n" spec.Pipeline.workload.Registry.name
@@ -89,6 +93,14 @@ let generate (art : Pipeline.artifact) =
              (fun (m, e) -> Printf.sprintf "%s %s" (Counters.metric_name m) (pct e))
              (Evaluate.per_metric_errors ~original:traced.Pipeline.original ~proxy:proxy_run)))
    end);
+  p "\n## Fidelity (simulated clock)\n\n";
+  Buffer.add_string buf (Divergence.to_markdown fid.Pipeline.f_report);
+  p "\n### Critical path (original run)\n\n```\n%s```\n"
+    (Critical_path.render
+       (Critical_path.compute ~merged:art.Pipeline.merged
+          fid.Pipeline.f_original.Divergence.c_timeline));
+  p "\n### Per-rank simulated-time breakdown (original run)\n\n```\n%s```\n"
+    (Timeline.render fid.Pipeline.f_original.Divergence.c_timeline);
   Buffer.contents buf
 
 let write_file art ~path =

@@ -6,9 +6,14 @@ module Span = Siesta_obs.Span
 module Metrics = Siesta_obs.Metrics
 module Log = Siesta_obs.Log
 
-type config = { rle : bool; cluster_threshold : float; domains : int option }
+type config = {
+  rle : bool;
+  cluster_threshold : float;
+  domains : int option;
+  pool : Parallel.pool option;
+}
 
-let default_config = { rle = true; cluster_threshold = 0.35; domains = None }
+let default_config = { rle = true; cluster_threshold = 0.35; domains = None; pool = None }
 
 (* ------------------------------------------------------------------ *)
 (* Interned entry keys.
@@ -234,9 +239,24 @@ let merge_streams ?(config = default_config) ~nranks streams =
      domain pool.  Results are slotted by rank index, so the output is
      byte-identical to the sequential path (domains = 1 / small inputs
      skip the pool entirely). *)
-  let domains = max 1 (match config.domains with Some d -> d | None -> Parallel.num_domains ()) in
-  let pool = if domains > 1 && nranks > 1 then Some (Parallel.create ~domains ()) else None in
-  Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
+  let domains =
+    match config.pool with
+    | Some p -> Parallel.size p
+    | None -> max 1 (match config.domains with Some d -> d | None -> Parallel.num_domains ())
+  in
+  (* An external pool (config.pool) is borrowed: the caller owns its
+     lifetime and can read [Parallel.stats] afterwards (the bench drivers
+     do exactly that).  Otherwise a transient pool is created and shut
+     down around the call. *)
+  let owned, pool =
+    match config.pool with
+    | Some p -> (false, if Parallel.size p > 1 && nranks > 1 then Some p else None)
+    | None ->
+        if domains > 1 && nranks > 1 then (true, Some (Parallel.create ~domains ()))
+        else (false, None)
+  in
+  Fun.protect ~finally:(fun () -> if owned then Option.iter Parallel.shutdown pool)
+  @@ fun () ->
   let pmap f arr = match pool with Some p -> Parallel.map ~pool:p f arr | None -> Array.mapi f arr in
   let grammars =
     Span.with_ ~cat:"merge" "merge.sequitur" (fun () ->

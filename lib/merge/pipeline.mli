@@ -28,6 +28,12 @@ type config = {
           resolves via {!Siesta_util.Parallel.num_domains} (the
           [SIESTA_NUM_DOMAINS] environment variable, else the recommended
           domain count).  [Some 1] forces the sequential path. *)
+  pool : Siesta_util.Parallel.pool option;
+      (** externally owned pool for the per-rank stages; when set it
+          overrides [domains], is {e not} shut down by the merge, and the
+          caller may read {!Siesta_util.Parallel.stats} afterwards (used
+          by the bench drivers to measure per-domain efficiency).
+          Default [None]: a transient pool is created per call. *)
 }
 
 val default_config : config

@@ -36,38 +36,87 @@ type t =
 let any_source = -1
 let any_tag = -1
 
-let name = function
-  | Send _ -> "MPI_Send"
-  | Recv _ -> "MPI_Recv"
-  | Isend _ -> "MPI_Isend"
-  | Irecv _ -> "MPI_Irecv"
-  | Wait _ -> "MPI_Wait"
-  | Waitall _ -> "MPI_Waitall"
-  | Sendrecv _ -> "MPI_Sendrecv"
-  | Barrier _ -> "MPI_Barrier"
-  | Bcast _ -> "MPI_Bcast"
-  | Reduce _ -> "MPI_Reduce"
-  | Allreduce _ -> "MPI_Allreduce"
-  | Alltoall _ -> "MPI_Alltoall"
-  | Alltoallv _ -> "MPI_Alltoallv"
-  | Allgather _ -> "MPI_Allgather"
-  | Gather _ -> "MPI_Gather"
-  | Scatter _ -> "MPI_Scatter"
-  | Scan _ -> "MPI_Scan"
-  | Exscan _ -> "MPI_Exscan"
-  | Reduce_scatter _ -> "MPI_Reduce_scatter"
-  | Ibarrier _ -> "MPI_Ibarrier"
-  | Ibcast _ -> "MPI_Ibcast"
-  | Iallreduce _ -> "MPI_Iallreduce"
-  | Comm_split _ -> "MPI_Comm_split"
-  | Comm_dup _ -> "MPI_Comm_dup"
-  | Comm_free _ -> "MPI_Comm_free"
-  | File_open _ -> "MPI_File_open"
-  | File_close _ -> "MPI_File_close"
-  | File_write_all _ -> "MPI_File_write_all"
-  | File_read_all _ -> "MPI_File_read_all"
-  | File_write_at _ -> "MPI_File_write_at"
-  | File_read_at _ -> "MPI_File_read_at"
+let n_kinds = 31
+
+(* Names by dense constructor index (same order as the type and as
+   [index] below).  [name] goes through this table so the two can never
+   drift; [kind_name] lets aggregators that bucket by [index] (the
+   engine's per-kind metric flush) recover the MPI name without holding
+   a witness value of the constructor. *)
+let kind_names =
+  [|
+    "MPI_Send";
+    "MPI_Recv";
+    "MPI_Isend";
+    "MPI_Irecv";
+    "MPI_Wait";
+    "MPI_Waitall";
+    "MPI_Sendrecv";
+    "MPI_Barrier";
+    "MPI_Bcast";
+    "MPI_Reduce";
+    "MPI_Allreduce";
+    "MPI_Alltoall";
+    "MPI_Alltoallv";
+    "MPI_Allgather";
+    "MPI_Gather";
+    "MPI_Scatter";
+    "MPI_Scan";
+    "MPI_Exscan";
+    "MPI_Reduce_scatter";
+    "MPI_Ibarrier";
+    "MPI_Ibcast";
+    "MPI_Iallreduce";
+    "MPI_Comm_split";
+    "MPI_Comm_dup";
+    "MPI_Comm_free";
+    "MPI_File_open";
+    "MPI_File_close";
+    "MPI_File_write_all";
+    "MPI_File_read_all";
+    "MPI_File_write_at";
+    "MPI_File_read_at";
+  |]
+
+let kind_name i = kind_names.(i)
+
+(* Dense constructor index (same order as the type).  Used by the
+   engine's per-kind metric cache: an array load on this index replaces
+   a string-keyed Hashtbl lookup on [name] on the per-event hot path. *)
+let index = function
+  | Send _ -> 0
+  | Recv _ -> 1
+  | Isend _ -> 2
+  | Irecv _ -> 3
+  | Wait _ -> 4
+  | Waitall _ -> 5
+  | Sendrecv _ -> 6
+  | Barrier _ -> 7
+  | Bcast _ -> 8
+  | Reduce _ -> 9
+  | Allreduce _ -> 10
+  | Alltoall _ -> 11
+  | Alltoallv _ -> 12
+  | Allgather _ -> 13
+  | Gather _ -> 14
+  | Scatter _ -> 15
+  | Scan _ -> 16
+  | Exscan _ -> 17
+  | Reduce_scatter _ -> 18
+  | Ibarrier _ -> 19
+  | Ibcast _ -> 20
+  | Iallreduce _ -> 21
+  | Comm_split _ -> 22
+  | Comm_dup _ -> 23
+  | Comm_free _ -> 24
+  | File_open _ -> 25
+  | File_close _ -> 26
+  | File_write_all _ -> 27
+  | File_read_all _ -> 28
+  | File_write_at _ -> 29
+  | File_read_at _ -> 30
+
+let name t = kind_names.(index t)
 
 let payload_bytes = function
   | Send p | Isend (p, _) | Recv p | Irecv (p, _) -> Datatype.bytes p.dt ~count:p.count

@@ -49,6 +49,19 @@ val any_tag : int
 val name : t -> string
 (** The MPI function name ("MPI_Send", ...). *)
 
+val index : t -> int
+(** Dense constructor index in [0, n_kinds): a jump-table match, cheap
+    enough for per-event hot paths (the engine's metric cache indexes an
+    array with it instead of hashing [name]). *)
+
+val n_kinds : int
+(** Number of call constructors; [index] is always below it. *)
+
+val kind_name : int -> string
+(** [kind_name (index t) = name t]: the MPI function name for a dense
+    constructor index.  Lets per-kind aggregators (the engine's batched
+    metric flush) recover names without a witness value. *)
+
 val payload_bytes : t -> int
 (** Data volume moved by this rank for the call (send side for p2p;
     per-rank buffer for collectives; 0 for waits/barriers/comm ops). *)

@@ -54,8 +54,16 @@ type proc = {
   coll_seq : (int, int) Hashtbl.t;  (* comm id -> next collective index *)
 }
 
-(* Payload a rank contributes to a pending collective. *)
-type coll_payload = { cpl_rank : int; cpl_bytes : int; cpl_color : int; cpl_key : int }
+(* Payload a rank contributes to a pending collective.  [cpl_clock] is the
+   contributor's clock at arrival (after call overhead), kept so observers
+   can identify the last arriver of a completed collective. *)
+type coll_payload = {
+  cpl_rank : int;
+  cpl_bytes : int;
+  cpl_color : int;
+  cpl_key : int;
+  cpl_clock : float;
+}
 
 type coll_pending = {
   cp_kind : string;
@@ -68,6 +76,28 @@ type coll_pending = {
 type hook = {
   on_event : rank:int -> papi:Papi.t -> call:Call.t -> unit;
   per_event_overhead : float;
+}
+
+(* Passive simulated-time observer (see engine.mli for the contract). *)
+type observer = {
+  on_call : rank:int -> call:Call.t -> clock:float -> unit;
+  on_compute : rank:int -> t0:float -> t1:float -> unit;
+  on_p2p_match :
+    src:int ->
+    dst:int ->
+    rendezvous:bool ->
+    send_ready:float ->
+    post:float ->
+    completion:float ->
+    bytes:int ->
+    unit;
+  on_coll_done :
+    kind:string ->
+    ranks:int array ->
+    last_rank:int ->
+    last_arrival:float ->
+    finish:float ->
+    unit;
 }
 
 type engine = {
@@ -84,15 +114,22 @@ type engine = {
          each rank's count of collectives initiated on that communicator,
          so several non-blocking collectives can be in flight in order *)
   hook : hook option;
+  observer : observer option;
   mutable next_req : int;
   mutable next_comm : int;
   mutable next_file : int;
   mutable total_calls : int;
-  (* per-call-kind (count, bytes) metric cells, cached so the hot [emit]
-     path pays one plain Hashtbl lookup instead of a registry lookup
-     under the global mutex; the scheduler is single-domain, so a plain
-     table is safe *)
-  metric_cache : (string, Metrics.counter * Metrics.counter) Hashtbl.t;
+  (* Per-call-kind (count, bytes) accumulators, indexed by
+     [Call.index].  The hot [emit] path pays a jump-table match plus
+     two plain int adds — no hashing, no atomics; the scheduler is
+     single-domain, so unsynchronized slots are safe.  The totals are
+     flushed into the (atomic, registry-backed) [Metrics] counters once
+     at the end of [run].  The collective latency histogram is likewise
+     resolved once per run, not per collective, keeping the registry
+     mutex off the event path. *)
+  call_counts : int array;
+  call_bytes : int array;
+  mutable coll_latency : Metrics.histogram option;
 }
 
 type file = { f_id : int; f_comm : comm }
@@ -252,6 +289,11 @@ let pair eng (msg : message) (post : posted) =
       +. wire_time eng ~src:msg.m_src ~dst:msg.m_dst ~bytes:msg.m_bytes
     else max post.p_post msg.m_avail
   in
+  (match eng.observer with
+  | None -> ()
+  | Some o ->
+      o.on_p2p_match ~src:msg.m_src ~dst:msg.m_dst ~rendezvous:msg.m_rdv
+        ~send_ready:msg.m_send_ready ~post:post.p_post ~completion ~bytes:msg.m_bytes);
   complete_request eng post.p_req completion;
   match msg.m_sreq with
   | Some sreq when msg.m_rdv -> complete_request eng sreq completion
@@ -285,22 +327,28 @@ let comm_id _ctx comm = comm.c_id
 let wtime ctx = ctx.proc.clock
 
 let count_call eng call =
-  (* Per-MPI-call-type count and volume counters ("mpi.calls.MPI_Send",
-     "mpi.bytes.MPI_Send", ...).  Only reached when the metrics registry
-     is enabled; off, the caller's branch is the entire cost. *)
-  let name = Call.name call in
-  let c, v =
-    match Hashtbl.find_opt eng.metric_cache name with
-    | Some cell -> cell
-    | None ->
-        let cell = (Metrics.counter ("mpi.calls." ^ name), Metrics.counter ("mpi.bytes." ^ name)) in
-        Hashtbl.add eng.metric_cache name cell;
-        cell
-  in
-  Metrics.incr c 1;
-  Metrics.incr v (Call.payload_bytes call)
+  (* Per-MPI-call-type count and volume accumulation for the
+     "mpi.calls.<name>" / "mpi.bytes.<name>" counters.  Only reached
+     when the metrics registry is enabled; off, the caller's branch is
+     the entire cost.  On, the cost is two plain int adds — the
+     registry-backed counters are only touched by the end-of-run flush
+     in [run]. *)
+  let i = Call.index call in
+  eng.call_counts.(i) <- eng.call_counts.(i) + 1;
+  eng.call_bytes.(i) <- eng.call_bytes.(i) + Call.payload_bytes call
 
-let emit ctx call =
+(* Tell the observer (if any) that a call begins now, on this rank's
+   current clock.  Split out of [emit] because comm_split / comm_dup /
+   file_open only learn the resolved ids *after* their collective
+   completes: they notify at entry with a placeholder and later emit to
+   the recorder hook with [~observe:false]. *)
+let notify_call ctx call =
+  match ctx.eng.observer with
+  | None -> ()
+  | Some o -> o.on_call ~rank:ctx.proc.rank ~call ~clock:ctx.proc.clock
+
+let emit ?(observe = true) ctx call =
+  if observe then notify_call ctx call;
   ctx.eng.total_calls <- ctx.eng.total_calls + 1;
   if Metrics.enabled () then count_call ctx.eng call;
   match ctx.eng.hook with
@@ -309,15 +357,26 @@ let emit ctx call =
       h.on_event ~rank:ctx.proc.rank ~papi:ctx.proc.papi ~call;
       ctx.proc.clock <- ctx.proc.clock +. h.per_event_overhead
 
+let notify_compute ctx t0 =
+  match ctx.eng.observer with
+  | Some o when ctx.proc.clock > t0 -> o.on_compute ~rank:ctx.proc.rank ~t0 ~t1:ctx.proc.clock
+  | Some _ | None -> ()
+
 let compute_work ctx work =
+  let t0 = ctx.proc.clock in
   let before = (Papi.totals ctx.proc.papi).Counters.cyc in
   Papi.accumulate ctx.proc.papi work;
   let after = (Papi.totals ctx.proc.papi).Counters.cyc in
   ctx.proc.clock <-
-    ctx.proc.clock +. Cpu.seconds_of_cycles ctx.eng.platform.Spec.cpu (after -. before)
+    ctx.proc.clock +. Cpu.seconds_of_cycles ctx.eng.platform.Spec.cpu (after -. before);
+  notify_compute ctx t0
 
 let compute ctx kernel = compute_work ctx (Kernel.to_work kernel)
-let sleep ctx dt = ctx.proc.clock <- ctx.proc.clock +. max 0.0 dt
+
+let sleep ctx dt =
+  let t0 = ctx.proc.clock in
+  ctx.proc.clock <- t0 +. max 0.0 dt;
+  notify_compute ctx t0
 
 (* ------------------------------------------------------------------ *)
 (* Point-to-point operations                                            *)
@@ -499,7 +558,8 @@ let coll_join ctx comm ~kind ~bytes ~color ~key =
         cp
   in
   cp.cp_arrived <-
-    { cpl_rank = proc.rank; cpl_bytes = bytes; cpl_color = color; cpl_key = key }
+    { cpl_rank = proc.rank; cpl_bytes = bytes; cpl_color = color; cpl_key = key;
+      cpl_clock = proc.clock }
     :: cp.cp_arrived;
   cp.cp_maxclock <- max cp.cp_maxclock proc.clock;
   (cp, cp_key, List.length cp.cp_arrived = Array.length comm.c_ranks)
@@ -514,10 +574,30 @@ let coll_finish ?(advance_self = true) ctx comm cp cp_key ~kind =
   let finish = cp.cp_maxclock +. coll_cost eng comm.c_ranks kind max_bytes in
   (* simulated latency of the collective itself (last arrival -> finish),
      one log-scale histogram across all kinds *)
-  if Metrics.enabled () then
-    Metrics.observe
-      (Metrics.histogram "mpi.collective.latency_s")
-      (finish -. cp.cp_maxclock);
+  (if Metrics.enabled () then
+     let h =
+       match eng.coll_latency with
+       | Some h -> h
+       | None ->
+           let h = Metrics.histogram "mpi.collective.latency_s" in
+           eng.coll_latency <- Some h;
+           h
+     in
+     Metrics.observe h (finish -. cp.cp_maxclock));
+  (match eng.observer with
+  | None -> ()
+  | Some o ->
+      (* the last arriver is the payload whose clock equals cp_maxclock
+         (bit-equal, since cp_maxclock is a running max of those clocks);
+         ties break towards the lowest rank for determinism *)
+      let last_rank =
+        List.fold_left
+          (fun acc a ->
+            if a.cpl_clock = cp.cp_maxclock && (acc < 0 || a.cpl_rank < acc) then a.cpl_rank
+            else acc)
+          (-1) cp.cp_arrived
+      in
+      o.on_coll_done ~kind ~ranks:comm.c_ranks ~last_rank ~last_arrival:cp.cp_maxclock ~finish);
   Hashtbl.remove eng.pending_colls cp_key;
   List.iter
     (fun rk ->
@@ -619,7 +699,11 @@ let comm_split ctx comm ~color ~key =
   let eng = ctx.eng in
   (* The id the split will produce for this rank is not known before the
      collective completes; the trace records the engine id afterwards via
-     the returned comm, so we emit with a placeholder resolved below. *)
+     the returned comm, so we emit with a placeholder resolved below.  The
+     observer however must see the call at its *start* clock, before the
+     collective wait — hence the placeholder notification here and the
+     [~observe:false] emit after resolution. *)
+  notify_call ctx (Call.Comm_split { comm = comm.c_id; color; key; newcomm = -1 });
   let cp, cp_key, last = coll_join ctx comm ~kind:"split" ~bytes:0 ~color ~key in
   if last then begin
     let arrivals = List.rev cp.cp_arrived in
@@ -645,11 +729,13 @@ let comm_split ctx comm ~color ~key =
   match ctx.proc.split_result with
   | Some newcomm ->
       ctx.proc.split_result <- None;
-      emit ctx (Call.Comm_split { comm = comm.c_id; color; key; newcomm = newcomm.c_id });
+      emit ~observe:false ctx
+        (Call.Comm_split { comm = comm.c_id; color; key; newcomm = newcomm.c_id });
       newcomm
   | None -> assert false
 
 let comm_dup ctx comm =
+  notify_call ctx (Call.Comm_dup { comm = comm.c_id; newcomm = -1 });
   let cp, cp_key, last = coll_join ctx comm ~kind:"dup" ~bytes:0 ~color:0 ~key:0 in
   if last then begin
     let eng = ctx.eng in
@@ -666,7 +752,7 @@ let comm_dup ctx comm =
   match ctx.proc.split_result with
   | Some newcomm ->
       ctx.proc.split_result <- None;
-      emit ctx (Call.Comm_dup { comm = comm.c_id; newcomm = newcomm.c_id });
+      emit ~observe:false ctx (Call.Comm_dup { comm = comm.c_id; newcomm = newcomm.c_id });
       newcomm
   | None -> assert false
 
@@ -683,6 +769,7 @@ let comm_free ctx comm =
    counter once and members read it after the collective). *)
 let file_open ctx comm =
   let eng = ctx.eng in
+  notify_call ctx (Call.File_open { comm = comm.c_id; file = -1 });
   let cp, cp_key, last = coll_join ctx comm ~kind:"file_open" ~bytes:0 ~color:0 ~key:0 in
   if last then begin
     let id = eng.next_file in
@@ -693,7 +780,7 @@ let file_open ctx comm =
   else coll_wait ctx cp;
   let file = { f_id = ctx.proc.file_result; f_comm = comm } in
   ctx.proc.file_result <- -1;
-  emit ctx (Call.File_open { comm = comm.c_id; file = file.f_id });
+  emit ~observe:false ctx (Call.File_open { comm = comm.c_id; file = file.f_id });
   file
 
 let file_close ctx file =
@@ -729,7 +816,7 @@ let file_read_at ctx file ~dt ~count =
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                            *)
 
-let run ~platform ~impl ~nranks ?hook ?(seed = 42) ?(counter_noise = 0.01) program =
+let run ~platform ~impl ~nranks ?hook ?observer ?(seed = 42) ?(counter_noise = 0.01) program =
   if nranks <= 0 then invalid_arg "Engine.run: nranks must be positive";
   let root_rng = Rng.create seed in
   let procs =
@@ -760,11 +847,14 @@ let run ~platform ~impl ~nranks ?hook ?(seed = 42) ?(counter_noise = 0.01) progr
       comm_ranks = Hashtbl.create 8;
       pending_colls = Hashtbl.create 8;
       hook;
+      observer;
       next_req = 0;
       next_comm = 1;
       next_file = 0;
       total_calls = 0;
-      metric_cache = Hashtbl.create 32;
+      call_counts = Array.make Call.n_kinds 0;
+      call_bytes = Array.make Call.n_kinds 0;
+      coll_latency = None;
     }
   in
   let world_ranks = Array.init nranks (fun i -> i) in
@@ -830,6 +920,18 @@ let run ~platform ~impl ~nranks ?hook ?(seed = 42) ?(counter_noise = 0.01) progr
   loop ();
   let unreceived = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) eng.unexpected 0 in
   if Metrics.enabled () then begin
+    (* flush the per-kind accumulators gathered by [count_call] into the
+       shared registry (one lookup + add per kind actually used, instead
+       of two atomic increments per MPI event) *)
+    for i = 0 to Call.n_kinds - 1 do
+      if eng.call_counts.(i) > 0 then begin
+        let name = Call.kind_name i in
+        Metrics.incr (Metrics.counter ("mpi.calls." ^ name)) eng.call_counts.(i);
+        Metrics.incr (Metrics.counter ("mpi.bytes." ^ name)) eng.call_bytes.(i);
+        eng.call_counts.(i) <- 0;
+        eng.call_bytes.(i) <- 0
+      end
+    done;
     Metrics.incr (Metrics.counter "engine.runs") 1;
     Metrics.incr (Metrics.counter "engine.calls") eng.total_calls;
     Metrics.observe

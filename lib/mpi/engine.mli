@@ -149,6 +149,48 @@ type hook = {
           hooked call (models the tracing overhead of Table 3). *)
 }
 
+(** Passive observer of the engine's *simulated* time axis, used by the
+    fidelity observatory ({!Siesta_analysis.Timeline}) to reconstruct
+    per-rank timelines and the cross-rank dependency DAG.  Unlike {!hook}
+    it never perturbs the simulation: no overhead is charged and the
+    callbacks must not touch engine state.
+
+    Callback contract:
+    - [on_call] fires at every MPI call entry with the rank's clock
+      *before* any cost is charged.  For [comm_split] / [comm_dup] /
+      [file_open] — whose resolved ids only exist after the collective —
+      the call value carries a [-1] placeholder id.
+    - [on_compute] fires after each [compute]/[compute_work]/[sleep] that
+      advanced the clock, with the simulated interval.
+    - [on_p2p_match] fires when a send is paired with a receive.
+      [send_ready] is the sender's clock after send overhead, [post] the
+      receiver's posting clock, [completion] the matched transfer's
+      completion time on the receiver (and, for a rendezvous send, also
+      on the sender).
+    - [on_coll_done] fires once per completed collective with the
+      participant set, the last arriver and its arrival clock, and the
+      common finish time. *)
+type observer = {
+  on_call : rank:int -> call:Call.t -> clock:float -> unit;
+  on_compute : rank:int -> t0:float -> t1:float -> unit;
+  on_p2p_match :
+    src:int ->
+    dst:int ->
+    rendezvous:bool ->
+    send_ready:float ->
+    post:float ->
+    completion:float ->
+    bytes:int ->
+    unit;
+  on_coll_done :
+    kind:string ->
+    ranks:int array ->
+    last_rank:int ->
+    last_arrival:float ->
+    finish:float ->
+    unit;
+}
+
 type result = {
   elapsed : float;  (** wall time = max over ranks of final clocks *)
   per_rank_elapsed : float array;
@@ -177,11 +219,14 @@ val run :
   impl:Siesta_platform.Mpi_impl.t ->
   nranks:int ->
   ?hook:hook ->
+  ?observer:observer ->
   ?seed:int ->
   ?counter_noise:float ->
   (ctx -> unit) ->
   result
 (** Run an SPMD program on [nranks] simulated ranks.  [counter_noise] is
-    the relative noise of counter readings (default 0.01).
+    the relative noise of counter readings (default 0.01).  [observer]
+    passively watches the simulated clock (see {!observer}); it does not
+    affect timing, so results are bit-identical with or without one.
     @raise Deadlock when the program cannot make progress.
     @raise Collective_mismatch on inconsistent collective use. *)

@@ -101,19 +101,26 @@ let event_json e =
   Buffer.add_char b '}';
   Buffer.contents b
 
-let to_chrome_json () =
-  let evs = Mutex.protect lock (fun () -> List.rev !events) in
+let chrome_json_of ?(clock = "host") evs =
+  let n = List.length evs in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\": [\n";
   List.iteri
     (fun i e ->
       Buffer.add_string b "  ";
       Buffer.add_string b (event_json e);
-      if i < List.length evs - 1 then Buffer.add_char b ',';
+      if i < n - 1 then Buffer.add_char b ',';
       Buffer.add_char b '\n')
     evs;
-  Buffer.add_string b "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"producer\": \"siesta\"}}\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"producer\": \"siesta\", \"clock\": \"%s\"}}\n"
+       (escape clock));
   Buffer.contents b
+
+let to_chrome_json () =
+  let evs = Mutex.protect lock (fun () -> List.rev !events) in
+  chrome_json_of ~clock:"host" evs
 
 let write ~path =
   let oc = open_out path in

@@ -21,6 +21,7 @@ let () =
       ("workload-structure", Test_workload_structure.suite);
       ("baselines", Test_baselines.suite);
       ("analysis", Test_analysis.suite);
+      ("fidelity", Test_fidelity.suite);
       ("extrapolate", Test_extrapolate.suite);
       ("core", Test_core.suite);
       ("final-coverage", Test_final_coverage.suite);
