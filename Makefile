@@ -30,8 +30,11 @@ smoke: build
 	dune exec bin/siesta_cli.exe -- diff -w CG -n 8
 	@rm -f $(SMOKE_TRACE) $(SMOKE_TIMELINE) $(SMOKE_PROXY)
 
-# regression gate: telemetry overhead budget (<= 3%) and parallel-merge
-# determinism, failing the build instead of printing a warning.
+# regression gates, failing the build instead of printing a warning:
+# telemetry overhead budget (<= 3%), parallel-merge determinism, and
+# merge_no_regression (default-config merge_speedup >= 0.95 vs serial
+# on every workload — the Parallel scheduler's "never slower than
+# serial" contract; three remeasurement attempts absorb host noise).
 bench-check: build
 	dune exec bench/main.exe -- --quick --strict obs-overhead pipeline-scale
 

@@ -19,12 +19,19 @@
    (Domain.recommended_domain_count — 1 on the CI container).  The
    spawned domains are not waiting for work, they are waiting for a
    timeslice: the pool oversubscribes the host and each "parallel" chunk
-   serializes behind the caller.  The default pool size already clamps
-   to the recommended count, so only an explicit d > cores hits this;
-   the bench now records per-domain efficiency (sum busy / d * wall) so
-   the condition is visible in the JSON rather than inferred.  See
-   ROADMAP "Open items" for the remaining idea (skip pool fan-out when
-   d > recommended). *)
+   serializes behind the caller.
+
+   The explicit-domain probes below deliberately keep that pathology
+   visible: they use raw pools with the cost gate disabled
+   ([~gate:false]), so the d2/d4/d8 columns in the JSON measure the
+   queued fan-out path as-is.  The *default* configuration is measured
+   separately ([merge_default_s]): it borrows the process-wide warm pool,
+   whose implicit sizing is clamped to the recommended domain count and
+   whose cost gate inlines sub-threshold jobs — the scheduler contract is
+   that this path is never slower than serial.  `make bench-check` runs
+   this driver under [--strict], where merge_speedup_default < 0.95 on
+   any workload (after up to three remeasurement attempts) fails the
+   build: the merge_no_regression gate. *)
 
 module Pipeline = Siesta.Pipeline
 module MPipe = Siesta_merge.Pipeline
@@ -41,6 +48,16 @@ type probe = {
   p_queue_wait_p95_s : float;  (* nan when the pool recorded no waits *)
 }
 
+(* Default-configuration probe: the scheduler contract under test. *)
+type default_probe = {
+  dp_wall_s : float;  (* best attempt *)
+  dp_serial_s : float;  (* serial wall of the same attempt *)
+  dp_speedup : float;  (* dp_serial_s / dp_wall_s *)
+  dp_inline_jobs : int;  (* warm-pool gate decisions during the merge *)
+  dp_dispatched_jobs : int;
+  dp_attempts : int;
+}
+
 type row = {
   workload : string;
   nranks : int;
@@ -48,13 +65,15 @@ type row = {
   trace_s : float;
   synthesize_s : float;
   merge_s : probe list;  (* one probe per domain count *)
+  merge_default : default_probe;
   deterministic : bool;
 }
 
 (* Each domain count gets its own explicitly owned pool (config.pool), so
    domain spawn/join cost sits *outside* the timed region — what remains
    in [p_wall_s] is the steady-state merge — and [Parallel.stats] is
-   still readable after the merge returns. *)
+   still readable after the merge returns.  The pools run with the cost
+   gate off: these probes measure the raw queued fan-out path. *)
 let probe ~nranks ~streams d =
   if d <= 1 then begin
     let merged, s =
@@ -67,7 +86,7 @@ let probe ~nranks ~streams d =
       { p_domains = d; p_wall_s = s; p_efficiency = 1.0; p_queue_wait_p95_s = Float.nan } )
   end
   else
-    Parallel.with_pool ~domains:d (fun pool ->
+    Parallel.with_pool ~domains:d ~gate:false (fun pool ->
         let merged, s =
           wall (fun () ->
               MPipe.merge_streams
@@ -84,6 +103,60 @@ let probe ~nranks ~streams d =
         ( merged,
           { p_domains = d; p_wall_s = s; p_efficiency = eff; p_queue_wait_p95_s = p95 } ))
 
+(* One default-config measurement: serial and default walls back to back,
+   plus the warm pool's gate decisions (stats deltas around the merge).
+   The warm pool is created outside the timed region — real pipelines
+   reuse it across invocations, so Domain.spawn is not part of the
+   steady-state cost being gated. *)
+let measure_default_once ~nranks ~streams =
+  let warm = Parallel.global () in
+  let _, serial_s =
+    wall (fun () ->
+        MPipe.merge_streams
+          ~config:{ MPipe.default_config with MPipe.domains = Some 1 }
+          ~nranks streams)
+  in
+  let before = Parallel.stats warm in
+  let merged, default_s = wall (fun () -> MPipe.merge_streams ~nranks streams) in
+  let after = Parallel.stats warm in
+  let speedup = if default_s > 0.0 then serial_s /. default_s else Float.infinity in
+  ( merged,
+    {
+      dp_wall_s = default_s;
+      dp_serial_s = serial_s;
+      dp_speedup = speedup;
+      dp_inline_jobs = after.Parallel.inline_jobs - before.Parallel.inline_jobs;
+      dp_dispatched_jobs = after.Parallel.dispatched_jobs - before.Parallel.dispatched_jobs;
+      dp_attempts = 1;
+    } )
+
+(* The merge_no_regression gate: default-config merge must stay within 5%
+   of serial (speedup >= 0.95).  Noise-tolerant like the obs-overhead
+   gate: up to three full remeasurements, stopping at the first passing
+   one — a real regression fails every attempt, a scheduler hiccup does
+   not. *)
+let gate_threshold = 0.95
+let max_attempts = 3
+
+let measure_default ~workload ~nranks ~streams =
+  let rec attempt k best =
+    let merged, dp = measure_default_once ~nranks ~streams in
+    let best =
+      match best with
+      | Some (_, b) when b.dp_speedup >= dp.dp_speedup -> best
+      | _ -> Some (merged, dp)
+    in
+    if dp.dp_speedup >= gate_threshold || k >= max_attempts then
+      let merged, dp = Option.get best in
+      (merged, { dp with dp_attempts = k })
+    else begin
+      Printf.printf "attempt %d/%d: %s default merge speedup %.3f below %.2f, remeasuring\n%!"
+        k max_attempts workload dp.dp_speedup gate_threshold;
+      attempt (k + 1) best
+    end
+  in
+  attempt 1 None
+
 let measure ~domain_counts (workload, nranks) =
   let spec = Pipeline.spec ~workload ~nranks () in
   let traced, trace_s = wall (fun () -> Pipeline.trace spec) in
@@ -92,11 +165,13 @@ let measure ~domain_counts (workload, nranks) =
   let reference, _ = probe ~nranks ~streams 1 in
   let results = List.map (fun d -> (d, probe ~nranks ~streams d)) domain_counts in
   let merge_s = List.map (fun (_, (_, p)) -> p) results in
+  let default_merged, merge_default = measure_default ~workload ~nranks ~streams in
   let deterministic =
     List.for_all (fun (_, (merged, _)) -> Merged.equal reference merged) results
+    && Merged.equal reference default_merged
   in
   let _, synthesize_s = wall (fun () -> ignore (Pipeline.synthesize traced)) in
-  { workload; nranks; events; trace_s; synthesize_s; merge_s; deterministic }
+  { workload; nranks; events; trace_s; synthesize_s; merge_s; merge_default; deterministic }
 
 let json_of_rows ~host_domains rows =
   let b = Buffer.create 1024 in
@@ -119,17 +194,27 @@ let json_of_rows ~host_domains rows =
       in
       let efficiency = field num3 (fun p -> p.p_efficiency) in
       let queue_wait = field (nullable num6) (fun p -> p.p_queue_wait_p95_s) in
+      let d = r.merge_default in
       Buffer.add_string b
         (Printf.sprintf
            "    {\"workload\": %S, \"nranks\": %d, \"events\": %d, \
             \"trace_s\": %.6f, \"synthesize_s\": %.6f, \"merge_s\": {%s}, \
             \"merge_speedup\": {%s}, \"merge_efficiency\": {%s}, \
-            \"queue_wait_p95_s\": {%s}, \"deterministic\": %b}%s\n"
+            \"queue_wait_p95_s\": {%s}, \"merge_default_s\": %.6f, \
+            \"merge_serial_s\": %.6f, \"merge_speedup_default\": %.3f, \
+            \"default_inline_jobs\": %d, \"default_dispatched_jobs\": %d, \
+            \"default_attempts\": %d, \"deterministic\": %b}%s\n"
            r.workload r.nranks r.events r.trace_s r.synthesize_s merge_fields
-           speedups efficiency queue_wait r.deterministic
+           speedups efficiency queue_wait d.dp_wall_s d.dp_serial_s d.dp_speedup
+           d.dp_inline_jobs d.dp_dispatched_jobs d.dp_attempts r.deterministic
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string b "  ]\n}\n";
+  let pass =
+    List.for_all (fun r -> r.merge_default.dp_speedup >= gate_threshold) rows
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  ],\n  \"gate_threshold\": %.2f,\n  \"merge_no_regression\": %b\n}\n"
+       gate_threshold pass);
   Buffer.contents b
 
 let run () =
@@ -146,7 +231,7 @@ let run () =
     [ "workload"; "ranks"; "events"; "trace (s)"; "synth (s)" ]
     @ List.map (fun d -> Printf.sprintf "merge d=%d (s)" d) domain_counts
     @ List.map (fun d -> Printf.sprintf "eff d=%d" d) domain_counts
-    @ [ "det" ]
+    @ [ "default (s)"; "def speedup"; "det" ]
   in
   let table_rows =
     List.map
@@ -160,10 +245,23 @@ let run () =
         ]
         @ List.map (fun p -> Exp_common.secs p.p_wall_s) r.merge_s
         @ List.map (fun p -> Exp_common.pct p.p_efficiency) r.merge_s
-        @ [ (if r.deterministic then "yes" else "NO") ])
+        @ [
+            Exp_common.secs r.merge_default.dp_wall_s;
+            Printf.sprintf "%.3f" r.merge_default.dp_speedup;
+            (if r.deterministic then "yes" else "NO");
+          ])
       rows
   in
   Exp_common.table ~header ~rows:table_rows;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %s default config: %.4f s vs %.4f s serial (speedup %.3f), %d inline / %d \
+         dispatched jobs, %d attempt(s)\n"
+        r.workload r.merge_default.dp_wall_s r.merge_default.dp_serial_s
+        r.merge_default.dp_speedup r.merge_default.dp_inline_jobs
+        r.merge_default.dp_dispatched_jobs r.merge_default.dp_attempts)
+    rows;
   List.iter
     (fun r ->
       List.iter
@@ -181,8 +279,32 @@ let run () =
     end;
     failwith "pipeline-scale: parallel merge diverged from sequential merge"
   end;
+  (* merge_no_regression gate: the default configuration must not be
+     slower than serial (within the 5% noise allowance), on every
+     workload.  Retries already happened inside measure_default. *)
+  let regressed =
+    List.filter (fun r -> r.merge_default.dp_speedup < gate_threshold) rows
+  in
   let json = json_of_rows ~host_domains rows in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;
   close_out oc;
-  Printf.printf "wrote BENCH_pipeline.json\n"
+  Printf.printf "wrote BENCH_pipeline.json\n";
+  match regressed with
+  | [] ->
+      Printf.printf "merge_no_regression: PASS (default merge_speedup >= %.2f everywhere)\n"
+        gate_threshold
+  | rs ->
+      let detail =
+        String.concat ", "
+          (List.map
+             (fun r -> Printf.sprintf "%s %.3f" r.workload r.merge_default.dp_speedup)
+             rs)
+      in
+      if !Exp_common.strict then begin
+        Printf.eprintf
+          "pipeline-scale: default merge regressed below serial (speedup < %.2f): %s\n"
+          gate_threshold detail;
+        exit 1
+      end;
+      Printf.printf "merge_no_regression: WARN (speedup < %.2f): %s\n" gate_threshold detail

@@ -280,6 +280,14 @@ let synth_cmd =
         let s = spec_of workload nranks iters platform impl seed in
         let traced = Pipeline.trace s in
         let art = Pipeline.synthesize ~factor traced in
+        (match art.Pipeline.merge_sched with
+        | None -> Printf.printf "merge scheduler: sequential (no domain pool)\n"
+        | Some m ->
+            Printf.printf
+              "merge scheduler: %d domains (requested %d%s), %d inline / %d dispatched jobs\n"
+              m.Pipeline.ms_effective m.Pipeline.ms_requested
+              (if m.Pipeline.ms_clamped then ", clamped" else "")
+              m.Pipeline.ms_inline_jobs m.Pipeline.ms_dispatched_jobs);
         let path =
           match output with
           | Some p -> p

@@ -12,6 +12,7 @@ module Log = Siesta_obs.Log
 module Clock = Siesta_obs.Clock
 module Timeline = Siesta_analysis.Timeline
 module Divergence = Siesta_analysis.Divergence
+module Parallel = Siesta_util.Parallel
 
 type spec = {
   workload : Registry.t;
@@ -95,18 +96,66 @@ let trace s =
         ] ));
   { run_spec = s; original; instrumented; recorder; overhead; timings = [ t_orig; t_instr ] }
 
+type merge_sched = {
+  ms_requested : int;
+  ms_effective : int;
+  ms_clamped : bool;
+  ms_inline_jobs : int;
+  ms_dispatched_jobs : int;
+  ms_est_item_cost_s : float;
+}
+
 type artifact = {
   traced : traced;
   merged : Merged.t;
   proxy : Proxy_ir.t;
   factor : float;
   timings : (string * float) list;
+  merge_sched : merge_sched option;
 }
 
 let synthesize ?(factor = 1.0) ?(rle = true) ?domains traced =
-  let config = { Merge_pipeline.default_config with rle; domains } in
+  (* Resolve the merge stage's pool here so its scheduling decisions
+     (clamp, gate, estimator) can be snapshotted and surfaced in the
+     report.  [None] borrows the shared warm pool — repeated synthesize
+     calls stop paying Domain.spawn per merge; an explicit [Some d > 1]
+     gets a raw transient pool (the determinism cross-checks need the
+     exact domain count). *)
+  let with_merge_pool f =
+    match domains with
+    | Some d when d > 1 -> Parallel.with_pool ~domains:d (fun p -> f (Some p))
+    | Some _ -> f None
+    | None ->
+        let p = Parallel.global () in
+        f (if Parallel.size p > 1 then Some p else None)
+  in
+  with_merge_pool @@ fun pool ->
+  let config =
+    {
+      Merge_pipeline.default_config with
+      rle;
+      pool;
+      domains = (match pool with None -> Some 1 | Some _ -> None);
+    }
+  in
+  let before = Option.map Parallel.stats pool in
   let merged, t_merge =
     stage "merge" (fun () -> Merge_pipeline.merge_recorder ~config traced.recorder)
+  in
+  let merge_sched =
+    match (pool, before) with
+    | Some p, Some b ->
+        let a = Parallel.stats p in
+        Some
+          {
+            ms_requested = a.Parallel.requested;
+            ms_effective = a.Parallel.domains;
+            ms_clamped = a.Parallel.clamped;
+            ms_inline_jobs = a.Parallel.inline_jobs - b.Parallel.inline_jobs;
+            ms_dispatched_jobs = a.Parallel.dispatched_jobs - b.Parallel.dispatched_jobs;
+            ms_est_item_cost_s = a.Parallel.est_item_cost_s;
+          }
+    | _ -> None
   in
   let proxy, t_synth =
     stage "synthesize" (fun () ->
@@ -123,8 +172,12 @@ let synthesize ?(factor = 1.0) ?(rle = true) ?domains traced =
           ("merged", Merged.stats merged);
           ("merge_s", Printf.sprintf "%.6f" (snd t_merge));
           ("synthesize_s", Printf.sprintf "%.6f" (snd t_synth));
+          ( "merge_domains",
+            match merge_sched with
+            | None -> "1"
+            | Some m -> string_of_int m.ms_effective );
         ] ));
-  { traced; merged; proxy; factor; timings = traced.timings @ [ t_merge; t_synth ] }
+  { traced; merged; proxy; factor; timings = traced.timings @ [ t_merge; t_synth ]; merge_sched }
 
 let run_proxy artifact ~platform ~impl =
   Engine.run ~platform ~impl ~nranks:artifact.traced.run_spec.nranks

@@ -53,6 +53,21 @@ val trace : spec -> traced
 (** Run the workload twice — bare and instrumented — on the generation
     platform. *)
 
+type merge_sched = {
+  ms_requested : int;  (** domain count asked of the scheduler *)
+  ms_effective : int;  (** domains actually running after the clamp *)
+  ms_clamped : bool;
+      (** implicit sizing was reduced to the host's recommended count *)
+  ms_inline_jobs : int;
+      (** jobs the cost gate ran serially during this merge *)
+  ms_dispatched_jobs : int;  (** jobs fanned out to the pool *)
+  ms_est_item_cost_s : float;
+      (** the pool's calibrated per-item cost (EWMA); [nan] before the
+          first measured job *)
+}
+(** Snapshot of the {!Siesta_util.Parallel} scheduling decisions taken by
+    the merge stage — what [siesta report] prints as the scheduler line. *)
+
 type artifact = {
   traced : traced;
   merged : Siesta_merge.Merged.t;
@@ -60,14 +75,21 @@ type artifact = {
   factor : float;
   timings : (string * float) list;
       (** the traced stages plus "merge" and "synthesize" *)
+  merge_sched : merge_sched option;
+      (** [None] when the merge ran without a domain pool (sequential
+          path, e.g. [~domains:1] or a 1-domain warm pool) *)
 }
 
 val synthesize : ?factor:float -> ?rle:bool -> ?domains:int -> traced -> artifact
 (** Compress, merge and search computation proxies.  [factor] (default 1)
     produces a shrunk proxy; [rle] (default true) controls the Sequitur
     run-length constraint (ablation); [domains] sizes the merge stage's
-    domain pool (default: auto via
-    {!Siesta_util.Parallel.num_domains}). *)
+    domain pool.  Default ([None]) borrows the process-wide warm pool
+    ({!Siesta_util.Parallel.global}), whose implicit sizing is clamped to
+    the host's recommended domain count — repeated calls pay no
+    [Domain.spawn].  An explicit [~domains:d] with [d > 1] creates a raw
+    transient pool of exactly [d] domains (no clamp; the determinism
+    cross-checks rely on it); [~domains:1] forces the sequential path. *)
 
 val run_proxy :
   artifact ->

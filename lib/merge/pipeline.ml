@@ -239,22 +239,30 @@ let merge_streams ?(config = default_config) ~nranks streams =
      domain pool.  Results are slotted by rank index, so the output is
      byte-identical to the sequential path (domains = 1 / small inputs
      skip the pool entirely). *)
-  let domains =
-    match config.pool with
-    | Some p -> Parallel.size p
-    | None -> max 1 (match config.domains with Some d -> d | None -> Parallel.num_domains ())
-  in
-  (* An external pool (config.pool) is borrowed: the caller owns its
-     lifetime and can read [Parallel.stats] afterwards (the bench drivers
-     do exactly that).  Otherwise a transient pool is created and shut
-     down around the call. *)
+  (* Pool selection.  An external pool (config.pool) is borrowed: the
+     caller owns its lifetime and can read [Parallel.stats] afterwards
+     (the bench drivers do exactly that).  An explicit [config.domains]
+     gets a raw transient pool — the determinism cross-checks need the
+     exact (possibly oversubscribed) domain count.  The default borrows
+     the process-wide warm pool ([Parallel.global]), whose implicit
+     sizing is clamped to the host's recommended domain count, so
+     repeated merges neither oversubscribe the host nor pay
+     [Domain.spawn] per call. *)
   let owned, pool =
     match config.pool with
     | Some p -> (false, if Parallel.size p > 1 && nranks > 1 then Some p else None)
-    | None ->
-        if domains > 1 && nranks > 1 then (true, Some (Parallel.create ~domains ()))
-        else (false, None)
+    | None -> (
+        match config.domains with
+        | Some d ->
+            if d > 1 && nranks > 1 then (true, Some (Parallel.create ~domains:d ()))
+            else (false, None)
+        | None ->
+            if nranks > 1 then
+              let p = Parallel.global () in
+              (false, if Parallel.size p > 1 then Some p else None)
+            else (false, None))
   in
+  let domains = match pool with Some p -> Parallel.size p | None -> 1 in
   Fun.protect ~finally:(fun () -> if owned then Option.iter Parallel.shutdown pool)
   @@ fun () ->
   let pmap f arr = match pool with Some p -> Parallel.map ~pool:p f arr | None -> Array.mapi f arr in

@@ -24,10 +24,15 @@ type config = {
       (** max normalized edit distance for two main rules to share a
           cluster (default 0.35) *)
   domains : int option;
-      (** domain-pool size for the per-rank stages; [None] (default)
-          resolves via {!Siesta_util.Parallel.num_domains} (the
-          [SIESTA_NUM_DOMAINS] environment variable, else the recommended
-          domain count).  [Some 1] forces the sequential path. *)
+      (** domain-pool size for the per-rank stages.  [None] (default)
+          borrows the process-wide warm pool
+          ({!Siesta_util.Parallel.global}), whose implicit sizing
+          ([SIESTA_NUM_DOMAINS], else the recommended domain count) is
+          clamped to {!Domain.recommended_domain_count} so the merge is
+          never slower than serial on small hosts.  [Some d] creates a
+          raw transient pool of exactly [d] domains (no clamp — the
+          determinism cross-checks rely on it); [Some 1] forces the
+          sequential path. *)
   pool : Siesta_util.Parallel.pool option;
       (** externally owned pool for the per-rank stages; when set it
           overrides [domains], is {e not} shut down by the merge, and the

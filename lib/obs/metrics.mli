@@ -58,6 +58,21 @@ module Histo : sig
   val nonzero_buckets : t -> (int * float * int) list
   (** [(index, upper_bound, count)] for buckets with at least one hit. *)
 
+  val add_count : t -> int -> int -> unit
+  (** [add_count h i c] records [c] observations in bucket [i] in O(1) —
+      bucket counts, total and sum end up exactly as [c] calls to
+      [observe (bucket_upper i)] would leave them (the overflow bucket's
+      sum contribution is taken at the largest {e finite} bound, so one
+      overflow observation cannot turn the whole sum into [inf]).
+      Raises [Invalid_argument] on an out-of-range bucket or negative
+      count. *)
+
+  val merge_into : src:t -> dst:t -> unit
+  (** Bucket-level merge of [src] into [dst]: one {!add_count} per
+      nonzero bucket, O(buckets) instead of O(observations).  [dst]'s
+      sum accounts merged observations at their bucket upper bounds
+      (identical to the replay idiom this replaces). *)
+
   val quantile : t -> float -> float
   (** [quantile h q] estimates the [q]-quantile (bucket upper bound);
       [nan] when empty. *)
@@ -66,6 +81,12 @@ end
 val observe_histo : Histo.t -> float -> unit
 (** Gated variant of {!Histo.observe} for shared-path instrumentation:
     records only when the registry is {!enabled}. *)
+
+val add_histo : src:Histo.t -> histogram -> unit
+(** Gated bucket-level merge of a standalone histogram into a registry
+    histogram ({!Histo.merge_into}); a no-op unless {!enabled}.  Used by
+    [Parallel.publish_stats] to fold a pool's queue-wait histogram into
+    the registry in O(buckets). *)
 
 (** {1 Snapshots} *)
 

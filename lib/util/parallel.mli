@@ -3,27 +3,44 @@
     The merge pipeline's per-rank stages (Sequitur construction, main-rule
     positioning, exact-main keying) are independent across ranks, so they
     fan out over OCaml 5 domains.  This module provides the pool: a fixed
-    set of worker domains pulling chunks from a shared queue guarded by a
-    [Mutex]/[Condition] pair.  The submitting domain participates in the
-    work, so a pool of size [d] applies [d] domains in total ([d - 1]
-    spawned workers plus the caller).
+    set of worker domains pulling item {e ranges} from a shared queue
+    guarded by a [Mutex]/[Condition] pair.  The submitting domain
+    participates in the work, so a pool of size [d] applies [d] domains in
+    total ([d - 1] spawned workers plus the caller).
 
     {b Determinism.}  [map] writes each result into its input's slot, so
     the output is identical to the sequential [Array.mapi] no matter how
-    chunks are scheduled — provided the mapped function itself is pure
-    (all pipeline stages are).
+    ranges are scheduled or whether the cost gate ran the job inline —
+    provided the mapped function itself is pure (all pipeline stages are).
 
-    {b Sizing.}  The default pool size comes from the [SIESTA_NUM_DOMAINS]
-    environment variable when set to a positive integer, otherwise from
-    {!Domain.recommended_domain_count}.  Small inputs and 1-domain pools
-    fall back to the plain sequential loop with no domain traffic at
-    all.
+    {b Sizing.}  Implicit sizing ([create] without [?domains]) resolves
+    [SIESTA_NUM_DOMAINS] when set to a positive integer, else
+    {!Domain.recommended_domain_count} — and {e clamps} the result to the
+    recommended count: oversubscribing the host makes spawned domains wait
+    for timeslices, not for work, and parallel dispatch becomes a
+    pessimization.  An invalid [SIESTA_NUM_DOMAINS] (non-integer, or
+    [< 1]) is rejected with a [warn]-level log line naming the value.  An
+    explicit [?domains] stays raw — the determinism cross-checks need the
+    oversubscribed code path.  {!stats} records [requested] vs effective
+    vs [clamped].
 
-    {b Observability.}  Pool creation logs the effective domain count
-    and its source at info level ([SIESTA_LOG=info]).  Every pool
-    tracks per-slot busy time, chunk counts and a queue-wait histogram
-    ({!stats}); [shutdown] publishes lifetime totals to
-    {!Siesta_obs.Metrics} when the registry is enabled, and per-chunk
+    {b Cost-gated dispatch.}  Every pool keeps an online EWMA estimate of
+    per-item cost; jobs whose estimated work falls below a dispatch
+    threshold (~200 us) execute inline on slot 0 with no queue traffic.
+    Pass [~gate:false] to force the queued path (scheduling tests, raw
+    pool benches).  Uncalibrated pools always dispatch.
+
+    {b Adaptive chunking.}  Claim sizes adapt to the measured per-chunk
+    time of the running job (fast chunks coarsen, slow chunks re-split)
+    and are capped at a 1/domains share of the remaining range, bounding
+    both queue traffic and tail imbalance.
+
+    {b Observability.}  Pool creation logs requested/effective/clamped
+    sizing and its source at info level ([SIESTA_LOG=info]); gated-inline
+    decisions log at debug.  Every pool tracks per-slot busy time, chunk
+    counts and a queue-wait histogram ({!stats}); [shutdown] publishes
+    lifetime totals to {!Siesta_obs.Metrics} when the registry is enabled
+    (queue-wait buckets merge in one bucket-level pass), and per-chunk
     spans are emitted to {!Siesta_obs.Span} when tracing is on, so each
     worker domain renders as its own track in [chrome://tracing]. *)
 
@@ -31,42 +48,70 @@ type pool
 
 val num_domains : unit -> int
 (** Effective default parallelism: [SIESTA_NUM_DOMAINS] if set to a
-    positive integer, else {!Domain.recommended_domain_count} (>= 1). *)
+    positive integer (clamped to {!Domain.recommended_domain_count}),
+    else the recommended count (>= 1).  An empty value counts as unset;
+    any other invalid value warns and falls back to recommended. *)
 
 val num_domains_with_source : unit -> int * string
 (** {!num_domains} plus where the value came from
     (["SIESTA_NUM_DOMAINS"] or ["recommended"]). *)
 
-val create : ?domains:int -> unit -> pool
-(** Spawn a pool of [domains] (default {!num_domains}) total domains;
-    [domains - 1] workers are spawned, the caller is the last.  A pool of
-    size [<= 1] spawns nothing and runs everything inline. *)
+val create : ?domains:int -> ?gate:bool -> unit -> pool
+(** Spawn a pool of [domains] total domains; [domains - 1] workers are
+    spawned, the caller is the last.  Explicit [domains] is used raw
+    (clamped below at 1); omitted, sizing is implicit and clamped to the
+    recommended count.  A pool of size [<= 1] spawns nothing and runs
+    everything inline.  [gate] (default [true]) enables cost-gated
+    dispatch. *)
 
 val size : pool -> int
 (** Total domains the pool applies, caller included (>= 1). *)
+
+val global : unit -> pool
+(** The process-wide shared warm pool, created lazily with implicit
+    (clamped) sizing and shut down at process exit.  Reused across
+    pipeline invocations so repeated merges stop paying [Domain.spawn].
+    Do not {!shutdown} it yourself; like any pool it runs one job at a
+    time. *)
 
 val shutdown : pool -> unit
 (** Terminate and join the workers.  Idempotent.  The pool must be idle
     (no [run]/[map] in flight). *)
 
-val with_pool : ?domains:int -> (pool -> 'a) -> 'a
+val with_pool : ?domains:int -> ?gate:bool -> (pool -> 'a) -> 'a
 (** [create], apply, [shutdown] — also on exception. *)
 
 val run : pool -> chunks:int -> (int -> unit) -> unit
 (** [run pool ~chunks body] executes [body 0 .. body (chunks - 1)],
-    distributing chunk indices over the pool's domains.  Re-raises the
-    first exception any chunk raised (after all claimed chunks finish).
-    Pools are not re-entrant: calling [run] from inside a running body
-    raises [Invalid_argument]. *)
+    distributing contiguous index ranges over the pool's domains (or
+    inline on the caller when the cost gate fires).  Re-raises the first
+    exception any chunk raised (after all claimed ranges finish).  Pools
+    are not re-entrant: posting a job from inside a running body raises
+    [Invalid_argument]. *)
+
+val run_range : pool -> ?min_chunk:int -> items:int -> (int -> int -> unit) -> unit
+(** [run_range pool ~items body] executes [body lo hi] over disjoint
+    ranges covering [0 .. items - 1], with adaptive range sizes of at
+    least [min_chunk] (default 1).  This is the core primitive under
+    {!run} and {!map}. *)
 
 type stats = {
-  domains : int;  (** total slots (caller + workers) *)
+  domains : int;  (** effective slots (caller + workers) *)
+  requested : int;  (** domains asked for, before any clamp *)
+  clamped : bool;  (** [domains < requested] (implicit sizing only) *)
   jobs : int;  (** jobs submitted so far *)
+  inline_jobs : int;
+      (** jobs executed on slot 0 without queueing (cost-gated, or a
+          1-domain pool) *)
+  dispatched_jobs : int;  (** jobs posted to the worker queue *)
+  est_item_cost_s : float;
+      (** calibrated EWMA per-item cost driving the dispatch gate;
+          [nan] until the first job completes *)
   busy_s : float array;  (** per-slot seconds spent inside chunk bodies *)
-  chunks_done : int array;  (** per-slot chunks executed *)
+  chunks_done : int array;  (** per-slot claimed ranges executed *)
   queue_wait : Siesta_obs.Metrics.Histo.t;
-      (** job-posting -> chunk-start latency, seconds (multi-domain jobs
-          only; the 1-domain fast path records no per-chunk waits) *)
+      (** job-posting -> chunk-start latency, seconds (dispatched jobs
+          only; inline jobs record no per-chunk waits) *)
 }
 
 val stats : pool -> stats
@@ -76,9 +121,10 @@ val stats : pool -> stats
     snapshot. *)
 
 val map : ?pool:pool -> ?domains:int -> ?min_chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
-(** Parallel [Array.mapi].  With [?pool], uses that pool; otherwise a
-    transient pool of [?domains] (default {!num_domains}) is created and
-    shut down around the call.  Elements are grouped into chunks of at
-    least [min_chunk] (default 1) consecutive indices.  Falls back to
-    sequential [Array.mapi] when the pool has one domain or the input has
-    fewer than two elements.  Output ordering is deterministic. *)
+(** Parallel [Array.mapi].  With [?pool], uses that pool; with
+    [?domains], a transient pool of exactly that size is created and shut
+    down around the call; with neither, the shared warm pool
+    ({!global}) is borrowed.  Elements are grouped into adaptive ranges
+    of at least [min_chunk] (default 1) consecutive indices.  Falls back
+    to sequential [Array.mapi] when the pool has one domain or the input
+    has fewer than two elements.  Output ordering is deterministic. *)

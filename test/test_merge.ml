@@ -390,16 +390,23 @@ let prop_merge_lossless =
 
 let prop_merge_parallel_equals_sequential =
   (* The tentpole determinism guarantee: merge_streams produces the same
-     Merged.t for every domain-pool size. *)
-  QCheck.Test.make ~name:"parallel merge = sequential merge (domains 1/2/4)" ~count:60 arb_bundle
+     Merged.t under every scheduler configuration — sequential, the
+     default (clamped warm pool), an explicitly oversubscribed raw pool,
+     and a borrowed external pool. *)
+  QCheck.Test.make
+    ~name:"merge identical across {serial, default, oversubscribed, borrowed} schedulers"
+    ~count:60 arb_bundle
     (fun (nranks, streams) ->
-      let merge d =
-        MPipe.merge_streams
-          ~config:{ MPipe.default_config with MPipe.domains = Some d }
-          ~nranks streams
+      let merge config = MPipe.merge_streams ~config ~nranks streams in
+      let reference = merge { MPipe.default_config with MPipe.domains = Some 1 } in
+      let default_warm = merge MPipe.default_config in
+      let oversub = merge { MPipe.default_config with MPipe.domains = Some 4 } in
+      let borrowed =
+        merge { MPipe.default_config with MPipe.pool = Some (Siesta_util.Parallel.global ()) }
       in
-      let reference = merge 1 in
-      List.for_all (fun d -> Merged.equal reference (merge d)) [ 2; 4 ])
+      Merged.equal reference default_warm
+      && Merged.equal reference oversub
+      && Merged.equal reference borrowed)
 
 let prop_merge_size_bounded =
   QCheck.Test.make ~name:"merged size never exceeds raw streams" ~count:150 arb_bundle
