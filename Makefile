@@ -2,7 +2,11 @@
 
 SMOKE_TRACE := /tmp/siesta_smoke_trace.json
 SMOKE_TIMELINE := /tmp/siesta_smoke_timeline.json
+SMOKE_TIMELINE_HTML := /tmp/siesta_smoke_timeline.html
 SMOKE_PROXY := /tmp/siesta_smoke_proxy.c
+SMOKE_PROXY_WARM := /tmp/siesta_smoke_proxy_warm.c
+SMOKE_METRICS := /tmp/siesta_smoke_metrics.json
+SMOKE_STORE := /tmp/siesta_smoke_store
 
 .PHONY: all build test check smoke bench-check bench-quick clean
 
@@ -28,7 +32,26 @@ smoke: build
 	dune exec bin/siesta_cli.exe -- check-trace $(SMOKE_TIMELINE) \
 		--min-tracks 8
 	dune exec bin/siesta_cli.exe -- diff -w CG -n 8
-	@rm -f $(SMOKE_TRACE) $(SMOKE_TIMELINE) $(SMOKE_PROXY)
+	dune exec bin/siesta_cli.exe -- trace CG -n 8 \
+		--timeline-html $(SMOKE_TIMELINE_HTML)
+	@grep -q 'timeline-data' $(SMOKE_TIMELINE_HTML) \
+		|| { echo "smoke: timeline HTML missing its data block" >&2; exit 1; }
+	@# Incremental cache: a cold run populates the store, the warm run
+	@# must report cache hits and reproduce the proxy byte-for-byte,
+	@# and the store it built must verify clean with nothing to sweep.
+	rm -rf $(SMOKE_STORE)
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- synth CG -n 8 \
+		--cache -o $(SMOKE_PROXY)
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- synth CG -n 8 \
+		--cache -o $(SMOKE_PROXY_WARM) --metrics-out $(SMOKE_METRICS)
+	@grep -Eq '"cache\.hits": \{"type": "counter", "value": [1-9]' $(SMOKE_METRICS) \
+		|| { echo "smoke: warm run reported no cache hits" >&2; exit 1; }
+	cmp $(SMOKE_PROXY) $(SMOKE_PROXY_WARM)
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store verify
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store gc --expect-clean
+	@rm -f $(SMOKE_TRACE) $(SMOKE_TIMELINE) $(SMOKE_TIMELINE_HTML) \
+		$(SMOKE_PROXY) $(SMOKE_PROXY_WARM) $(SMOKE_METRICS)
+	@rm -rf $(SMOKE_STORE)
 
 # regression gates, failing the build instead of printing a warning:
 # telemetry overhead budget (<= 3%), parallel-merge determinism, and

@@ -11,6 +11,11 @@
      extrapolate <workload>       proxy for an untraced process count
      diff        -w <workload>    proxy-vs-original fidelity report
      check-trace <file>           validate a --trace-out / --timeline-out trace
+     store       ls|verify|gc|rm  inspect / maintain the artifact store
+
+   Pipeline subcommands (trace, synth, report, diff) take --cache /
+   --no-cache to memoize stage outputs in the content-addressed store
+   (root: --store DIR, else SIESTA_STORE, else .siesta-store/).
 
    Every subcommand takes the global observability flags:
      --trace-out FILE.json        Chrome trace_event spans (chrome://tracing)
@@ -30,8 +35,11 @@ module Obs_metrics = Siesta_obs.Metrics
 module Obs_log = Siesta_obs.Log
 module Obs_json = Siesta_obs.Json
 module Timeline = Siesta_analysis.Timeline
+module Timeline_html = Siesta_analysis.Timeline_html
 module Critical_path = Siesta_analysis.Critical_path
 module Divergence = Siesta_analysis.Divergence
+module Store = Siesta_store.Store
+module Bytes_fmt = Siesta_util.Bytes_fmt
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags (shared by every subcommand)                     *)
@@ -144,6 +152,80 @@ let write_timeline ~path tl =
   Printf.eprintf "timeline: wrote %s (simulated clock, %d rank tracks)\n" path
     tl.Timeline.nranks
 
+let timeline_html_arg =
+  let doc =
+    "Write a self-contained HTML rendering of the per-rank $(i,simulated-clock) timeline to \
+     $(docv) — embedded JSON plus a small canvas viewer (zoom/pan/hover), shareable without \
+     chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "timeline-html" ] ~docv:"FILE" ~doc)
+
+let write_timeline_html ~title ~path tl =
+  Timeline_html.write ~title tl ~path;
+  Printf.eprintf "timeline: wrote %s (self-contained HTML, %d rank tracks)\n" path
+    tl.Timeline.nranks
+
+(* Emit both timeline artifacts from one recording, only when asked. *)
+let emit_timelines ~title ~timeline_out ~timeline_html record =
+  match (timeline_out, timeline_html) with
+  | None, None -> ()
+  | _ ->
+      let tl = record () in
+      Option.iter (fun path -> write_timeline ~path tl) timeline_out;
+      Option.iter (fun path -> write_timeline_html ~title ~path tl) timeline_html
+
+(* ------------------------------------------------------------------ *)
+(* Incremental-cache flags (pipeline subcommands)                       *)
+
+let store_root_arg =
+  let doc =
+    "Artifact store root directory (default: $(b,SIESTA_STORE) when set, else .siesta-store/)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+type cache_opts = { cache : bool; store_root : string option }
+
+let cache_term =
+  let cache_arg =
+    let doc =
+      "Memoize pipeline stages in the content-addressed artifact store: a warm run with an \
+       unchanged spec skips tracing, grammar construction and merging; changing only \
+       $(b,--factor) re-runs just the proxy search.  Inspect with $(b,siesta store ls)."
+    in
+    Arg.(value & flag & info [ "cache" ] ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable stage memoization (overrides $(b,--cache))." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let make cache no_cache store_root = { cache = cache && not no_cache; store_root } in
+  Term.(const make $ cache_arg $ no_cache_arg $ store_root_arg)
+
+let store_of_opts o = if o.cache then Some (Store.open_ ?root:o.store_root ()) else None
+
+let print_cache_status (st : Pipeline.cache_status) =
+  Option.iter
+    (fun root ->
+      Printf.printf "cache: trace %s | merge %s | proxy search %s (store %s)\n"
+        (Pipeline.outcome_name st.Pipeline.cs_trace)
+        (Pipeline.outcome_name st.Pipeline.cs_merge)
+        (Pipeline.outcome_name st.Pipeline.cs_proxy)
+        root)
+    st.Pipeline.cs_root
+
+let print_merge_sched (sy : Pipeline.synthesis) =
+  match sy.Pipeline.sy_merge_sched with
+  | None ->
+      if sy.Pipeline.sy_status.Pipeline.cs_merge = Pipeline.Cache_hit then
+        Printf.printf "merge scheduler: idle (merged program served from cache)\n"
+      else Printf.printf "merge scheduler: sequential (no domain pool)\n"
+  | Some m ->
+      Printf.printf
+        "merge scheduler: %d domains (requested %d%s), %d inline / %d dispatched jobs\n"
+        m.Pipeline.ms_effective m.Pipeline.ms_requested
+        (if m.Pipeline.ms_clamped then ", clamped" else "")
+        m.Pipeline.ms_inline_jobs m.Pipeline.ms_dispatched_jobs
+
 let spec_of workload nranks iters platform impl seed =
   match
     Pipeline.spec ?iters ~platform ~impl ~seed ~workload ~nranks ()
@@ -204,31 +286,46 @@ let trace_cmd =
     let doc = "Print an mpiP-style aggregate statistics report." in
     Arg.(value & flag & info [ "report" ] ~doc)
   in
-  let run obs workload nranks iters platform impl seed dump report timeline_out =
+  let run obs workload nranks iters platform impl seed dump report timeline_out timeline_html
+      cache_opts =
     with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
-    let traced = Pipeline.trace s in
-    Option.iter
-      (fun path -> write_timeline ~path (fst (Pipeline.record_timeline s)))
-      timeline_out;
-    let r = traced.Pipeline.recorder in
+    let store = store_of_opts cache_opts in
+    let ts = Pipeline.trace_stage ~cache:cache_opts.cache ?store s in
+    emit_timelines
+      ~title:(Printf.sprintf "Siesta timeline — %s @ %d ranks" workload nranks)
+      ~timeline_out ~timeline_html
+      (fun () -> fst (Pipeline.record_timeline s));
+    let meta = ts.Pipeline.ts_meta in
     Printf.printf "%s on %d ranks: %.4f s original, %.4f s traced (overhead %.2f%%)\n" workload
-      nranks traced.Pipeline.original.Engine.elapsed traced.Pipeline.instrumented.Engine.elapsed
-      (100.0 *. traced.Pipeline.overhead);
-    Printf.printf "events: %d (%s raw), computation clusters: %d\n" (Recorder.total_events r)
-      (Siesta_util.Bytes_fmt.to_string (Recorder.raw_trace_bytes r))
-      (Siesta_trace.Compute_table.cluster_count (Recorder.compute_table r));
-    if report then Siesta_trace.Mpip_report.print (Siesta_trace.Mpip_report.build r);
+      nranks meta.Siesta_store.Codec.tm_original_elapsed
+      meta.Siesta_store.Codec.tm_instrumented_elapsed
+      (100.0 *. Siesta_store.Codec.meta_overhead meta);
+    Printf.printf "events: %d (%s raw), computation clusters: %d\n"
+      meta.Siesta_store.Codec.tm_total_events
+      (Bytes_fmt.to_string meta.Siesta_store.Codec.tm_raw_bytes)
+      (Siesta_trace.Compute_table.cluster_count ts.Pipeline.ts_table);
+    Option.iter
+      (fun st ->
+        Printf.printf "cache: trace %s (store %s)\n"
+          (Pipeline.outcome_name ts.Pipeline.ts_outcome)
+          (Store.root st))
+      store;
+    if report then
+      Siesta_trace.Mpip_report.print
+        (Siesta_trace.Mpip_report.of_streams
+           ~nranks:ts.Pipeline.ts_trace.Siesta_trace.Trace_io.nranks
+           ts.Pipeline.ts_trace.Siesta_trace.Trace_io.streams);
     match dump with
     | Some path ->
-        Siesta_trace.Trace_io.save (Siesta_trace.Trace_io.of_recorder r) ~path;
+        Siesta_trace.Trace_io.save ts.Pipeline.ts_trace ~path;
         Printf.printf "trace saved to %s\n" path
     | None -> ()
   in
   Cmd.v (Cmd.info "trace" ~doc:"Execute a workload under the PMPI tracer")
     Term.(
       const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
-      $ seed_arg $ dump_arg $ report_arg $ timeline_out_arg)
+      $ seed_arg $ dump_arg $ report_arg $ timeline_out_arg $ timeline_html_arg $ cache_term)
 
 let synth_cmd =
   let output_arg =
@@ -261,7 +358,7 @@ let synth_cmd =
         Siesta_synth.Codegen_c.write_file proxy ~path;
         Printf.printf "wrote %s\n" path
   in
-  let run obs workload nranks iters platform impl seed output factor from bundle =
+  let run obs workload nranks iters platform impl seed output factor from bundle cache_opts =
     with_obs obs @@ fun () ->
     match from with
     | Some trace_path ->
@@ -278,27 +375,23 @@ let synth_cmd =
         emit ~proxy ~merged ~path ~bundle
     | None ->
         let s = spec_of workload nranks iters platform impl seed in
-        let traced = Pipeline.trace s in
-        let art = Pipeline.synthesize ~factor traced in
-        (match art.Pipeline.merge_sched with
-        | None -> Printf.printf "merge scheduler: sequential (no domain pool)\n"
-        | Some m ->
-            Printf.printf
-              "merge scheduler: %d domains (requested %d%s), %d inline / %d dispatched jobs\n"
-              m.Pipeline.ms_effective m.Pipeline.ms_requested
-              (if m.Pipeline.ms_clamped then ", clamped" else "")
-              m.Pipeline.ms_inline_jobs m.Pipeline.ms_dispatched_jobs);
+        let sy =
+          Pipeline.synthesize_spec ~cache:cache_opts.cache ?store:(store_of_opts cache_opts)
+            ~factor s
+        in
+        print_cache_status sy.Pipeline.sy_status;
+        print_merge_sched sy;
         let path =
           match output with
           | Some p -> p
           | None -> Printf.sprintf "%s_%d_proxy.c" (String.lowercase_ascii workload) nranks
         in
-        emit ~proxy:art.Pipeline.proxy ~merged:art.Pipeline.merged ~path ~bundle
+        emit ~proxy:sy.Pipeline.sy_proxy ~merged:sy.Pipeline.sy_merged ~path ~bundle
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a C proxy-app from a traced execution")
     Term.(
       const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
-      $ seed_arg $ output_arg $ factor_arg $ from_arg $ bundle_arg)
+      $ seed_arg $ output_arg $ factor_arg $ from_arg $ bundle_arg $ cache_term)
 
 let replay_cmd =
   let target_platform_arg =
@@ -380,25 +473,27 @@ let report_cmd =
     let doc = "Scaling factor for a shrunk proxy." in
     Arg.(value & opt float 1.0 & info [ "factor" ] ~docv:"K" ~doc)
   in
-  let run obs workload nranks iters platform impl seed output factor timeline_out =
+  let run obs workload nranks iters platform impl seed output factor timeline_out cache_opts =
     with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
-    let traced = Pipeline.trace s in
-    let art = Pipeline.synthesize ~factor traced in
+    let sy =
+      Pipeline.synthesize_spec ~cache:cache_opts.cache ?store:(store_of_opts cache_opts)
+        ~factor s
+    in
     Option.iter
       (fun path -> write_timeline ~path (fst (Pipeline.record_timeline s)))
       timeline_out;
     match output with
     | Some path ->
-        Siesta.Report.write_file art ~path;
+        Siesta.Report.write_file_synthesis sy ~path;
         Printf.printf "wrote %s\n" path
-    | None -> print_string (Siesta.Report.generate art)
+    | None -> print_string (Siesta.Report.generate_synthesis sy)
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full pipeline and produce a markdown quality report")
     Term.(
       const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
-      $ seed_arg $ output_arg $ factor_arg $ timeline_out_arg)
+      $ seed_arg $ output_arg $ factor_arg $ timeline_out_arg $ cache_term)
 
 let extrapolate_cmd =
   let scales_arg =
@@ -487,21 +582,26 @@ let diff_cmd =
       & opt (some (enum [ ("comm", `Comm); ("compute", `Compute) ])) None
       & info [ "perturb" ] ~docv:"WHAT" ~doc)
   in
-  let run obs workload nranks iters platform impl seed factor json perturb timeline_out =
+  let run obs workload nranks iters platform impl seed factor json perturb timeline_out
+      timeline_html cache_opts =
     with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
-    let traced = Pipeline.trace s in
-    let art = Pipeline.synthesize ~factor traced in
-    let art =
-      match perturb with
-      | None -> art
-      | Some what -> { art with Pipeline.proxy = Divergence.perturb what art.Pipeline.proxy }
+    let sy =
+      Pipeline.synthesize_spec ~cache:cache_opts.cache ?store:(store_of_opts cache_opts)
+        ~factor s
     in
-    let fid = Pipeline.diff art in
+    let sy =
+      match perturb with
+      | None -> sy
+      | Some what ->
+          { sy with Pipeline.sy_proxy = Divergence.perturb what sy.Pipeline.sy_proxy }
+    in
+    let fid = Pipeline.diff_synthesis sy in
     let r = fid.Pipeline.f_report in
-    Option.iter
-      (fun path -> write_timeline ~path fid.Pipeline.f_original.Divergence.c_timeline)
-      timeline_out;
+    emit_timelines
+      ~title:(Printf.sprintf "Siesta diff — %s @ %d ranks (original)" workload nranks)
+      ~timeline_out ~timeline_html
+      (fun () -> fid.Pipeline.f_original.Divergence.c_timeline);
     if json then print_string (Divergence.to_json r)
     else begin
       Printf.printf "%s @ %d ranks (platform %s, %s)%s\n" workload nranks platform.Spec.name
@@ -510,6 +610,7 @@ let diff_cmd =
         | None -> ""
         | Some `Comm -> " [perturbed: comm]"
         | Some `Compute -> " [perturbed: compute]");
+      print_cache_status sy.Pipeline.sy_status;
       if r.Divergence.r_lossless then
         print_endline "communication replay: lossless"
       else begin
@@ -532,7 +633,7 @@ let diff_cmd =
         (100.0 *. r.Divergence.r_time_error);
       Printf.printf "timeline distance: %.3e\n" r.Divergence.r_timeline_distance;
       let cp =
-        Critical_path.compute ~merged:art.Pipeline.merged
+        Critical_path.compute ~merged:sy.Pipeline.sy_merged
           fid.Pipeline.f_original.Divergence.c_timeline
       in
       print_string (Critical_path.render cp);
@@ -547,7 +648,94 @@ let diff_cmd =
           unless the communication replay is lossless)")
     Term.(
       const run $ obs_term $ workload_opt_arg $ nranks_arg $ iters_arg $ platform_arg
-      $ impl_arg $ seed_arg $ factor_arg $ json_arg $ perturb_arg $ timeline_out_arg)
+      $ impl_arg $ seed_arg $ factor_arg $ json_arg $ perturb_arg $ timeline_out_arg
+      $ timeline_html_arg $ cache_term)
+
+(* store: maintenance front end for the content-addressed artifact
+   store.  `ls` lists stage-key bindings, `verify` re-hashes and
+   unframes every object (exit 1 on damage), `gc` mark-and-sweeps
+   unreferenced blobs, `rm` drops bindings by key/hash prefix. *)
+let store_cmd =
+  let open_store root = Store.open_ ?root () in
+  let ls_cmd =
+    let run root =
+      let st = open_store root in
+      let entries = Store.entries st in
+      Printf.printf "store %s: %d binding(s), %s in objects\n" (Store.root st)
+        (List.length entries)
+        (Bytes_fmt.to_string (Store.size_bytes st));
+      List.iter
+        (fun (e : Store.entry) ->
+          Printf.printf "%s  %s  %-7s %s\n"
+            (String.sub e.Store.e_key 0 12)
+            (String.sub e.Store.e_hash 0 12)
+            e.Store.e_kind e.Store.e_descr)
+        entries
+    in
+    Cmd.v
+      (Cmd.info "ls" ~doc:"List stage-key bindings and store size")
+      Term.(const run $ store_root_arg)
+  in
+  let verify_cmd =
+    let run root =
+      let st = open_store root in
+      let r = Store.verify st in
+      Printf.printf "store %s: %d object(s), %d manifest entr%s checked\n" (Store.root st)
+        r.Store.v_objects r.Store.v_entries
+        (if r.Store.v_entries = 1 then "y" else "ies");
+      match r.Store.v_issues with
+      | [] -> print_endline "verify: ok"
+      | issues ->
+          List.iter (fun i -> Printf.printf "  ISSUE: %s\n" i) issues;
+          Printf.eprintf "verify: %d issue(s)\n" (List.length issues);
+          exit 1
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Re-hash and unframe every object; exit 1 on checksum or schema damage")
+      Term.(const run $ store_root_arg)
+  in
+  let gc_cmd =
+    let expect_clean_arg =
+      let doc = "Exit 1 if any unreferenced object was swept (leak detector for CI)." in
+      Arg.(value & flag & info [ "expect-clean" ] ~doc)
+    in
+    let run root expect_clean =
+      let st = open_store root in
+      let g = Store.gc st in
+      Printf.printf "gc %s: %d live, %d swept, %s freed\n" (Store.root st) g.Store.live
+        g.Store.swept
+        (Bytes_fmt.to_string g.Store.freed_bytes);
+      if expect_clean && g.Store.swept > 0 then begin
+        Printf.eprintf "gc: swept %d unreferenced object(s) but --expect-clean was given\n"
+          g.Store.swept;
+        exit 1
+      end
+    in
+    Cmd.v
+      (Cmd.info "gc" ~doc:"Delete objects not referenced by the manifest (mark-and-sweep)")
+      Term.(const run $ store_root_arg $ expect_clean_arg)
+  in
+  let rm_cmd =
+    let prefix_arg =
+      let doc = "Hex prefix of a stage key or blob hash." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"PREFIX" ~doc)
+    in
+    let run root prefix =
+      let st = open_store root in
+      let n = Store.rm st prefix in
+      Printf.printf "rm: dropped %d binding(s) matching %s (run gc to reclaim blobs)\n" n
+        prefix;
+      if n = 0 then exit 1
+    in
+    Cmd.v
+      (Cmd.info "rm"
+         ~doc:"Drop manifest bindings by key or hash prefix (blobs reclaimed by gc)")
+      Term.(const run $ store_root_arg $ prefix_arg)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and maintain the content-addressed artifact store")
+    [ ls_cmd; verify_cmd; gc_cmd; rm_cmd ]
 
 (* check-trace: reload a --trace-out file with the in-tree JSON parser
    and validate the Chrome trace_event structure.  Exercised by `make
@@ -657,5 +845,6 @@ let () =
             report_cmd;
             extrapolate_cmd;
             diff_cmd;
+            store_cmd;
             check_trace_cmd;
           ]))

@@ -1,0 +1,239 @@
+(* Self-contained HTML timeline viewer.
+
+   Design constraints:
+   - one file, zero external requests (works from file:// and in mail
+     attachments);
+   - the data block is plain JSON in a <script type="application/json">
+     tag, so other tools can scrape it back out;
+   - the renderer is small hand-written JS over a single canvas — no
+     framework, no build step. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      (* '<' escaped so "</script>" can never terminate the data block *)
+      | '<' -> Buffer.add_string b "\\u003c"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let timeline_json (tl : Timeline.t) =
+  let b = Buffer.create 65536 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "{\"nranks\":%d,\"elapsed\":%s,\"ranks\":[" tl.Timeline.nranks
+    (json_float tl.Timeline.elapsed);
+  Array.iteri
+    (fun r segs ->
+      if r > 0 then p ",";
+      p "[";
+      Array.iteri
+        (fun i (s : Timeline.segment) ->
+          if i > 0 then p ",";
+          p "{\"t0\":%s,\"t1\":%s,\"k\":\"%s\",\"n\":\"%s\"}" (json_float s.Timeline.t0)
+            (json_float s.Timeline.t1)
+            (Timeline.kind_name s.Timeline.kind)
+            (json_escape s.Timeline.name))
+        segs;
+      p "]")
+    tl.Timeline.segments;
+  p "]}";
+  Buffer.contents b
+
+(* The viewer script.  Kept as one static string: it only reads the JSON
+   block, so the OCaml side never has to splice values into JS. *)
+let viewer_js =
+  {js|
+(function () {
+  'use strict';
+  var data = JSON.parse(document.getElementById('timeline-data').textContent);
+  var canvas = document.getElementById('tl');
+  var ctx = canvas.getContext('2d');
+  var hover = document.getElementById('hover');
+  var COLORS = { compute: '#4caf50', transfer: '#2196f3', wait: '#f44336' };
+  var LABEL_W = 64, TRACK_H = 22, TRACK_GAP = 4, AXIS_H = 24;
+  var t0 = 0, t1 = Math.max(data.elapsed, 1e-12); // visible window
+  var dpr = window.devicePixelRatio || 1;
+
+  function resize() {
+    var w = canvas.clientWidth, h = AXIS_H + data.nranks * (TRACK_H + TRACK_GAP);
+    canvas.style.height = h + 'px';
+    canvas.width = Math.round(w * dpr);
+    canvas.height = Math.round(h * dpr);
+    ctx.setTransform(dpr, 0, 0, dpr, 0, 0);
+    draw();
+  }
+
+  function xOf(t) {
+    var w = canvas.clientWidth - LABEL_W;
+    return LABEL_W + ((t - t0) / (t1 - t0)) * w;
+  }
+  function tOf(x) {
+    var w = canvas.clientWidth - LABEL_W;
+    return t0 + ((x - LABEL_W) / w) * (t1 - t0);
+  }
+
+  function fmt(t) {
+    if (t === 0) return '0';
+    var a = Math.abs(t);
+    if (a >= 1) return t.toFixed(3) + ' s';
+    if (a >= 1e-3) return (t * 1e3).toFixed(3) + ' ms';
+    return (t * 1e6).toFixed(3) + ' µs';
+  }
+
+  function draw() {
+    var w = canvas.clientWidth, h = canvas.clientHeight;
+    ctx.clearRect(0, 0, w, h);
+    // axis
+    ctx.fillStyle = '#999';
+    ctx.font = '10px sans-serif';
+    ctx.textBaseline = 'top';
+    var span = t1 - t0;
+    var step = Math.pow(10, Math.floor(Math.log10(span / 6)));
+    if (span / step > 12) step *= 5; else if (span / step > 6) step *= 2;
+    for (var t = Math.ceil(t0 / step) * step; t <= t1; t += step) {
+      var x = xOf(t);
+      ctx.fillStyle = '#eee';
+      ctx.fillRect(x, AXIS_H, 1, h - AXIS_H);
+      ctx.fillStyle = '#999';
+      ctx.fillText(fmt(t), x + 2, 4);
+    }
+    // tracks
+    for (var r = 0; r < data.nranks; r++) {
+      var y = AXIS_H + r * (TRACK_H + TRACK_GAP);
+      ctx.fillStyle = '#666';
+      ctx.font = '11px sans-serif';
+      ctx.textBaseline = 'middle';
+      ctx.fillText('rank ' + r, 4, y + TRACK_H / 2);
+      var segs = data.ranks[r];
+      for (var i = 0; i < segs.length; i++) {
+        var s = segs[i];
+        if (s.t1 < t0 || s.t0 > t1) continue;
+        var x0 = Math.max(xOf(s.t0), LABEL_W), x1 = Math.min(xOf(s.t1), w);
+        ctx.fillStyle = COLORS[s.k] || '#9e9e9e';
+        ctx.fillRect(x0, y, Math.max(x1 - x0, 0.5), TRACK_H);
+      }
+    }
+  }
+
+  function segmentAt(px, py) {
+    if (px < LABEL_W || py < AXIS_H) return null;
+    var r = Math.floor((py - AXIS_H) / (TRACK_H + TRACK_GAP));
+    if (r < 0 || r >= data.nranks) return null;
+    if ((py - AXIS_H) % (TRACK_H + TRACK_GAP) > TRACK_H) return null;
+    var t = tOf(px), segs = data.ranks[r];
+    var lo = 0, hi = segs.length - 1;
+    while (lo <= hi) {
+      var mid = (lo + hi) >> 1;
+      if (segs[mid].t1 < t) lo = mid + 1;
+      else if (segs[mid].t0 > t) hi = mid - 1;
+      else return { rank: r, seg: segs[mid] };
+    }
+    return null;
+  }
+
+  canvas.addEventListener('mousemove', function (e) {
+    var rect = canvas.getBoundingClientRect();
+    var px = e.clientX - rect.left, py = e.clientY - rect.top;
+    if (dragging) {
+      var dt = (tOf(dragX) - tOf(px));
+      t0 += dt; t1 += dt; dragX = px; draw(); return;
+    }
+    var hit = segmentAt(px, py);
+    if (hit) {
+      hover.style.display = 'block';
+      hover.style.left = (e.clientX + 12) + 'px';
+      hover.style.top = (e.clientY + 12) + 'px';
+      hover.textContent = 'rank ' + hit.rank + ' · ' + hit.seg.n + ' [' + hit.seg.k +
+        '] ' + fmt(hit.seg.t0) + ' → ' + fmt(hit.seg.t1) +
+        ' (' + fmt(hit.seg.t1 - hit.seg.t0) + ')';
+    } else hover.style.display = 'none';
+  });
+  canvas.addEventListener('mouseleave', function () { hover.style.display = 'none'; });
+  canvas.addEventListener('wheel', function (e) {
+    e.preventDefault();
+    var rect = canvas.getBoundingClientRect();
+    var pivot = tOf(e.clientX - rect.left);
+    var z = e.deltaY < 0 ? 0.8 : 1.25;
+    t0 = pivot + (t0 - pivot) * z;
+    t1 = pivot + (t1 - pivot) * z;
+    draw();
+  }, { passive: false });
+  var dragging = false, dragX = 0;
+  canvas.addEventListener('mousedown', function (e) {
+    var rect = canvas.getBoundingClientRect();
+    dragging = true; dragX = e.clientX - rect.left;
+  });
+  window.addEventListener('mouseup', function () { dragging = false; });
+  document.getElementById('reset').addEventListener('click', function () {
+    t0 = 0; t1 = Math.max(data.elapsed, 1e-12); draw();
+  });
+  window.addEventListener('resize', resize);
+  resize();
+})();
+|js}
+
+let render ?(title = "Siesta timeline") tl =
+  let b = Buffer.create (1 lsl 17) in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let html_escape s =
+    let e = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '<' -> Buffer.add_string e "&lt;"
+        | '>' -> Buffer.add_string e "&gt;"
+        | '&' -> Buffer.add_string e "&amp;"
+        | c -> Buffer.add_char e c)
+      s;
+    Buffer.contents e
+  in
+  p "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
+  p "<title>%s</title>\n" (html_escape title);
+  p
+    "<style>\n\
+     body { font-family: sans-serif; margin: 16px; color: #333; }\n\
+     h1 { font-size: 16px; margin: 0 0 4px 0; }\n\
+     .meta { color: #777; font-size: 12px; margin-bottom: 8px; }\n\
+     .legend span { display: inline-block; margin-right: 14px; font-size: 12px; }\n\
+     .chip { display: inline-block; width: 10px; height: 10px; margin-right: 4px;\n\
+    \        border-radius: 2px; vertical-align: middle; }\n\
+     #tl { width: 100%%; display: block; border: 1px solid #ddd; margin-top: 8px;\n\
+    \      cursor: crosshair; }\n\
+     #hover { display: none; position: fixed; background: #222; color: #fff;\n\
+    \         font-size: 11px; padding: 4px 7px; border-radius: 3px;\n\
+    \         pointer-events: none; z-index: 10; max-width: 60ch; }\n\
+     button { font-size: 11px; }\n\
+     </style>\n</head>\n<body>\n";
+  p "<h1>%s</h1>\n" (html_escape title);
+  p "<div class=\"meta\">%d ranks &middot; %.6e s simulated &middot; clock = simulated \
+     &middot; wheel = zoom, drag = pan <button id=\"reset\">reset view</button></div>\n"
+    tl.Timeline.nranks tl.Timeline.elapsed;
+  p
+    "<div class=\"legend\">\n\
+     <span><span class=\"chip\" style=\"background:#4caf50\"></span>compute</span>\n\
+     <span><span class=\"chip\" style=\"background:#2196f3\"></span>transfer</span>\n\
+     <span><span class=\"chip\" style=\"background:#f44336\"></span>wait</span>\n\
+     </div>\n";
+  p "<canvas id=\"tl\"></canvas>\n<div id=\"hover\"></div>\n";
+  p "<script type=\"application/json\" id=\"timeline-data\">%s</script>\n" (timeline_json tl);
+  p "<script>%s</script>\n" viewer_js;
+  p "</body>\n</html>\n";
+  Buffer.contents b
+
+let write ?title tl ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?title tl))

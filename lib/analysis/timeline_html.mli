@@ -1,0 +1,15 @@
+(** Self-contained HTML rendering of a simulated-clock {!Timeline}.
+
+    One file, no external assets, no chrome://tracing round-trip: the
+    timeline is embedded as JSON and drawn by a small inline canvas
+    renderer — one horizontal track per rank, segments colored by
+    {!Timeline.kind} (compute / transfer / wait), wheel-zoom and drag-pan
+    on the time axis, and a hover read-out of the segment under the
+    cursor.  The whole document is a shareable artifact: mail it, attach
+    it to an issue, open it from disk. *)
+
+val render : ?title:string -> Timeline.t -> string
+(** The complete HTML document.  [title] defaults to
+    ["Siesta timeline"]. *)
+
+val write : ?title:string -> Timeline.t -> path:string -> unit

@@ -13,6 +13,10 @@ module Clock = Siesta_obs.Clock
 module Timeline = Siesta_analysis.Timeline
 module Divergence = Siesta_analysis.Divergence
 module Parallel = Siesta_util.Parallel
+module Store = Siesta_store.Store
+module Codec = Siesta_store.Codec
+module Trace_io = Siesta_trace.Trace_io
+module Compute_table = Siesta_trace.Compute_table
 
 type spec = {
   workload : Registry.t;
@@ -114,49 +118,51 @@ type artifact = {
   merge_sched : merge_sched option;
 }
 
+(* Resolve the merge stage's pool so its scheduling decisions (clamp,
+   gate, estimator) can be snapshotted and surfaced in the report.
+   [None] borrows the shared warm pool — repeated synthesize calls stop
+   paying Domain.spawn per merge; an explicit [Some d > 1] gets a raw
+   transient pool (the determinism cross-checks need the exact domain
+   count). *)
+let with_merge_pool domains f =
+  match domains with
+  | Some d when d > 1 -> Parallel.with_pool ~domains:d (fun p -> f (Some p))
+  | Some _ -> f None
+  | None ->
+      let p = Parallel.global () in
+      f (if Parallel.size p > 1 then Some p else None)
+
+let merge_config ~rle pool =
+  {
+    Merge_pipeline.default_config with
+    rle;
+    pool;
+    domains = (match pool with None -> Some 1 | Some _ -> None);
+  }
+
+let sched_snapshot pool before =
+  match (pool, before) with
+  | Some p, Some b ->
+      let a = Parallel.stats p in
+      Some
+        {
+          ms_requested = a.Parallel.requested;
+          ms_effective = a.Parallel.domains;
+          ms_clamped = a.Parallel.clamped;
+          ms_inline_jobs = a.Parallel.inline_jobs - b.Parallel.inline_jobs;
+          ms_dispatched_jobs = a.Parallel.dispatched_jobs - b.Parallel.dispatched_jobs;
+          ms_est_item_cost_s = a.Parallel.est_item_cost_s;
+        }
+  | _ -> None
+
 let synthesize ?(factor = 1.0) ?(rle = true) ?domains traced =
-  (* Resolve the merge stage's pool here so its scheduling decisions
-     (clamp, gate, estimator) can be snapshotted and surfaced in the
-     report.  [None] borrows the shared warm pool — repeated synthesize
-     calls stop paying Domain.spawn per merge; an explicit [Some d > 1]
-     gets a raw transient pool (the determinism cross-checks need the
-     exact domain count). *)
-  let with_merge_pool f =
-    match domains with
-    | Some d when d > 1 -> Parallel.with_pool ~domains:d (fun p -> f (Some p))
-    | Some _ -> f None
-    | None ->
-        let p = Parallel.global () in
-        f (if Parallel.size p > 1 then Some p else None)
-  in
-  with_merge_pool @@ fun pool ->
-  let config =
-    {
-      Merge_pipeline.default_config with
-      rle;
-      pool;
-      domains = (match pool with None -> Some 1 | Some _ -> None);
-    }
-  in
+  with_merge_pool domains @@ fun pool ->
+  let config = merge_config ~rle pool in
   let before = Option.map Parallel.stats pool in
   let merged, t_merge =
     stage "merge" (fun () -> Merge_pipeline.merge_recorder ~config traced.recorder)
   in
-  let merge_sched =
-    match (pool, before) with
-    | Some p, Some b ->
-        let a = Parallel.stats p in
-        Some
-          {
-            ms_requested = a.Parallel.requested;
-            ms_effective = a.Parallel.domains;
-            ms_clamped = a.Parallel.clamped;
-            ms_inline_jobs = a.Parallel.inline_jobs - b.Parallel.inline_jobs;
-            ms_dispatched_jobs = a.Parallel.dispatched_jobs - b.Parallel.dispatched_jobs;
-            ms_est_item_cost_s = a.Parallel.est_item_cost_s;
-          }
-    | _ -> None
-  in
+  let merge_sched = sched_snapshot pool before in
   let proxy, t_synth =
     stage "synthesize" (fun () ->
         Proxy_ir.synthesize ~platform:traced.run_spec.platform ~impl:traced.run_spec.impl
@@ -200,13 +206,15 @@ let capture_original s =
       Divergence.capture ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed
         (program_of s))
 
-let capture_proxy ?platform ?impl artifact =
-  let s = artifact.traced.run_spec in
+let capture_proxy_ir ?platform ?impl s proxy =
   let platform = Option.value ~default:s.platform platform in
   let impl = Option.value ~default:s.impl impl in
   Span.with_ ~cat:"pipeline" "capture.proxy" (fun () ->
       Divergence.capture ~platform ~impl ~nranks:s.nranks ~seed:s.seed
-        (Proxy_ir.program artifact.proxy))
+        (Proxy_ir.program proxy))
+
+let capture_proxy ?platform ?impl artifact =
+  capture_proxy_ir ?platform ?impl artifact.traced.run_spec artifact.proxy
 
 type fidelity = {
   f_original : Divergence.capture;
@@ -214,9 +222,9 @@ type fidelity = {
   f_report : Divergence.report;
 }
 
-let diff artifact =
-  let original = capture_original artifact.traced.run_spec in
-  let proxy = capture_proxy artifact in
+let diff_core s proxy_ir =
+  let original = capture_original s in
+  let proxy = capture_proxy_ir s proxy_ir in
   let report =
     Span.with_ ~cat:"pipeline" "diff" (fun () -> Divergence.diff ~original ~proxy)
   in
@@ -224,9 +232,281 @@ let diff artifact =
   Log.info (fun () ->
       ( "pipeline.diff",
         [
-          ("workload", artifact.traced.run_spec.workload.Registry.name);
+          ("workload", s.workload.Registry.name);
           ("lossless", string_of_bool report.Divergence.r_lossless);
           ("time_error", Printf.sprintf "%.4f" report.Divergence.r_time_error);
           ("timeline_distance", Printf.sprintf "%.4e" report.Divergence.r_timeline_distance);
         ] ));
   { f_original = original; f_proxy = proxy; f_report = report }
+
+let diff artifact = diff_core artifact.traced.run_spec artifact.proxy
+
+(* ------------------------------------------------------------------ *)
+(* Incremental cache (content-addressed artifact store) *)
+
+type cache_outcome = Cache_off | Cache_miss | Cache_hit
+
+let outcome_name = function
+  | Cache_off -> "off"
+  | Cache_miss -> "miss"
+  | Cache_hit -> "hit"
+
+type cache_status = {
+  cs_root : string option;
+  cs_trace : cache_outcome;
+  cs_merge : cache_outcome;
+  cs_proxy : cache_outcome;
+}
+
+let status_off = { cs_root = None; cs_trace = Cache_off; cs_merge = Cache_off; cs_proxy = Cache_off }
+
+type trace_stage = {
+  ts_spec : spec;
+  ts_trace : Trace_io.t;
+  ts_meta : Codec.trace_meta;
+  ts_table : Compute_table.t;
+  ts_hash : string option;
+  ts_outcome : cache_outcome;
+  ts_traced : traced option;
+  ts_timings : (string * float) list;
+}
+
+type synthesis = {
+  sy_trace : trace_stage;
+  sy_merged : Merged.t;
+  sy_proxy : Proxy_ir.t;
+  sy_factor : float;
+  sy_merge_sched : merge_sched option;
+  sy_timings : (string * float) list;
+  sy_status : cache_status;
+}
+
+let meta_of_traced (tr : traced) =
+  {
+    Codec.tm_original_elapsed = tr.original.Engine.elapsed;
+    tm_instrumented_elapsed = tr.instrumented.Engine.elapsed;
+    tm_original_calls = tr.original.Engine.total_calls;
+    tm_instrumented_calls = tr.instrumented.Engine.total_calls;
+    tm_total_events = Recorder.total_events tr.recorder;
+    tm_raw_bytes = Recorder.raw_trace_bytes tr.recorder;
+  }
+
+let cache_count stage hit =
+  if Metrics.enabled () then begin
+    Metrics.incr (Metrics.counter (if hit then "cache.hits" else "cache.misses")) 1;
+    Metrics.incr
+      (Metrics.counter
+         (Printf.sprintf "cache.%s.%s" stage (if hit then "hits" else "misses")))
+      1
+  end
+
+(* Resolve key -> fetch blob -> decode.  Every failure mode (unbound
+   key, missing or corrupt object, schema mismatch) degrades to a miss:
+   the stage recomputes and re-puts, and [store verify] reports the
+   damage. *)
+let cache_lookup st ~stage ~key ~decode =
+  match Store.resolve st ~key with
+  | None -> None
+  | Some hash -> (
+      match Store.get st hash with
+      | None -> None
+      | Some blob -> (
+          match decode blob with
+          | v -> Some (hash, v)
+          | exception Codec.Corrupt m ->
+              Log.warn (fun () ->
+                  ("pipeline.cache", [ ("stage", stage); ("hash", hash); ("error", m) ]));
+              None))
+
+let log_stage_outcome stg s outcome =
+  Log.info (fun () ->
+      ( "pipeline.cache",
+        [
+          ("stage", stg);
+          ("workload", s.workload.Registry.name);
+          ("nranks", string_of_int s.nranks);
+          ("outcome", outcome_name outcome);
+        ] ))
+
+let trace_stage_cached st s =
+  let key, descr =
+    Cache.trace_key ~workload:s.workload.Registry.name ~nranks:s.nranks ~iters:s.iters
+      ~seed:s.seed ~platform:s.platform.Spec_p.name ~impl:s.impl.Mpi_impl.name
+      ~cluster_threshold:s.cluster_threshold ()
+  in
+  let found, t_lookup =
+    stage "trace.cached" (fun () ->
+        cache_lookup st ~stage:"trace" ~key ~decode:Codec.decode_trace)
+  in
+  match found with
+  | Some (hash, (meta, t)) ->
+      cache_count "trace" true;
+      log_stage_outcome "trace" s Cache_hit;
+      {
+        ts_spec = s;
+        ts_trace = t;
+        ts_meta = meta;
+        ts_table = Trace_io.compute_table t;
+        ts_hash = Some hash;
+        ts_outcome = Cache_hit;
+        ts_traced = None;
+        ts_timings = [ t_lookup ];
+      }
+  | None ->
+      cache_count "trace" false;
+      log_stage_outcome "trace" s Cache_miss;
+      let traced = trace s in
+      let meta = meta_of_traced traced in
+      let t = Trace_io.of_recorder traced.recorder in
+      let hash, t_store =
+        stage "trace.store" (fun () ->
+            let blob = Codec.encode_trace ~meta t in
+            let hash = Store.put st blob in
+            Store.bind st ~key ~hash ~kind:"trace" ~descr;
+            hash)
+      in
+      {
+        ts_spec = s;
+        ts_trace = t;
+        ts_meta = meta;
+        (* Restore the table from the centroids that were just stored, so
+           a later warm run (which can only restore) searches the exact
+           same proxies as this cold one. *)
+        ts_table = Trace_io.compute_table t;
+        ts_hash = Some hash;
+        ts_outcome = Cache_miss;
+        ts_traced = Some traced;
+        ts_timings = traced.timings @ [ t_store ];
+      }
+
+let trace_stage ?(cache = false) ?store s =
+  if cache then
+    let st = match store with Some st -> st | None -> Store.open_ () in
+    trace_stage_cached st s
+  else
+    let traced = trace s in
+    {
+      ts_spec = s;
+      ts_trace = Trace_io.of_recorder traced.recorder;
+      ts_meta = meta_of_traced traced;
+      ts_table = Recorder.compute_table traced.recorder;
+      ts_hash = None;
+      ts_outcome = Cache_off;
+      ts_traced = Some traced;
+      ts_timings = traced.timings;
+    }
+
+let synthesis_of_artifact (art : artifact) =
+  let traced = art.traced in
+  {
+    sy_trace =
+      {
+        ts_spec = traced.run_spec;
+        ts_trace = Trace_io.of_recorder traced.recorder;
+        ts_meta = meta_of_traced traced;
+        ts_table = Recorder.compute_table traced.recorder;
+        ts_hash = None;
+        ts_outcome = Cache_off;
+        ts_traced = Some traced;
+        ts_timings = traced.timings;
+      };
+    sy_merged = art.merged;
+    sy_proxy = art.proxy;
+    sy_factor = art.factor;
+    sy_merge_sched = art.merge_sched;
+    sy_timings = art.timings;
+    sy_status = status_off;
+  }
+
+let synthesize_spec ?(cache = false) ?store ?(factor = 1.0) ?(rle = true) ?domains s =
+  if not cache then
+    synthesis_of_artifact (synthesize ~factor ~rle ?domains (trace s))
+  else begin
+    let st = match store with Some st -> st | None -> Store.open_ () in
+    let ts = trace_stage_cached st s in
+    let trace_hash = Option.get ts.ts_hash in
+    (* merge stage *)
+    let mkey, mdescr = Cache.merge_key ~trace_hash ~rle () in
+    let found, t_mlookup =
+      stage "merge.cached" (fun () ->
+          cache_lookup st ~stage:"merge" ~key:mkey ~decode:Codec.decode_merged)
+    in
+    let merged, merge_hash, m_outcome, merge_sched, m_timings =
+      match found with
+      | Some (hash, m) ->
+          cache_count "merge" true;
+          log_stage_outcome "merge" s Cache_hit;
+          (m, hash, Cache_hit, None, [ t_mlookup ])
+      | None ->
+          cache_count "merge" false;
+          log_stage_outcome "merge" s Cache_miss;
+          with_merge_pool domains @@ fun pool ->
+          let config = merge_config ~rle pool in
+          let before = Option.map Parallel.stats pool in
+          let merged, t_merge =
+            stage "merge" (fun () ->
+                Merge_pipeline.merge_streams ~config ~nranks:ts.ts_trace.Trace_io.nranks
+                  ts.ts_trace.Trace_io.streams)
+          in
+          let sched = sched_snapshot pool before in
+          let hash, t_store =
+            stage "merge.store" (fun () ->
+                let blob = Codec.encode_merged merged in
+                let hash = Store.put st blob in
+                Store.bind st ~key:mkey ~hash ~kind:"merged" ~descr:mdescr;
+                hash)
+          in
+          (merged, hash, Cache_miss, sched, [ t_merge; t_store ])
+    in
+    (* proxy search *)
+    let pkey, pdescr =
+      Cache.proxy_key ~merge_hash ~trace_hash ~factor ~platform:s.platform.Spec_p.name
+        ~impl:s.impl.Mpi_impl.name ()
+    in
+    let found, t_plookup =
+      stage "synthesize.cached" (fun () ->
+          cache_lookup st ~stage:"proxy" ~key:pkey ~decode:Codec.decode_proxy)
+    in
+    let proxy, p_outcome, p_timings =
+      match found with
+      | Some (_hash, p) ->
+          cache_count "proxy" true;
+          log_stage_outcome "proxy" s Cache_hit;
+          (p, Cache_hit, [ t_plookup ])
+      | None ->
+          cache_count "proxy" false;
+          log_stage_outcome "proxy" s Cache_miss;
+          let proxy, t_synth =
+            stage "synthesize" (fun () ->
+                Proxy_ir.synthesize ~platform:s.platform ~impl:s.impl ~factor ~merged
+                  ~compute_table:ts.ts_table ())
+          in
+          let _hash, t_store =
+            stage "synthesize.store" (fun () ->
+                let blob = Codec.encode_proxy proxy in
+                let hash = Store.put st blob in
+                Store.bind st ~key:pkey ~hash ~kind:"proxy" ~descr:pdescr;
+                hash)
+          in
+          (proxy, Cache_miss, [ t_synth; t_store ])
+    in
+    if Metrics.enabled () then
+      Metrics.set (Metrics.gauge "store.size_bytes") (float_of_int (Store.size_bytes st));
+    {
+      sy_trace = ts;
+      sy_merged = merged;
+      sy_proxy = proxy;
+      sy_factor = factor;
+      sy_merge_sched = merge_sched;
+      sy_timings = ts.ts_timings @ m_timings @ p_timings;
+      sy_status =
+        {
+          cs_root = Some (Store.root st);
+          cs_trace = ts.ts_outcome;
+          cs_merge = m_outcome;
+          cs_proxy = p_outcome;
+        };
+    }
+  end
+
+let diff_synthesis sy = diff_core sy.sy_trace.ts_spec sy.sy_proxy

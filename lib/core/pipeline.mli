@@ -140,3 +140,85 @@ val diff : artifact -> fidelity
     publish the headline scores as [Siesta_obs.Metrics] gauges (a no-op
     when the registry is disabled).  Drives [siesta diff] and the
     report's Fidelity section. *)
+
+(** {1 Incremental cache}
+
+    Stage-level memoization over the content-addressed artifact store
+    ({!Siesta_store.Store}).  Each stage's output is bound to a key
+    hashing exactly the inputs that influence it (see [Cache]):
+
+    - {e trace}: workload, nranks, iters, seed, platform, impl,
+      cluster_threshold;
+    - {e merge}: the trace blob's content hash + the [rle] option;
+    - {e proxy}: the merged blob's hash, the trace hash (its compute
+      table feeds the QP search), the scaling [factor] and the
+      platform/impl pair.
+
+    So re-running with only a different [factor] reuses the cached trace
+    and merged program and pays only proxy search + codegen; a warm run
+    with an unchanged spec skips everything and produces a byte-identical
+    C proxy.  Hits/misses/bytes are published as [cache.*] and [store.*]
+    metrics and appear in [siesta report]'s Cache section. *)
+
+type cache_outcome = Cache_off | Cache_miss | Cache_hit
+
+val outcome_name : cache_outcome -> string
+(** ["off"], ["miss"] or ["hit"]. *)
+
+type cache_status = {
+  cs_root : string option;  (** store root, when caching was on *)
+  cs_trace : cache_outcome;
+  cs_merge : cache_outcome;
+  cs_proxy : cache_outcome;
+}
+
+type trace_stage = {
+  ts_spec : spec;
+  ts_trace : Siesta_trace.Trace_io.t;  (** the trace itself *)
+  ts_meta : Siesta_store.Codec.trace_meta;
+      (** run measurements (elapsed, calls, raw bytes) — cached with the
+          trace, so reports need no engine re-run *)
+  ts_table : Siesta_trace.Compute_table.t;
+  ts_hash : string option;  (** trace blob content hash (caching on) *)
+  ts_outcome : cache_outcome;
+  ts_traced : traced option;  (** the live run, on miss / cache-off *)
+  ts_timings : (string * float) list;
+}
+
+val trace_stage : ?cache:bool -> ?store:Siesta_store.Store.t -> spec -> trace_stage
+(** The trace stage with optional memoization.  [cache] defaults to
+    false (always run); [store] defaults to opening
+    {!Siesta_store.Store.default_root}. *)
+
+type synthesis = {
+  sy_trace : trace_stage;
+  sy_merged : Siesta_merge.Merged.t;
+  sy_proxy : Siesta_synth.Proxy_ir.t;
+  sy_factor : float;
+  sy_merge_sched : merge_sched option;
+      (** [None] when the merge was served from cache (no pool ran) *)
+  sy_timings : (string * float) list;
+      (** cached stages appear as "<stage>.cached" lookup times *)
+  sy_status : cache_status;
+}
+
+val synthesize_spec :
+  ?cache:bool ->
+  ?store:Siesta_store.Store.t ->
+  ?factor:float ->
+  ?rle:bool ->
+  ?domains:int ->
+  spec ->
+  synthesis
+(** The whole pipeline with optional stage memoization.  With
+    [~cache:false] (the default) this is exactly
+    [synthesize (trace s)] repackaged; with [~cache:true] each stage
+    first consults the store.  Decoded artifacts are
+    {!Siesta_merge.Merged.equal} to freshly computed ones and generate
+    byte-identical C (qcheck-enforced). *)
+
+val synthesis_of_artifact : artifact -> synthesis
+(** Repackage a cold [artifact] (all stages [Cache_off]). *)
+
+val diff_synthesis : synthesis -> fidelity
+(** {!diff} over a cached synthesis. *)

@@ -1,5 +1,4 @@
 module Engine = Siesta_mpi.Engine
-module Recorder = Siesta_trace.Recorder
 module Compute_table = Siesta_trace.Compute_table
 module Mpip = Siesta_trace.Mpip_report
 module Merged = Siesta_merge.Merged
@@ -14,19 +13,31 @@ module Registry = Siesta_workloads.Registry
 module Spec = Siesta_platform.Spec
 module Mpi_impl = Siesta_platform.Mpi_impl
 module Bytes_fmt = Siesta_util.Bytes_fmt
+module Codec = Siesta_store.Codec
+module Trace_io = Siesta_trace.Trace_io
 
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 
-let generate (art : Pipeline.artifact) =
-  let traced = art.Pipeline.traced in
-  let spec = traced.Pipeline.run_spec in
-  let recorder = traced.Pipeline.recorder in
-  let table = Recorder.compute_table recorder in
-  let mpip = Mpip.build recorder in
-  let matrix = Comm_matrix.of_recorder recorder in
-  let fid = Pipeline.diff art in
+(* The report is generated from a [Pipeline.synthesis], which exists in
+   two flavours: a cold one wrapping a live traced run, and a cached one
+   whose trace stage is a decoded blob plus stored run measurements.
+   Everything below reads only what both flavours carry — streams,
+   centroids, meta — plus the fidelity captures (which re-run both
+   programs under the simulated clock and reproduce the original run's
+   [Engine.result] exactly; runs are deterministic per seed). *)
+let generate_synthesis (sy : Pipeline.synthesis) =
+  let ts = sy.Pipeline.sy_trace in
+  let spec = ts.Pipeline.ts_spec in
+  let meta = ts.Pipeline.ts_meta in
+  let trace = ts.Pipeline.ts_trace in
+  let table = ts.Pipeline.ts_table in
+  let nranks = trace.Trace_io.nranks in
+  let mpip = Mpip.of_streams ~nranks trace.Trace_io.streams in
+  let matrix = Comm_matrix.of_streams ~nranks trace.Trace_io.streams in
+  let fid = Pipeline.diff_synthesis sy in
   (* the capture's hook is zero-overhead and the observer is passive, so
-     this *is* the plain proxy replay on the generation platform *)
+     these *are* the plain runs on the generation platform *)
+  let original_run = fid.Pipeline.f_original.Divergence.c_result in
   let proxy_run = fid.Pipeline.f_proxy.Divergence.c_result in
   let buf = Buffer.create 8192 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -35,49 +46,66 @@ let generate (art : Pipeline.artifact) =
   p "- generation platform: %s (%s), MPI profile: %s, seed %d\n"
     spec.Pipeline.platform.Spec.name spec.Pipeline.platform.Spec.cpu.Siesta_platform.Cpu.name
     spec.Pipeline.impl.Mpi_impl.name spec.Pipeline.seed;
-  p "- scaling factor: %.0f\n\n" art.Pipeline.factor;
+  p "- scaling factor: %.0f\n\n" sy.Pipeline.sy_factor;
   p "## Trace\n\n";
-  p "- original run: %.4f s, %d MPI calls\n" traced.Pipeline.original.Engine.elapsed
-    traced.Pipeline.original.Engine.total_calls;
-  p "- instrumentation overhead: %s\n" (pct traced.Pipeline.overhead);
-  p "- events: %d (%d communication, %d computation), raw size %s\n"
-    mpip.Mpip.total_events mpip.Mpip.comm_events mpip.Mpip.compute_events
-    (Bytes_fmt.to_string (Recorder.raw_trace_bytes recorder));
+  p "- original run: %.4f s, %d MPI calls\n" meta.Codec.tm_original_elapsed
+    meta.Codec.tm_original_calls;
+  p "- instrumentation overhead: %s\n" (pct (Codec.meta_overhead meta));
+  p "- events: %d (%d communication, %d computation), raw size %s\n" mpip.Mpip.total_events
+    mpip.Mpip.comm_events mpip.Mpip.compute_events
+    (Bytes_fmt.to_string meta.Codec.tm_raw_bytes);
   p "- point-to-point topology: %s (%d messages, %s)\n\n"
     (Topology.to_string (Topology.classify matrix))
     (Comm_matrix.total_messages matrix)
     (Bytes_fmt.to_string (Comm_matrix.total_bytes matrix));
   p "## Compression\n\n";
-  p "- merged grammar: %s\n" (Merged.stats art.Pipeline.merged);
+  p "- merged grammar: %s\n" (Merged.stats sy.Pipeline.sy_merged);
   p "- exported size_C: %s (%.0fx below the raw trace)\n\n"
-    (Bytes_fmt.to_string (Proxy_ir.size_c_bytes art.Pipeline.proxy))
-    (float_of_int (Recorder.raw_trace_bytes recorder)
-    /. float_of_int (max 1 (Proxy_ir.size_c_bytes art.Pipeline.proxy)));
+    (Bytes_fmt.to_string (Proxy_ir.size_c_bytes sy.Pipeline.sy_proxy))
+    (float_of_int meta.Codec.tm_raw_bytes
+    /. float_of_int (max 1 (Proxy_ir.size_c_bytes sy.Pipeline.sy_proxy)));
   p "## Computation proxies\n\n";
   p "- %d clusters over %d computation events; mean search error %s\n\n"
-    (Compute_table.cluster_count table) (Compute_table.total_assigned table)
-    (pct (Proxy_ir.mean_combo_error art.Pipeline.proxy));
+    (Compute_table.cluster_count table) mpip.Mpip.compute_events
+    (pct (Proxy_ir.mean_combo_error sy.Pipeline.sy_proxy));
   p "| cluster | members | INS | CYC | search error |\n|---|---|---|---|---|\n";
   let shown = min 8 (Compute_table.cluster_count table) in
   for cid = 0 to shown - 1 do
     let c = Compute_table.centroid table cid in
     p "| %d | %d | %.3g | %.3g | %s |\n" cid (Compute_table.members table cid) c.Counters.ins
       c.Counters.cyc
-      (pct art.Pipeline.proxy.Proxy_ir.combo_errors.(cid))
+      (pct sy.Pipeline.sy_proxy.Proxy_ir.combo_errors.(cid))
   done;
   if Compute_table.cluster_count table > shown then
     p "| ... | | | | (%d more) |\n" (Compute_table.cluster_count table - shown);
+  (match sy.Pipeline.sy_status.Pipeline.cs_root with
+  | None -> ()
+  | Some root ->
+      let st = sy.Pipeline.sy_status in
+      p "\n## Cache\n\n";
+      p "- artifact store: %s\n" root;
+      p "- trace: %s | merge: %s | proxy search: %s\n"
+        (Pipeline.outcome_name st.Pipeline.cs_trace)
+        (Pipeline.outcome_name st.Pipeline.cs_merge)
+        (Pipeline.outcome_name st.Pipeline.cs_proxy);
+      if
+        st.Pipeline.cs_trace = Pipeline.Cache_hit
+        && st.Pipeline.cs_merge = Pipeline.Cache_hit
+      then p "- warm run: tracing, grammar construction and merging were all skipped\n");
   p "\n## Pipeline stage timings\n\n";
-  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 art.Pipeline.timings in
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 sy.Pipeline.sy_timings in
   p "| stage | wall (s) | share |\n|---|---|---|\n";
   List.iter
     (fun (name, s) ->
       p "| %s | %.4f | %s |\n" name s (if total > 0.0 then pct (s /. total) else "-"))
-    art.Pipeline.timings;
+    sy.Pipeline.sy_timings;
   p "| total | %.4f | |\n" total;
-  p "\n(one clock source — `Siesta_obs.Clock` — shared with `--trace-out` spans and the bench drivers)\n";
-  (match art.Pipeline.merge_sched with
-  | None -> p "\n- merge scheduler: sequential (no domain pool)\n"
+  p "\n(one clock source — `Siesta_obs.Clock` — shared with `--trace-out` spans and the bench drivers; \"<stage>.cached\" rows are store lookups that replaced the stage)\n";
+  (match sy.Pipeline.sy_merge_sched with
+  | None ->
+      if sy.Pipeline.sy_status.Pipeline.cs_merge = Pipeline.Cache_hit then
+        p "\n- merge scheduler: idle (merged program served from cache)\n"
+      else p "\n- merge scheduler: sequential (no domain pool)\n"
   | Some m ->
       p "\n- merge scheduler: %d domain%s (requested %d%s), %d job%s inline / %d dispatched%s\n"
         m.Pipeline.ms_effective
@@ -90,33 +118,41 @@ let generate (art : Pipeline.artifact) =
         (if Float.is_nan m.Pipeline.ms_est_item_cost_s then ""
          else Printf.sprintf ", est item cost %.2e s" m.Pipeline.ms_est_item_cost_s));
   p "\n## Validation (replay on the generation platform)\n\n";
-  let t_orig = traced.Pipeline.original.Engine.elapsed in
-  let t_proxy = art.Pipeline.factor *. proxy_run.Engine.elapsed in
+  let t_orig = original_run.Engine.elapsed in
+  let t_proxy = sy.Pipeline.sy_factor *. proxy_run.Engine.elapsed in
   p "- proxy time: %.4f s raw%s vs original %.4f s — error %s\n" proxy_run.Engine.elapsed
-    (if art.Pipeline.factor = 1.0 then ""
-     else Printf.sprintf " (x%.0f = %.4f s estimated)" art.Pipeline.factor t_proxy)
+    (if sy.Pipeline.sy_factor = 1.0 then ""
+     else Printf.sprintf " (x%.0f = %.4f s estimated)" sy.Pipeline.sy_factor t_proxy)
     t_orig
     (pct (Evaluate.time_error ~estimated:t_proxy ~original:t_orig));
-  (if art.Pipeline.factor = 1.0 then begin
+  (if sy.Pipeline.sy_factor = 1.0 then begin
      p "- six-counter error over ranks: %s\n"
-       (pct (Evaluate.counter_error ~original:traced.Pipeline.original ~proxy:proxy_run));
+       (pct (Evaluate.counter_error ~original:original_run ~proxy:proxy_run));
      p "- per metric: %s\n"
        (String.concat ", "
           (List.map
              (fun (m, e) -> Printf.sprintf "%s %s" (Counters.metric_name m) (pct e))
-             (Evaluate.per_metric_errors ~original:traced.Pipeline.original ~proxy:proxy_run)))
+             (Evaluate.per_metric_errors ~original:original_run ~proxy:proxy_run)))
    end);
   p "\n## Fidelity (simulated clock)\n\n";
   Buffer.add_string buf (Divergence.to_markdown fid.Pipeline.f_report);
   p "\n### Critical path (original run)\n\n```\n%s```\n"
     (Critical_path.render
-       (Critical_path.compute ~merged:art.Pipeline.merged
+       (Critical_path.compute ~merged:sy.Pipeline.sy_merged
           fid.Pipeline.f_original.Divergence.c_timeline));
   p "\n### Per-rank simulated-time breakdown (original run)\n\n```\n%s```\n"
     (Timeline.render fid.Pipeline.f_original.Divergence.c_timeline);
   Buffer.contents buf
 
+let generate (art : Pipeline.artifact) =
+  generate_synthesis (Pipeline.synthesis_of_artifact art)
+
 let write_file art ~path =
   let oc = open_out path in
   output_string oc (generate art);
+  close_out oc
+
+let write_file_synthesis sy ~path =
+  let oc = open_out path in
+  output_string oc (generate_synthesis sy);
   close_out oc

@@ -10,3 +10,11 @@ val generate : Pipeline.artifact -> string
     the validation section. *)
 
 val write_file : Pipeline.artifact -> path:string -> unit
+
+val generate_synthesis : Pipeline.synthesis -> string
+(** Same report over a (possibly cache-served) {!Pipeline.synthesis}.
+    When caching was on, a Cache section lists which stages were served
+    from the store; the Trace section is reconstructed from the stored
+    run measurements, so a fully warm report never re-runs the tracer. *)
+
+val write_file_synthesis : Pipeline.synthesis -> path:string -> unit

@@ -339,8 +339,31 @@ let fit traces =
   let members_rev = ref [] in
   let n_clusters = ref 0 in
   let dedupe = Hashtbl.create 32 in
+  (* Stable, explicit dedupe key: coefficients via their IEEE-754 bit
+     pattern (Codec.float_repr), variant tags spelled out.  Marshal's
+     byte image would also have worked, but its layout is an
+     implementation detail of the OCaml runtime — this key survives
+     compiler upgrades and is greppable in a debugger. *)
+  let count_model_repr = function
+    | Constant v -> Printf.sprintf "const:%d" v
+    | Power coef ->
+        "power:"
+        ^ String.concat ","
+            (Array.to_list (Array.map Siesta_store.Codec.float_repr coef))
+  in
+  let metric_models_repr models =
+    String.concat ";"
+      (Array.to_list
+         (Array.map
+            (function
+              | None -> "-"
+              | Some coef ->
+                  String.concat ","
+                    (Array.to_list (Array.map Siesta_store.Codec.float_repr coef)))
+            models))
+  in
   let intern_cluster metric_models member_model =
-    let key = Marshal.to_string (metric_models, member_model) [] in
+    let key = metric_models_repr metric_models ^ "|" ^ count_model_repr member_model in
     match Hashtbl.find_opt dedupe key with
     | Some id -> id
     | None ->

@@ -1,0 +1,460 @@
+module Trace_io = Siesta_trace.Trace_io
+module Event = Siesta_trace.Event
+module Counters = Siesta_perf.Counters
+module Grammar = Siesta_grammar.Grammar
+module Merged = Siesta_merge.Merged
+module Rank_list = Siesta_merge.Rank_list
+module Proxy_ir = Siesta_synth.Proxy_ir
+module Shrink = Siesta_synth.Shrink
+module Linreg = Siesta_numerics.Linreg
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+let schema_version = 1
+let magic = "SSB1"
+let float_repr f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
+
+(* ------------------------------------------------------------------ *)
+(* Wire primitives *)
+
+module Wire = struct
+  type writer = Buffer.t
+  type reader = { s : string; mutable pos : int }
+
+  let writer () = Buffer.create 4096
+  let contents = Buffer.contents
+  let reader s = { s; pos = 0 }
+  let at_end r = r.pos = String.length r.s
+
+  let need r n =
+    if r.pos + n > String.length r.s then
+      corrupt "truncated input (need %d bytes at offset %d of %d)" n r.pos
+        (String.length r.s)
+
+  (* Unsigned LEB128 over the zigzag transform: any 63-bit OCaml int
+     round-trips, small magnitudes (positive or negative) stay short. *)
+  let w_varint b i =
+    let u = (i lsl 1) lxor (i asr (Sys.int_size - 1)) in
+    let rec go u =
+      if u land lnot 0x7f = 0 then Buffer.add_char b (Char.chr (u land 0x7f))
+      else begin
+        Buffer.add_char b (Char.chr (0x80 lor (u land 0x7f)));
+        go (u lsr 7)
+      end
+    in
+    go u
+
+  let r_varint r =
+    let rec go shift acc =
+      if shift > Sys.int_size then corrupt "varint too long at offset %d" r.pos;
+      need r 1;
+      let c = Char.code (String.unsafe_get r.s r.pos) in
+      r.pos <- r.pos + 1;
+      let acc = acc lor ((c land 0x7f) lsl shift) in
+      if c land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    let u = go 0 0 in
+    (u lsr 1) lxor (- (u land 1))
+
+  let w_int64_le b v =
+    for i = 0 to 7 do
+      Buffer.add_char b
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+    done
+
+  let r_int64_le r =
+    need r 8;
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v :=
+        Int64.logor (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code (String.unsafe_get r.s (r.pos + i))))
+    done;
+    r.pos <- r.pos + 8;
+    !v
+
+  let w_float b f = w_int64_le b (Int64.bits_of_float f)
+  let r_float r = Int64.float_of_bits (r_int64_le r)
+
+  let w_string b s =
+    w_varint b (String.length s);
+    Buffer.add_string b s
+
+  let r_string r =
+    let n = r_varint r in
+    if n < 0 then corrupt "negative string length at offset %d" r.pos;
+    need r n;
+    let s = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    s
+end
+
+open Wire
+
+(* Length-checked counts: every repeated structure is preceded by a
+   count that must be sane before we Array.init over it. *)
+let r_count ?(max = 1 lsl 30) r what =
+  let n = r_varint r in
+  if n < 0 || n > max then corrupt "implausible %s count %d" what n;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let frame ~kind payload =
+  let b = writer () in
+  Buffer.add_string b magic;
+  w_varint b schema_version;
+  w_string b kind;
+  w_varint b (String.length payload);
+  Buffer.add_string b payload;
+  let body = contents b in
+  let b2 = Buffer.create (String.length body + 8) in
+  Buffer.add_string b2 body;
+  w_int64_le b2 (Hash.fnv64 body);
+  Buffer.contents b2
+
+let unframe blob =
+  let len = String.length blob in
+  if len < String.length magic + 8 then corrupt "blob too short (%d bytes)" len;
+  let body = String.sub blob 0 (len - 8) in
+  let stored =
+    let r = reader (String.sub blob (len - 8) 8) in
+    r_int64_le r
+  in
+  if not (Int64.equal stored (Hash.fnv64 body)) then
+    corrupt "checksum mismatch (stored %Lx, computed %Lx)" stored (Hash.fnv64 body);
+  let r = reader body in
+  need r (String.length magic);
+  let m = String.sub r.s 0 (String.length magic) in
+  if m <> magic then corrupt "bad magic %S" m;
+  r.pos <- String.length magic;
+  let v = r_varint r in
+  if v <> schema_version then
+    corrupt "schema version mismatch (blob v%d, runtime v%d)" v schema_version;
+  let kind = r_string r in
+  let n = r_varint r in
+  if n < 0 || r.pos + n <> String.length body then
+    corrupt "payload length %d does not match frame" n;
+  (kind, String.sub body r.pos n)
+
+let kind_of blob =
+  match
+    let r = reader blob in
+    need r (String.length magic);
+    if String.sub r.s 0 (String.length magic) <> magic then corrupt "bad magic";
+    r.pos <- String.length magic;
+    let _v = r_varint r in
+    r_string r
+  with
+  | kind -> Some kind
+  | exception Corrupt _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Shared sub-codecs *)
+
+let w_event_key b ev = w_string b (Event.to_key ev)
+
+let r_event r =
+  let key = r_string r in
+  match Event.of_key key with
+  | ev -> ev
+  | exception Failure m -> corrupt "bad event key %S: %s" key m
+
+let w_rule b (rule : Grammar.rule) =
+  w_varint b (List.length rule);
+  List.iter
+    (fun { Grammar.sym; reps } ->
+      (* Tag-in-low-bit symbol encoding: T v -> 2v, N i -> 2i+1. *)
+      (match sym with
+      | Grammar.T v -> w_varint b (v lsl 1)
+      | Grammar.N i -> w_varint b ((i lsl 1) lor 1));
+      w_varint b reps)
+    rule
+
+let r_rule r : Grammar.rule =
+  let n = r_count r "rule entry" in
+  List.init n (fun _ ->
+      let tagged = r_varint r in
+      if tagged < 0 then corrupt "negative symbol code";
+      let sym =
+        if tagged land 1 = 0 then Grammar.T (tagged lsr 1) else Grammar.N (tagged lsr 1)
+      in
+      let reps = r_varint r in
+      if reps < 1 then corrupt "non-positive repetition count %d" reps;
+      { Grammar.sym; reps })
+
+let w_rank_list b rl =
+  let ranks = Rank_list.to_list rl in
+  w_varint b (List.length ranks);
+  (* delta-encoded: ascending lists of near-contiguous ranks are tiny *)
+  ignore
+    (List.fold_left
+       (fun prev rank ->
+         w_varint b (rank - prev);
+         rank)
+       0 ranks)
+
+let r_rank_list r =
+  let n = r_count r "rank list" in
+  let prev = ref 0 in
+  let ranks =
+    List.init n (fun _ ->
+        let rank = !prev + r_varint r in
+        prev := rank;
+        rank)
+  in
+  Rank_list.of_list ranks
+
+let w_merged b (m : Merged.t) =
+  w_varint b m.Merged.nranks;
+  w_varint b (Array.length m.Merged.terminals);
+  Array.iter (w_event_key b) m.Merged.terminals;
+  w_varint b (Array.length m.Merged.rules);
+  Array.iter (w_rule b) m.Merged.rules;
+  w_varint b (Array.length m.Merged.mains);
+  Array.iter
+    (fun entries ->
+      w_varint b (List.length entries);
+      List.iter
+        (fun { Merged.sym; reps; ranks } ->
+          (match sym with
+          | Grammar.T v -> w_varint b (v lsl 1)
+          | Grammar.N i -> w_varint b ((i lsl 1) lor 1));
+          w_varint b reps;
+          w_rank_list b ranks)
+        entries)
+    m.Merged.mains;
+  w_varint b (Array.length m.Merged.main_ranks);
+  Array.iter (w_rank_list b) m.Merged.main_ranks
+
+let r_merged r : Merged.t =
+  let nranks = r_varint r in
+  if nranks <= 0 then corrupt "non-positive nranks %d" nranks;
+  let nterms = r_count r "terminal" in
+  let terminals = Array.init nterms (fun _ -> r_event r) in
+  let nrules = r_count r "rule" in
+  let rules = Array.init nrules (fun _ -> r_rule r) in
+  let nmains = r_count r "main" in
+  let mains =
+    Array.init nmains (fun _ ->
+        let n = r_count r "main entry" in
+        List.init n (fun _ ->
+            let tagged = r_varint r in
+            if tagged < 0 then corrupt "negative symbol code";
+            let sym =
+              if tagged land 1 = 0 then Grammar.T (tagged lsr 1)
+              else Grammar.N (tagged lsr 1)
+            in
+            let reps = r_varint r in
+            if reps < 1 then corrupt "non-positive repetition count %d" reps;
+            let ranks = r_rank_list r in
+            { Merged.sym; reps; ranks }))
+  in
+  let nmr = r_count r "main rank-list" in
+  let main_ranks = Array.init nmr (fun _ -> r_rank_list r) in
+  { Merged.nranks; terminals; rules; mains; main_ranks }
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+type trace_meta = {
+  tm_original_elapsed : float;
+  tm_instrumented_elapsed : float;
+  tm_original_calls : int;
+  tm_instrumented_calls : int;
+  tm_total_events : int;
+  tm_raw_bytes : int;
+}
+
+let meta_overhead m =
+  if m.tm_original_elapsed = 0.0 then 0.0
+  else (m.tm_instrumented_elapsed -. m.tm_original_elapsed) /. m.tm_original_elapsed
+
+let encode_trace ~meta (t : Trace_io.t) =
+  let b = writer () in
+  w_float b meta.tm_original_elapsed;
+  w_float b meta.tm_instrumented_elapsed;
+  w_varint b meta.tm_original_calls;
+  w_varint b meta.tm_instrumented_calls;
+  w_varint b meta.tm_total_events;
+  w_varint b meta.tm_raw_bytes;
+  w_varint b t.Trace_io.nranks;
+  w_varint b (Array.length t.Trace_io.centroids);
+  Array.iter
+    (fun (c, members) ->
+      Array.iter (w_float b) (Counters.to_array c);
+      w_varint b members)
+    t.Trace_io.centroids;
+  (* Event keys are interned: the table holds each distinct key once,
+     streams are varint ids into it.  SPMD traces repeat a handful of
+     relative-rank-encoded events millions of times, so this is the
+     difference between O(trace) and O(distinct events) text. *)
+  let table = Hashtbl.create 256 in
+  let keys_rev = ref [] in
+  let nkeys = ref 0 in
+  let intern ev =
+    let key = Event.to_key ev in
+    match Hashtbl.find_opt table key with
+    | Some id -> id
+    | None ->
+        let id = !nkeys in
+        incr nkeys;
+        keys_rev := key :: !keys_rev;
+        Hashtbl.replace table key id;
+        id
+  in
+  let streams_ids =
+    Array.map (fun evs -> Array.map intern evs) t.Trace_io.streams
+  in
+  w_varint b !nkeys;
+  List.iter (w_string b) (List.rev !keys_rev);
+  w_varint b (Array.length streams_ids);
+  Array.iter
+    (fun ids ->
+      w_varint b (Array.length ids);
+      Array.iter (w_varint b) ids)
+    streams_ids;
+  frame ~kind:"trace" (contents b)
+
+let decode_trace blob =
+  let kind, payload = unframe blob in
+  if kind <> "trace" then corrupt "expected a trace blob, got %S" kind;
+  let r = reader payload in
+  let tm_original_elapsed = r_float r in
+  let tm_instrumented_elapsed = r_float r in
+  let tm_original_calls = r_varint r in
+  let tm_instrumented_calls = r_varint r in
+  let tm_total_events = r_varint r in
+  let tm_raw_bytes = r_varint r in
+  let nranks = r_varint r in
+  if nranks <= 0 then corrupt "non-positive nranks %d" nranks;
+  let ncentroids = r_count r "centroid" in
+  let centroids =
+    Array.init ncentroids (fun _ ->
+        let a = Array.init 6 (fun _ -> r_float r) in
+        let members = r_varint r in
+        (Counters.of_array a, members))
+  in
+  let nkeys = r_count r "event key" in
+  let events =
+    Array.init nkeys (fun _ ->
+        let key = r_string r in
+        match Event.of_key key with
+        | ev -> ev
+        | exception Failure m -> corrupt "bad event key %S: %s" key m)
+  in
+  let nstreams = r_count r "stream" in
+  if nstreams <> nranks then corrupt "stream count %d <> nranks %d" nstreams nranks;
+  let streams =
+    Array.init nstreams (fun _ ->
+        let n = r_count r "event" in
+        Array.init n (fun _ ->
+            let id = r_varint r in
+            if id < 0 || id >= nkeys then corrupt "event id %d out of range" id;
+            events.(id)))
+  in
+  if not (at_end r) then corrupt "trailing bytes after trace payload";
+  ( {
+      tm_original_elapsed;
+      tm_instrumented_elapsed;
+      tm_original_calls;
+      tm_instrumented_calls;
+      tm_total_events;
+      tm_raw_bytes;
+    },
+    { Trace_io.nranks; streams; centroids } )
+
+(* ------------------------------------------------------------------ *)
+(* Per-rank grammar set *)
+
+let encode_grammars (gs : Grammar.t array) =
+  let b = writer () in
+  w_varint b (Array.length gs);
+  Array.iter
+    (fun (g : Grammar.t) ->
+      w_rule b g.Grammar.main;
+      w_varint b (Array.length g.Grammar.rules);
+      Array.iter (w_rule b) g.Grammar.rules)
+    gs;
+  frame ~kind:"grammars" (contents b)
+
+let decode_grammars blob =
+  let kind, payload = unframe blob in
+  if kind <> "grammars" then corrupt "expected a grammars blob, got %S" kind;
+  let r = reader payload in
+  let n = r_count r "grammar" in
+  let gs =
+    Array.init n (fun _ ->
+        let main = r_rule r in
+        let nrules = r_count r "rule" in
+        let rules = Array.init nrules (fun _ -> r_rule r) in
+        { Grammar.main; rules })
+  in
+  if not (at_end r) then corrupt "trailing bytes after grammars payload";
+  gs
+
+(* ------------------------------------------------------------------ *)
+(* Merged program *)
+
+let encode_merged m =
+  let b = writer () in
+  w_merged b m;
+  frame ~kind:"merged" (contents b)
+
+let decode_merged blob =
+  let kind, payload = unframe blob in
+  if kind <> "merged" then corrupt "expected a merged blob, got %S" kind;
+  let r = reader payload in
+  let m = r_merged r in
+  if not (at_end r) then corrupt "trailing bytes after merged payload";
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Proxy / QP solution *)
+
+let encode_proxy (p : Proxy_ir.t) =
+  let b = writer () in
+  w_merged b p.Proxy_ir.merged;
+  w_varint b (Array.length p.Proxy_ir.combos);
+  Array.iter
+    (fun row ->
+      w_varint b (Array.length row);
+      Array.iter (w_float b) row)
+    p.Proxy_ir.combos;
+  w_varint b (Array.length p.Proxy_ir.combo_errors);
+  Array.iter (w_float b) p.Proxy_ir.combo_errors;
+  let sh = p.Proxy_ir.shrink in
+  w_float b (Shrink.factor sh);
+  let reg = Shrink.regression sh in
+  w_float b reg.Linreg.slope;
+  w_float b reg.Linreg.intercept;
+  w_string b p.Proxy_ir.generated_on;
+  frame ~kind:"proxy" (contents b)
+
+let decode_proxy blob =
+  let kind, payload = unframe blob in
+  if kind <> "proxy" then corrupt "expected a proxy blob, got %S" kind;
+  let r = reader payload in
+  let merged = r_merged r in
+  let ncombos = r_count r "combo" in
+  let combos =
+    Array.init ncombos (fun _ ->
+        let n = r_count r "combo column" in
+        Array.init n (fun _ -> r_float r))
+  in
+  let nerr = r_count r "combo error" in
+  let combo_errors = Array.init nerr (fun _ -> r_float r) in
+  let factor = r_float r in
+  let slope = r_float r in
+  let intercept = r_float r in
+  let generated_on = r_string r in
+  if not (at_end r) then corrupt "trailing bytes after proxy payload";
+  {
+    Proxy_ir.merged;
+    combos;
+    combo_errors;
+    shrink = Shrink.of_parts ~factor ~regression:{ Linreg.slope; intercept };
+    generated_on;
+  }

@@ -23,6 +23,7 @@ let fit ~platform ~impl ~factor =
   { factor; reg = Linreg.fit ~xs ~ys }
 
 let factor t = t.factor
+let of_parts ~factor ~regression = { factor; reg = regression }
 
 let shrink_count t ~dt count =
   if t.factor = 1.0 then count

@@ -28,6 +28,12 @@ val fit :
 
 val factor : t -> float
 
+val of_parts : factor:float -> regression:Siesta_numerics.Linreg.t -> t
+(** Rebuild a shrink plan from its stored parts ({!factor} and
+    {!regression}) — the deserialization path of
+    [Siesta_store.Codec.decode_proxy].  [of_parts ~factor:(factor t)
+    ~regression:(regression t)] behaves identically to [t]. *)
+
 val shrink_count : t -> dt:Siesta_mpi.Datatype.t -> int -> int
 (** Shrunk element count for a blocking transfer. *)
 

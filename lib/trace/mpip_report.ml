@@ -20,14 +20,13 @@ let bucket_of bytes =
   let rec go b = if b >= bytes || b >= 1 lsl 30 then b else go (2 * b) in
   go 1
 
-let build recorder =
-  let nranks = Recorder.nranks recorder in
+let of_streams ~nranks streams =
   let funcs : (string, function_stats) Hashtbl.t = Hashtbl.create 32 in
   let hist : (int, int) Hashtbl.t = Hashtbl.create 32 in
   let comm = ref 0 and compute = ref 0 in
   let per_rank_events = Array.make nranks 0 in
   for rank = 0 to nranks - 1 do
-    let evs = Recorder.events recorder rank in
+    let evs = streams.(rank) in
     per_rank_events.(rank) <- Array.length evs;
     Array.iter
       (fun ev ->
@@ -65,6 +64,10 @@ let build recorder =
       Hashtbl.fold (fun b n acc -> (b, n) :: acc) hist [] |> List.sort compare;
     per_rank_events;
   }
+
+let build recorder =
+  let nranks = Recorder.nranks recorder in
+  of_streams ~nranks (Array.init nranks (Recorder.events recorder))
 
 let render t =
   let buf = Buffer.create 2048 in

@@ -29,6 +29,11 @@ type t = {
 
 val build : Recorder.t -> t
 
+val of_streams : nranks:int -> Event.t array array -> t
+(** Same aggregation over bare event streams — the path used when a
+    trace is reloaded from a file or the artifact store and no live
+    {!Recorder} exists. *)
+
 val render : t -> string
 (** Plain-text report in mpiP's sectioned style. *)
 

@@ -42,37 +42,52 @@ let to_string t =
     t.streams;
   Buffer.contents buf
 
+(* Corrupt or truncated input must surface as [Failure "Trace_io: …"],
+   never as a leaked [Scanf.Scan_failure] / [End_of_file] /
+   [Invalid_argument] from the innards of the parser — callers (the CLI,
+   the artifact store's cache-miss fallback) match on [Failure] to turn
+   damage into a clean diagnostic. *)
 let of_string s =
-  let lines = String.split_on_char '\n' s in
-  let lines = ref lines in
-  let next () =
-    match !lines with
-    | [] -> failwith "Trace_io: unexpected end of file"
-    | l :: rest ->
-        lines := rest;
-        l
+  let parse () =
+    let lines = String.split_on_char '\n' s in
+    let lines = ref lines in
+    let next () =
+      match !lines with
+      | [] -> failwith "Trace_io: unexpected end of file"
+      | l :: rest ->
+          lines := rest;
+          l
+    in
+    if next () <> "siesta-trace v1" then failwith "Trace_io: bad magic or version";
+    let nranks = Scanf.sscanf (next ()) "nranks %d" Fun.id in
+    if nranks <= 0 then failwith "Trace_io: bad rank count";
+    let n_clusters = Scanf.sscanf (next ()) "compute-table %d" Fun.id in
+    if n_clusters < 0 then failwith "Trace_io: bad cluster count";
+    let centroids =
+      Array.init n_clusters (fun expect ->
+          Scanf.sscanf (next ()) "%d %g %g %g %g %g %g %d"
+            (fun cid a b c d e f members ->
+              if cid <> expect then failwith "Trace_io: cluster ids out of order";
+              (Counters.of_array [| a; b; c; d; e; f |], members)))
+    in
+    let streams =
+      Array.init nranks (fun expect ->
+          let n =
+            Scanf.sscanf (next ()) "rank %d %d" (fun r n ->
+                if r <> expect then failwith "Trace_io: ranks out of order";
+                if n < 0 then failwith "Trace_io: bad event count";
+                n)
+          in
+          Array.init n (fun _ -> Event.of_key (next ())))
+    in
+    { nranks; streams; centroids }
   in
-  if next () <> "siesta-trace v1" then failwith "Trace_io: bad magic or version";
-  let nranks = Scanf.sscanf (next ()) "nranks %d" Fun.id in
-  if nranks <= 0 then failwith "Trace_io: bad rank count";
-  let n_clusters = Scanf.sscanf (next ()) "compute-table %d" Fun.id in
-  let centroids =
-    Array.init n_clusters (fun expect ->
-        Scanf.sscanf (next ()) "%d %g %g %g %g %g %g %d"
-          (fun cid a b c d e f members ->
-            if cid <> expect then failwith "Trace_io: cluster ids out of order";
-            (Counters.of_array [| a; b; c; d; e; f |], members)))
-  in
-  let streams =
-    Array.init nranks (fun expect ->
-        let n =
-          Scanf.sscanf (next ()) "rank %d %d" (fun r n ->
-              if r <> expect then failwith "Trace_io: ranks out of order";
-              n)
-        in
-        Array.init n (fun _ -> Event.of_key (next ())))
-  in
-  { nranks; streams; centroids }
+  try parse () with
+  | Failure msg when String.length msg >= 9 && String.sub msg 0 9 = "Trace_io:" ->
+      failwith msg
+  | Scanf.Scan_failure msg -> failwith (Printf.sprintf "Trace_io: malformed line (%s)" msg)
+  | End_of_file | Failure _ | Invalid_argument _ ->
+      failwith "Trace_io: truncated or corrupt trace file"
 
 let save t ~path =
   let oc = open_out path in

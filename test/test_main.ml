@@ -24,5 +24,6 @@ let () =
       ("fidelity", Test_fidelity.suite);
       ("extrapolate", Test_extrapolate.suite);
       ("core", Test_core.suite);
+      ("store", Test_store.suite);
       ("final-coverage", Test_final_coverage.suite);
     ]

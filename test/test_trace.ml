@@ -353,6 +353,44 @@ let test_trace_io_rejects_garbage () =
         (match Trace_io.of_string s with exception Failure _ -> true | _ -> false))
     [ ""; "wrong magic\n"; "siesta-trace v1\nnranks 0\n"; "siesta-trace v2\nnranks 1\n" ]
 
+(* Truncating a valid trace at any line boundary must produce a clean
+   [Failure "Trace_io: …"] — never a leaked Scanf/End_of_file/
+   Invalid_argument from the parser internals. *)
+let test_trace_io_truncation_is_clean () =
+  let r = traced_run ring in
+  let full = Trace_io.to_string (Trace_io.of_recorder r) in
+  let lines = String.split_on_char '\n' full in
+  let n_lines = List.length lines in
+  for keep = 0 to n_lines - 2 do
+    let prefix = String.concat "\n" (List.filteri (fun i _ -> i < keep) lines) ^ "\n" in
+    match Trace_io.of_string prefix with
+    | exception Failure msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "Trace_io-prefixed error at %d lines" keep)
+          true
+          (String.length msg >= 9 && String.sub msg 0 9 = "Trace_io:")
+    | exception e ->
+        Alcotest.failf "leaked exception at %d lines: %s" keep (Printexc.to_string e)
+    | _ ->
+        (* Only the degenerate whole-file prefix may parse. *)
+        Alcotest.failf "truncated trace (%d/%d lines) parsed" keep n_lines
+  done;
+  (* Field-level damage inside a line, not just missing lines. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "clean failure" true
+        (match Trace_io.of_string s with
+        | exception Failure msg -> String.sub msg 0 9 = "Trace_io:"
+        | exception _ -> false
+        | _ -> false))
+    [
+      "siesta-trace v1\nnranks x\n";
+      "siesta-trace v1\nnranks 1\ncompute-table -4\n";
+      "siesta-trace v1\nnranks 1\ncompute-table 1\n0 bad floats\n";
+      "siesta-trace v1\nnranks 1\ncompute-table 0\nrank 0 2\nS:0:0:i:8\nnot-an-event\n";
+      "siesta-trace v1\nnranks 1\ncompute-table 0\nrank 0 -1\n";
+    ]
+
 let test_trace_io_compute_table_restored () =
   let r = traced_run ring in
   let t = Trace_io.of_recorder r in
@@ -432,6 +470,32 @@ let prop_trace_io_roundtrip =
       let t = { Trace_io.nranks; streams; centroids = [||] } in
       (Trace_io.of_string (Trace_io.to_string t)).Trace_io.streams = streams)
 
+(* As above but with a non-empty compute table: centroids (printed with
+   %.17g) and member counts must survive the text round-trip exactly. *)
+let prop_trace_io_roundtrip_centroids =
+  QCheck.Test.make ~count:60 ~name:"random traces with compute tables round-trip"
+    (QCheck.make
+       ~print:(fun (t : Trace_io.t) ->
+         Printf.sprintf "%d ranks, %d clusters" t.Trace_io.nranks
+           (Array.length t.Trace_io.centroids))
+       QCheck.Gen.(
+         let* nranks = 1 -- 4 in
+         let* streams = array_size (return nranks) (array_size (0 -- 25) random_event_gen) in
+         let* centroids =
+           array_size (1 -- 8)
+             (let* a = array_size (return 6) (float_bound_inclusive 1e9) in
+              let* members = 1 -- 1_000 in
+              return (Counters.of_array a, members))
+         in
+         return { Trace_io.nranks; streams; centroids }))
+    (fun t ->
+      let t' = Trace_io.of_string (Trace_io.to_string t) in
+      t'.Trace_io.streams = t.Trace_io.streams
+      && Array.length t'.Trace_io.centroids = Array.length t.Trace_io.centroids
+      && Array.for_all2
+           (fun (c, m) (c', m') -> m = m' && Counters.to_array c = Counters.to_array c')
+           t.Trace_io.centroids t'.Trace_io.centroids)
+
 let test_mpip_report () =
   let r = traced_run ring in
   let rep = Mpip_report.build r in
@@ -494,8 +558,10 @@ let suite =
     ("trace_io string roundtrip", `Quick, test_trace_io_roundtrip);
     ("trace_io file roundtrip", `Quick, test_trace_io_file_roundtrip);
     ("trace_io rejects malformed input", `Quick, test_trace_io_rejects_garbage);
+    ("trace_io truncation gives clean errors", `Quick, test_trace_io_truncation_is_clean);
     ("trace_io restores the compute table", `Quick, test_trace_io_compute_table_restored);
     ("mpiP-style report", `Quick, test_mpip_report);
     QCheck_alcotest.to_alcotest prop_event_key_roundtrip;
     QCheck_alcotest.to_alcotest prop_trace_io_roundtrip;
+    QCheck_alcotest.to_alcotest prop_trace_io_roundtrip_centroids;
   ]
