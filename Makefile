@@ -7,6 +7,8 @@ SMOKE_PROXY := /tmp/siesta_smoke_proxy.c
 SMOKE_PROXY_WARM := /tmp/siesta_smoke_proxy_warm.c
 SMOKE_METRICS := /tmp/siesta_smoke_metrics.json
 SMOKE_STORE := /tmp/siesta_smoke_store
+SMOKE_PROXY_STREAMED := /tmp/siesta_smoke_proxy_streamed.c
+SMOKE_PROXY_BOXED := /tmp/siesta_smoke_proxy_boxed.c
 
 .PHONY: all build test check smoke bench-check bench-quick clean
 
@@ -49,15 +51,28 @@ smoke: build
 	cmp $(SMOKE_PROXY) $(SMOKE_PROXY_WARM)
 	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store verify
 	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store gc --expect-clean
+	@# Streaming equivalence at scale: a >= 10^6-event seeded run through
+	@# the default streamed recorder must emit a proxy byte-identical to
+	@# the boxed reference path.
+	dune exec bin/siesta_cli.exe -- synth CG -n 16 --iters 3000 \
+		-o $(SMOKE_PROXY_STREAMED)
+	dune exec bin/siesta_cli.exe -- synth CG -n 16 --iters 3000 \
+		--boxed-trace -o $(SMOKE_PROXY_BOXED)
+	cmp $(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED)
 	@rm -f $(SMOKE_TRACE) $(SMOKE_TIMELINE) $(SMOKE_TIMELINE_HTML) \
-		$(SMOKE_PROXY) $(SMOKE_PROXY_WARM) $(SMOKE_METRICS)
+		$(SMOKE_PROXY) $(SMOKE_PROXY_WARM) $(SMOKE_METRICS) \
+		$(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED)
 	@rm -rf $(SMOKE_STORE)
 
 # regression gates, failing the build instead of printing a warning:
-# telemetry overhead budget (<= 3%), parallel-merge determinism, and
+# telemetry overhead budget (<= 3%), parallel-merge determinism,
 # merge_no_regression (default-config merge_speedup >= 0.95 vs serial
 # on every workload — the Parallel scheduler's "never slower than
-# serial" contract; three remeasurement attempts absorb host noise).
+# serial" contract; three remeasurement attempts absorb host noise),
+# streaming_throughput (streamed trace+grammar >= 0.95x the boxed
+# trace-then-batch-grammar events/sec at >= 10^6 events) and
+# streaming_heap_bounded (streamed retained heap stays flat across a
+# 4x event growth — memory tracks grammar size, not trace length).
 bench-check: build
 	dune exec bench/main.exe -- --quick --strict obs-overhead pipeline-scale
 

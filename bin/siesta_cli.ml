@@ -277,6 +277,19 @@ let run_cmd =
       const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
       $ seed_arg)
 
+(* Recorder mode flag shared by the tracing subcommands.  Streamed (the
+   default) interns events into SoA code buffers and builds per-rank
+   grammars online; --boxed-trace keeps the original boxed event lists
+   (equivalence baseline — the proxy is byte-identical either way). *)
+let boxed_trace_arg =
+  let doc =
+    "Record boxed event lists instead of the streaming SoA representation \
+     (slower, linear memory; the synthesized proxy is byte-identical)."
+  in
+  Arg.(value & flag & info [ "boxed-trace" ] ~doc)
+
+let mode_of_boxed boxed = if boxed then Recorder.Boxed else Recorder.Streamed
+
 let trace_cmd =
   let dump_arg =
     let doc = "Save the encoded trace to $(docv) (reload with `siesta synth --from`)." in
@@ -286,12 +299,14 @@ let trace_cmd =
     let doc = "Print an mpiP-style aggregate statistics report." in
     Arg.(value & flag & info [ "report" ] ~doc)
   in
-  let run obs workload nranks iters platform impl seed dump report timeline_out timeline_html
-      cache_opts =
+  let run obs workload nranks iters platform impl seed dump report boxed timeline_out
+      timeline_html cache_opts =
     with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
     let store = store_of_opts cache_opts in
-    let ts = Pipeline.trace_stage ~cache:cache_opts.cache ?store s in
+    let ts =
+      Pipeline.trace_stage ~cache:cache_opts.cache ?store ~mode:(mode_of_boxed boxed) s
+    in
     emit_timelines
       ~title:(Printf.sprintf "Siesta timeline — %s @ %d ranks" workload nranks)
       ~timeline_out ~timeline_html
@@ -311,21 +326,23 @@ let trace_cmd =
           (Pipeline.outcome_name ts.Pipeline.ts_outcome)
           (Store.root st))
       store;
-    if report then
+    if report then begin
+      let t = Siesta_trace.Trace_io.of_packed ts.Pipeline.ts_trace in
       Siesta_trace.Mpip_report.print
-        (Siesta_trace.Mpip_report.of_streams
-           ~nranks:ts.Pipeline.ts_trace.Siesta_trace.Trace_io.nranks
-           ts.Pipeline.ts_trace.Siesta_trace.Trace_io.streams);
+        (Siesta_trace.Mpip_report.of_streams ~nranks:t.Siesta_trace.Trace_io.nranks
+           t.Siesta_trace.Trace_io.streams)
+    end;
     match dump with
     | Some path ->
-        Siesta_trace.Trace_io.save ts.Pipeline.ts_trace ~path;
+        Siesta_trace.Trace_io.save_packed ts.Pipeline.ts_trace ~path;
         Printf.printf "trace saved to %s\n" path
     | None -> ()
   in
   Cmd.v (Cmd.info "trace" ~doc:"Execute a workload under the PMPI tracer")
     Term.(
       const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
-      $ seed_arg $ dump_arg $ report_arg $ timeline_out_arg $ timeline_html_arg $ cache_term)
+      $ seed_arg $ dump_arg $ report_arg $ boxed_trace_arg $ timeline_out_arg
+      $ timeline_html_arg $ cache_term)
 
 let synth_cmd =
   let output_arg =
@@ -358,18 +375,16 @@ let synth_cmd =
         Siesta_synth.Codegen_c.write_file proxy ~path;
         Printf.printf "wrote %s\n" path
   in
-  let run obs workload nranks iters platform impl seed output factor from bundle cache_opts =
+  let run obs workload nranks iters platform impl seed output factor from bundle boxed
+      cache_opts =
     with_obs obs @@ fun () ->
     match from with
     | Some trace_path ->
-        let t = Siesta_trace.Trace_io.load ~path:trace_path in
-        let merged =
-          Siesta_merge.Pipeline.merge_streams ~nranks:t.Siesta_trace.Trace_io.nranks
-            t.Siesta_trace.Trace_io.streams
-        in
+        let pk = Siesta_trace.Trace_io.load_packed ~path:trace_path in
+        let merged = Siesta_merge.Pipeline.merge_packed pk in
         let proxy =
           Siesta_synth.Proxy_ir.synthesize ~platform ~impl ~factor ~merged
-            ~compute_table:(Siesta_trace.Trace_io.compute_table t) ()
+            ~compute_table:(Siesta_trace.Trace_io.packed_compute_table pk) ()
         in
         let path = Option.value ~default:(trace_path ^ ".proxy.c") output in
         emit ~proxy ~merged ~path ~bundle
@@ -377,7 +392,7 @@ let synth_cmd =
         let s = spec_of workload nranks iters platform impl seed in
         let sy =
           Pipeline.synthesize_spec ~cache:cache_opts.cache ?store:(store_of_opts cache_opts)
-            ~factor s
+            ~factor ~mode:(mode_of_boxed boxed) s
         in
         print_cache_status sy.Pipeline.sy_status;
         print_merge_sched sy;
@@ -391,7 +406,8 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a C proxy-app from a traced execution")
     Term.(
       const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg $ impl_arg
-      $ seed_arg $ output_arg $ factor_arg $ from_arg $ bundle_arg $ cache_term)
+      $ seed_arg $ output_arg $ factor_arg $ from_arg $ bundle_arg $ boxed_trace_arg
+      $ cache_term)
 
 let replay_cmd =
   let target_platform_arg =
@@ -737,12 +753,18 @@ let store_cmd =
     (Cmd.info "store" ~doc:"Inspect and maintain the content-addressed artifact store")
     [ ls_cmd; verify_cmd; gc_cmd; rm_cmd ]
 
-(* check-trace: reload a --trace-out file with the in-tree JSON parser
-   and validate the Chrome trace_event structure.  Exercised by `make
-   check` so the telemetry output is smoke-tested on every run. *)
+(* check-trace: validate any trace artifact the toolchain emits.  The
+   file is sniffed by prefix: "SSB1" store blobs are decoded with the
+   binary codec, "siesta-trace" dumps (v1 boxed or v2 chunked) with the
+   text loader, anything else is parsed as a Chrome trace_event JSON
+   from --trace-out / --timeline-out.  Exercised by `make check` so all
+   three formats are smoke-tested on every run. *)
 let check_trace_cmd =
   let file_arg =
-    let doc = "Chrome trace JSON written by --trace-out." in
+    let doc =
+      "Trace file: Chrome trace JSON (--trace-out), a `siesta trace --dump` file, or a \
+       binary store blob."
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let min_spans_arg =
@@ -753,6 +775,16 @@ let check_trace_cmd =
     let doc = "Fail unless at least $(docv) distinct thread tracks are present." in
     Arg.(value & opt int 0 & info [ "min-tracks" ] ~docv:"N" ~doc)
   in
+  let summarize_packed what (pk : Siesta_trace.Trace_io.packed) =
+    Printf.printf "%s: %d ranks, %d events (%d distinct), %d centroids%s\n" what
+      pk.Siesta_trace.Trace_io.p_nranks
+      (Siesta_trace.Trace_io.packed_total_events pk)
+      (Array.length pk.Siesta_trace.Trace_io.p_defs)
+      (Array.length pk.Siesta_trace.Trace_io.p_centroids)
+      (match pk.Siesta_trace.Trace_io.p_grammars with
+      | Some _ -> ", online per-rank grammars"
+      | None -> "")
+  in
   let run file min_spans min_tracks =
     let contents =
       let ic = open_in_bin file in
@@ -761,6 +793,26 @@ let check_trace_cmd =
       close_in ic;
       s
     in
+    if String.length contents >= 4 && String.sub contents 0 4 = "SSB1" then begin
+      (* binary artifact-store blob: validate frame + chunked payload *)
+      match Siesta_store.Codec.decode_trace contents with
+      | meta, pk ->
+          summarize_packed (Printf.sprintf "%s: store trace blob" file) pk;
+          ignore meta
+      | exception Siesta_store.Codec.Corrupt msg ->
+          Printf.eprintf "check-trace: %s: corrupt store blob: %s\n" file msg;
+          exit 1
+    end
+    else if
+      String.length contents >= 12 && String.sub contents 0 12 = "siesta-trace"
+    then begin
+      match Siesta_trace.Trace_io.of_string_packed contents with
+      | pk -> summarize_packed (Printf.sprintf "%s: trace dump" file) pk
+      | exception Failure msg ->
+          Printf.eprintf "check-trace: %s: %s\n" file msg;
+          exit 1
+    end
+    else
     match Obs_json.parse contents with
     | Error msg ->
         Printf.eprintf "check-trace: %s: %s\n" file msg;

@@ -66,14 +66,14 @@ let stage name f =
     Metrics.observe (Metrics.histogram (Printf.sprintf "pipeline.%s_s" name)) s;
   (r, (name, s))
 
-let trace s =
+let trace ?(mode = Recorder.Streamed) s =
   let program = program_of s in
   let original, t_orig =
     stage "trace.original" (fun () ->
         Engine.run ~platform:s.platform ~impl:s.impl ~nranks:s.nranks ~seed:s.seed program)
   in
   let recorder =
-    Recorder.create ~nranks:s.nranks ~cluster_threshold:s.cluster_threshold ()
+    Recorder.create ~nranks:s.nranks ~cluster_threshold:s.cluster_threshold ~mode ()
   in
   let instrumented, t_instr =
     stage "trace.instrumented" (fun () ->
@@ -262,7 +262,7 @@ let status_off = { cs_root = None; cs_trace = Cache_off; cs_merge = Cache_off; c
 
 type trace_stage = {
   ts_spec : spec;
-  ts_trace : Trace_io.t;
+  ts_trace : Trace_io.packed;
   ts_meta : Codec.trace_meta;
   ts_table : Compute_table.t;
   ts_hash : string option;
@@ -328,7 +328,7 @@ let log_stage_outcome stg s outcome =
           ("outcome", outcome_name outcome);
         ] ))
 
-let trace_stage_cached st s =
+let trace_stage_cached ?mode st s =
   let key, descr =
     Cache.trace_key ~workload:s.workload.Registry.name ~nranks:s.nranks ~iters:s.iters
       ~seed:s.seed ~platform:s.platform.Spec_p.name ~impl:s.impl.Mpi_impl.name
@@ -346,7 +346,7 @@ let trace_stage_cached st s =
         ts_spec = s;
         ts_trace = t;
         ts_meta = meta;
-        ts_table = Trace_io.compute_table t;
+        ts_table = Trace_io.packed_compute_table t;
         ts_hash = Some hash;
         ts_outcome = Cache_hit;
         ts_traced = None;
@@ -355,9 +355,9 @@ let trace_stage_cached st s =
   | None ->
       cache_count "trace" false;
       log_stage_outcome "trace" s Cache_miss;
-      let traced = trace s in
+      let traced = trace ?mode s in
       let meta = meta_of_traced traced in
-      let t = Trace_io.of_recorder traced.recorder in
+      let t = Trace_io.pack traced.recorder in
       let hash, t_store =
         stage "trace.store" (fun () ->
             let blob = Codec.encode_trace ~meta t in
@@ -372,22 +372,22 @@ let trace_stage_cached st s =
         (* Restore the table from the centroids that were just stored, so
            a later warm run (which can only restore) searches the exact
            same proxies as this cold one. *)
-        ts_table = Trace_io.compute_table t;
+        ts_table = Trace_io.packed_compute_table t;
         ts_hash = Some hash;
         ts_outcome = Cache_miss;
         ts_traced = Some traced;
         ts_timings = traced.timings @ [ t_store ];
       }
 
-let trace_stage ?(cache = false) ?store s =
+let trace_stage ?(cache = false) ?store ?mode s =
   if cache then
     let st = match store with Some st -> st | None -> Store.open_ () in
-    trace_stage_cached st s
+    trace_stage_cached ?mode st s
   else
-    let traced = trace s in
+    let traced = trace ?mode s in
     {
       ts_spec = s;
-      ts_trace = Trace_io.of_recorder traced.recorder;
+      ts_trace = Trace_io.pack traced.recorder;
       ts_meta = meta_of_traced traced;
       ts_table = Recorder.compute_table traced.recorder;
       ts_hash = None;
@@ -402,7 +402,7 @@ let synthesis_of_artifact (art : artifact) =
     sy_trace =
       {
         ts_spec = traced.run_spec;
-        ts_trace = Trace_io.of_recorder traced.recorder;
+        ts_trace = Trace_io.pack traced.recorder;
         ts_meta = meta_of_traced traced;
         ts_table = Recorder.compute_table traced.recorder;
         ts_hash = None;
@@ -418,12 +418,12 @@ let synthesis_of_artifact (art : artifact) =
     sy_status = status_off;
   }
 
-let synthesize_spec ?(cache = false) ?store ?(factor = 1.0) ?(rle = true) ?domains s =
+let synthesize_spec ?(cache = false) ?store ?(factor = 1.0) ?(rle = true) ?domains ?mode s =
   if not cache then
-    synthesis_of_artifact (synthesize ~factor ~rle ?domains (trace s))
+    synthesis_of_artifact (synthesize ~factor ~rle ?domains (trace ?mode s))
   else begin
     let st = match store with Some st -> st | None -> Store.open_ () in
-    let ts = trace_stage_cached st s in
+    let ts = trace_stage_cached ?mode st s in
     let trace_hash = Option.get ts.ts_hash in
     (* merge stage *)
     let mkey, mdescr = Cache.merge_key ~trace_hash ~rle () in
@@ -444,9 +444,7 @@ let synthesize_spec ?(cache = false) ?store ?(factor = 1.0) ?(rle = true) ?domai
           let config = merge_config ~rle pool in
           let before = Option.map Parallel.stats pool in
           let merged, t_merge =
-            stage "merge" (fun () ->
-                Merge_pipeline.merge_streams ~config ~nranks:ts.ts_trace.Trace_io.nranks
-                  ts.ts_trace.Trace_io.streams)
+            stage "merge" (fun () -> Merge_pipeline.merge_packed ~config ts.ts_trace)
           in
           let sched = sched_snapshot pool before in
           let hash, t_store =

@@ -49,9 +49,14 @@ type traced = {
           bench drivers use *)
 }
 
-val trace : spec -> traced
+val trace : ?mode:Siesta_trace.Recorder.mode -> spec -> traced
 (** Run the workload twice — bare and instrumented — on the generation
-    platform. *)
+    platform.  [mode] (default {!Siesta_trace.Recorder.Streamed})
+    selects the recorder's event representation; both modes encode the
+    identical event sequence, and the downstream merge canonicalizes
+    terminal numbering, so the synthesized proxy is byte-identical
+    either way (the [make check] smoke asserts this at 10⁶-event
+    scale). *)
 
 type merge_sched = {
   ms_requested : int;  (** domain count asked of the scheduler *)
@@ -174,7 +179,10 @@ type cache_status = {
 
 type trace_stage = {
   ts_spec : spec;
-  ts_trace : Siesta_trace.Trace_io.t;  (** the trace itself *)
+  ts_trace : Siesta_trace.Trace_io.packed;
+      (** the trace itself, in the struct-of-arrays representation
+          (materialize boxed streams with
+          {!Siesta_trace.Trace_io.of_packed} when needed) *)
   ts_meta : Siesta_store.Codec.trace_meta;
       (** run measurements (elapsed, calls, raw bytes) — cached with the
           trace, so reports need no engine re-run *)
@@ -185,10 +193,17 @@ type trace_stage = {
   ts_timings : (string * float) list;
 }
 
-val trace_stage : ?cache:bool -> ?store:Siesta_store.Store.t -> spec -> trace_stage
+val trace_stage :
+  ?cache:bool ->
+  ?store:Siesta_store.Store.t ->
+  ?mode:Siesta_trace.Recorder.mode ->
+  spec ->
+  trace_stage
 (** The trace stage with optional memoization.  [cache] defaults to
     false (always run); [store] defaults to opening
-    {!Siesta_store.Store.default_root}. *)
+    {!Siesta_store.Store.default_root}.  [mode] is the recorder mode on
+    a live run (default streamed); it does not enter the cache key,
+    because both modes produce the identical packed trace. *)
 
 type synthesis = {
   sy_trace : trace_stage;
@@ -208,6 +223,7 @@ val synthesize_spec :
   ?factor:float ->
   ?rle:bool ->
   ?domains:int ->
+  ?mode:Siesta_trace.Recorder.mode ->
   spec ->
   synthesis
 (** The whole pipeline with optional stage memoization.  With

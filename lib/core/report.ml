@@ -29,7 +29,7 @@ let generate_synthesis (sy : Pipeline.synthesis) =
   let ts = sy.Pipeline.sy_trace in
   let spec = ts.Pipeline.ts_spec in
   let meta = ts.Pipeline.ts_meta in
-  let trace = ts.Pipeline.ts_trace in
+  let trace = Trace_io.of_packed ts.Pipeline.ts_trace in
   let table = ts.Pipeline.ts_table in
   let nranks = trace.Trace_io.nranks in
   let mpip = Mpip.of_streams ~nranks trace.Trace_io.streams in

@@ -85,6 +85,17 @@ let depth t =
 let serialized_bytes t =
   (6 * entry_count t) + (8 * (rule_count t + 1))
 
+let equal (a : t) (b : t) = a = b
+
+let map_terminals f t =
+  let map_body body =
+    List.map
+      (fun { sym; reps } ->
+        match sym with T v -> { sym = T (f v); reps } | N _ -> { sym; reps })
+      body
+  in
+  { main = map_body t.main; rules = Array.map map_body t.rules }
+
 let validate t =
   ignore (depth t);
   List.iter (fun { sym; reps } ->

@@ -38,6 +38,19 @@ val depth : t -> int array
     the inter-process non-terminal merge, which only merges equal-depth
     rules. *)
 
+val equal : t -> t -> bool
+(** Structural equality — exact match of rule numbering, bodies and
+    repetition counts, not derivation equivalence. *)
+
+val map_terminals : (int -> int) -> t -> t
+(** [map_terminals f g] renames every terminal [T v] to [T (f v)],
+    leaving the rule structure untouched.  Sequitur's construction
+    depends only on symbol {e equality}, never on code values, so for a
+    bijection [f] this commutes with construction:
+    [map_terminals f (of_seq s) = of_seq (map f s)].  The streaming
+    recorder relies on this to rebase record-order event codes onto the
+    canonical rank-major numbering at merge time. *)
+
 val serialized_bytes : t -> int
 (** Export size of the grammar structure: 6 bytes per entry (4-byte symbol
     id + 2-byte repetition count) plus an 8-byte rule header each.  The

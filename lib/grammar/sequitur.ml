@@ -45,9 +45,10 @@ type digram_index =
   | Boxed_index of (int * int * int * int, node) Hashtbl.t
 
 type t = {
-  digrams : digram_index;
-  pair_ids : int Int_table.t;  (* packed (enc, reps) -> dense symbol id *)
+  mutable digrams : digram_index;
+  mutable pair_ids : int Int_table.t;  (* packed (enc, reps) -> dense symbol id *)
   mutable next_sid : int;
+  mutable pair_gc_limit : int;  (* next_sid watermark that triggers compaction *)
   live_rules : (int, rule) Hashtbl.t;
   mutable next_rid : int;
   s : rule;
@@ -90,6 +91,31 @@ let sid t e reps =
 let packed_key t n = (sid t (enc n) n.reps lsl 31) lor sid t (enc n.next) n.next.reps
 let boxed_key n = (enc n, n.reps, enc n.next, n.next.reps)
 
+(* Compact the pair-id intern table.  [sid] interns every (enc, reps)
+   pair it is ever asked about, and under run-length merging a growing
+   run visits reps = 1, 2, ..., n — one transient pair per appended
+   symbol, so left alone the table grows with the *stream*, not the
+   grammar (exactly the linear blow-up the streaming recorder must not
+   have).  The live pairs are only those appearing in currently indexed
+   digrams, so rebuilding both tables from the digram index — same
+   nodes, freshly dense sids — bounds memory by grammar size.  Digram
+   values are untouched (the new keys are the same injective function of
+   the same pairs), so grammar evolution is bit-for-bit unchanged; the
+   packed-vs-boxed equivalence property keeps holding.  Triggered from
+   [append] between pushes (never mid-key-construction), at a watermark
+   that doubles away from the live size, so the O(digrams) rebuild
+   amortizes to O(1) per appended symbol. *)
+let compact_pairs t =
+  match t.digrams with
+  | Boxed_index _ -> ()
+  | Packed_index old ->
+      t.pair_ids <- Int_table.create ~initial_capacity:1024 ~dummy:0 ();
+      t.next_sid <- 0;
+      let fresh = Int_table.create ~initial_capacity:1024 ~dummy:t.s.guard () in
+      Int_table.iter (fun _ n -> Int_table.replace fresh (packed_key t n) n) old;
+      t.digrams <- Packed_index fresh;
+      t.pair_gc_limit <- max 4096 (8 * t.next_sid)
+
 (* ------------------------------------------------------------------ *)
 
 let make_rule rid =
@@ -113,6 +139,7 @@ let create ?(rle = true) ?(key_mode = Packed) () =
       | Boxed -> Boxed_index (Hashtbl.create 1024));
     pair_ids = Int_table.create ~initial_capacity:1024 ~dummy:0 ();
     next_sid = 0;
+    pair_gc_limit = 4096;
     live_rules = Hashtbl.create 64;
     next_rid = 0;
     s;
@@ -280,12 +307,17 @@ and expand_reference t node x =
   if not (check t l) then ignore (check t q)
 
 let append t v =
+  if t.next_sid > t.pair_gc_limit then compact_pairs t;
   let lastn = t.s.guard.prev in
   let x = new_node (Sym (Term v)) 1 in
   append_raw t.s x;
   ignore (check t lastn)
 
 let append_seq t a = Array.iter (append t) a
+
+(* Streaming alias: [push] is [append] under the name the recorder's
+   online path uses. *)
+let push = append
 
 (* ------------------------------------------------------------------ *)
 (* Export                                                               *)
@@ -310,6 +342,11 @@ let to_grammar t =
     Grammar.main = body_of t.s;
     rules = Array.of_list (List.map (fun rid -> body_of (Hashtbl.find t.live_rules rid)) rids);
   }
+
+(* [finalize] exports without invalidating the builder: Sequitur's
+   invariants hold after every symbol, so "finishing" a stream needs no
+   extra work beyond the export itself. *)
+let finalize = to_grammar
 
 let of_seq ?rle ?key_mode a =
   let t = create ?rle ?key_mode () in

@@ -1,6 +1,8 @@
 module Grammar = Siesta_grammar.Grammar
 module Sequitur = Siesta_grammar.Sequitur
 module Recorder = Siesta_trace.Recorder
+module Trace_io = Siesta_trace.Trace_io
+module Soa = Siesta_trace.Soa
 module Parallel = Siesta_util.Parallel
 module Span = Siesta_obs.Span
 module Metrics = Siesta_obs.Metrics
@@ -11,9 +13,11 @@ type config = {
   cluster_threshold : float;
   domains : int option;
   pool : Parallel.pool option;
+  arity : int;
 }
 
-let default_config = { rle = true; cluster_threshold = 0.35; domains = None; pool = None }
+let default_config =
+  { rle = true; cluster_threshold = 0.35; domains = None; pool = None; arity = 2 }
 
 (* ------------------------------------------------------------------ *)
 (* Interned entry keys.
@@ -37,6 +41,11 @@ let pack_entry enc reps =
 
 let enc_sym = function Grammar.T v -> 2 * v | Grammar.N i -> (2 * i) + 1
 
+(* The per-rank/per-group fan-out primitive, first-class so the stages
+   below can use it at several types (leaves are grammars, tree nodes are
+   chunk groups, positioning returns tuples). *)
+type pmapper = { pmap : 'a 'b. (int -> 'a -> 'b) -> 'a array -> 'b array }
+
 (* ------------------------------------------------------------------ *)
 (* Non-terminal merging (Section 2.6.2, first half)                     *)
 
@@ -49,7 +58,14 @@ type nt_merge = {
 let body_key body =
   Array.of_list (List.map (fun { Grammar.sym; reps } -> pack_entry (enc_sym sym) reps) body)
 
-let merge_nonterminals (grammars : Grammar.t array) =
+(* The reference flat algorithm: one sequential pass per depth over all
+   ranks, deduping bodies into a first-occurrence global numbering.  The
+   hierarchical tree below reproduces this numbering exactly (the ordered
+   dedup-concatenation it performs per merge node is associative); the
+   flat pass remains as the fallback for grammars that exceed the tree's
+   packed-reference range and as the oracle the determinism tests compare
+   against. *)
+let merge_nonterminals_flat (grammars : Grammar.t array) =
   let table : (int array, int) Hashtbl.t = Hashtbl.create 256 in
   let bodies_rev = ref [] in
   let count = ref 0 in
@@ -88,6 +104,187 @@ let merge_nonterminals (grammars : Grammar.t array) =
       grammars
   done;
   { global_rules = Array.of_list (List.rev !bodies_rev); rule_maps }
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical non-terminal merge.
+
+   A [chunk] is the partial merge of an ordered, contiguous run of
+   ranks: rule bodies grouped by derivation depth, each depth in
+   first-occurrence order over that run, with non-terminal references
+   stored as a packed (depth, index-within-depth) pair in the [N]
+   payload.  Merging two adjacent chunks keeps the left side's bodies
+   (and indices) verbatim and appends the right side's novel bodies
+   depth by depth — an ordered dedup-concatenation.  That operation is
+   associative and order-preserving, so any tree shape or arity over
+   the rank sequence flattens to the exact global numbering the flat
+   pass produces: depth-major, then first occurrence in rank order.
+   Only the tree's fan-out is parallel; each merge node is
+   deterministic, which is what keeps [Merged.equal] across pool sizes
+   and arities (the test suite checks this).
+
+   Packed references spend [ref_idx_bits] on the index, the rest on the
+   depth; both are bounded so [2*ref+1] still fits {!pack_entry}'s
+   31-bit symbol encoding.  Grammars beyond those bounds (a million
+   distinct equal-depth rules, or kilometre-deep derivations) fall back
+   to the flat pass. *)
+
+let ref_idx_bits = 20
+let max_ref_idx = 1 lsl ref_idx_bits
+let max_ref_depth = 1 lsl 10
+
+exception Tree_overflow
+
+let pack_ref d idx =
+  if idx >= max_ref_idx || d >= max_ref_depth then raise Tree_overflow;
+  (d lsl ref_idx_bits) lor idx
+
+let ref_depth r = r lsr ref_idx_bits
+let ref_idx r = r land (max_ref_idx - 1)
+
+type chunk = {
+  by_depth : Grammar.rule array array;  (* by_depth.(d-1) = bodies of depth d *)
+  maps : int array array;  (* per rank in run order: local rid -> packed ref *)
+}
+
+let chunk_of_grammar (g : Grammar.t) =
+  let depths = Grammar.depth g in
+  let max_d = Array.fold_left max 0 depths in
+  let map = Array.make (Array.length g.Grammar.rules) (-1) in
+  let by_depth = Array.make max_d [||] in
+  for d = 1 to max_d do
+    let table : (int array, int) Hashtbl.t = Hashtbl.create 16 in
+    let bodies_rev = ref [] in
+    let count = ref 0 in
+    Array.iteri
+      (fun local body ->
+        if depths.(local) = d then begin
+          let body' =
+            List.map
+              (fun ({ Grammar.sym; _ } as e) ->
+                match sym with
+                | Grammar.T _ -> e
+                | Grammar.N l -> { e with Grammar.sym = Grammar.N map.(l) })
+              body
+          in
+          let key = body_key body' in
+          match Hashtbl.find_opt table key with
+          | Some idx -> map.(local) <- pack_ref d idx
+          | None ->
+              let idx = !count in
+              incr count;
+              Hashtbl.replace table key idx;
+              bodies_rev := body' :: !bodies_rev;
+              map.(local) <- pack_ref d idx
+        end)
+      g.Grammar.rules;
+    by_depth.(d - 1) <- Array.of_list (List.rev !bodies_rev)
+  done;
+  { by_depth; maps = [| map |] }
+
+let merge_chunks a b =
+  let max_d = max (Array.length a.by_depth) (Array.length b.by_depth) in
+  let at arr di = if di < Array.length arr then arr.(di) else [||] in
+  let merged = Array.make max_d [||] in
+  (* remaps.(d-1).(i): merged index of b's depth-d body i *)
+  let remaps = Array.make max_d [||] in
+  let rewrite body =
+    List.map
+      (fun ({ Grammar.sym; _ } as e) ->
+        match sym with
+        | Grammar.T _ -> e
+        | Grammar.N r ->
+            let d = ref_depth r in
+            { e with Grammar.sym = Grammar.N (pack_ref d remaps.(d - 1).(ref_idx r)) })
+      body
+  in
+  for di = 0 to max_d - 1 do
+    let left = at a.by_depth di and right = at b.by_depth di in
+    let table : (int array, int) Hashtbl.t = Hashtbl.create (2 * Array.length left) in
+    Array.iteri (fun i body -> Hashtbl.replace table (body_key body) i) left;
+    let extra_rev = ref [] in
+    let count = ref (Array.length left) in
+    let remap = Array.make (Array.length right) (-1) in
+    Array.iteri
+      (fun i body ->
+        let body' = rewrite body in
+        let key = body_key body' in
+        match Hashtbl.find_opt table key with
+        | Some idx -> remap.(i) <- idx
+        | None ->
+            let idx = !count in
+            incr count;
+            if idx >= max_ref_idx then raise Tree_overflow;
+            Hashtbl.replace table key idx;
+            extra_rev := body' :: !extra_rev;
+            remap.(i) <- idx)
+      right;
+    merged.(di) <- Array.append left (Array.of_list (List.rev !extra_rev));
+    remaps.(di) <- remap
+  done;
+  let rewrite_map m =
+    Array.map (fun r -> pack_ref (ref_depth r) remaps.(ref_depth r - 1).(ref_idx r)) m
+  in
+  { by_depth = merged; maps = Array.append a.maps (Array.map rewrite_map b.maps) }
+
+let flatten_chunk chunk =
+  let ndepth = Array.length chunk.by_depth in
+  let offsets = Array.make (ndepth + 1) 0 in
+  for di = 0 to ndepth - 1 do
+    offsets.(di + 1) <- offsets.(di) + Array.length chunk.by_depth.(di)
+  done;
+  let gid_of r = offsets.(ref_depth r - 1) + ref_idx r in
+  let rewrite body =
+    List.map
+      (fun ({ Grammar.sym; _ } as e) ->
+        match sym with
+        | Grammar.T _ -> e
+        | Grammar.N r -> { e with Grammar.sym = Grammar.N (gid_of r) })
+      body
+  in
+  let global_rules = Array.concat (Array.to_list (Array.map (Array.map rewrite) chunk.by_depth)) in
+  { global_rules; rule_maps = Array.map (Array.map gid_of) chunk.maps }
+
+let merge_nonterminals ~arity ~pm (grammars : Grammar.t array) =
+  if Array.length grammars = 0 then { global_rules = [||]; rule_maps = [||] }
+  else
+    let arity = max 2 arity in
+    (* Pre-check the packed-reference bounds: a per-depth index in any
+       chunk is at most the total rule count, and depths never grow
+       during merging, so these two global bounds make [Tree_overflow]
+       unreachable inside the pool (where an escaping exception would be
+       much less friendly than this O(total rules) scan). *)
+    let total_rules =
+      Array.fold_left (fun acc g -> acc + Array.length g.Grammar.rules) 0 grammars
+    in
+    let max_depth =
+      Array.fold_left (fun acc g -> Array.fold_left max acc (Grammar.depth g)) 0 grammars
+    in
+    if total_rules >= max_ref_idx || max_depth >= max_ref_depth then
+      merge_nonterminals_flat grammars
+    else
+    try
+      let rec reduce chunks =
+        let n = Array.length chunks in
+        if n = 1 then chunks.(0)
+        else begin
+          let ngroups = (n + arity - 1) / arity in
+          let groups =
+            Array.init ngroups (fun gi ->
+                Array.sub chunks (gi * arity) (min arity (n - (gi * arity))))
+          in
+          reduce
+            (pm.pmap
+               (fun _ group ->
+                 let acc = ref group.(0) in
+                 for i = 1 to Array.length group - 1 do
+                   acc := merge_chunks !acc group.(i)
+                 done;
+                 !acc)
+               groups)
+        end
+      in
+      flatten_chunk (reduce (pm.pmap (fun _ g -> chunk_of_grammar g) grammars))
+    with Tree_overflow -> merge_nonterminals_flat grammars
 
 (* ------------------------------------------------------------------ *)
 (* Main-rule merging (Section 2.6.2, second half)                       *)
@@ -223,31 +420,16 @@ let merge_mains ~threshold (mains : pos array array) (main_ids : int array array
 
 (* ------------------------------------------------------------------ *)
 
-let merge_streams ?(config = default_config) ~nranks streams =
-  if Array.length streams <> nranks then invalid_arg "Pipeline.merge_streams: stream count";
-  Span.with_ ~cat:"pipeline" ~attrs:[ ("nranks", string_of_int nranks) ] "merge" @@ fun () ->
-  if Metrics.enabled () then begin
-    Metrics.incr (Metrics.counter "merge.invocations") 1;
-    Metrics.incr
-      (Metrics.counter "merge.events_in")
-      (Array.fold_left (fun a s -> a + Array.length s) 0 streams)
-  end;
-  let table = Span.with_ ~cat:"merge" "merge.terminal_table" (fun () -> Terminal_table.build streams) in
-  let seqs = Terminal_table.sequences table in
-  (* The per-rank stages — grammar construction, main-rule positioning and
-     exact-main keying — are independent across ranks and fan out over one
-     domain pool.  Results are slotted by rank index, so the output is
-     byte-identical to the sequential path (domains = 1 / small inputs
-     skip the pool entirely). *)
-  (* Pool selection.  An external pool (config.pool) is borrowed: the
-     caller owns its lifetime and can read [Parallel.stats] afterwards
-     (the bench drivers do exactly that).  An explicit [config.domains]
-     gets a raw transient pool — the determinism cross-checks need the
-     exact (possibly oversubscribed) domain count.  The default borrows
-     the process-wide warm pool ([Parallel.global]), whose implicit
-     sizing is clamped to the host's recommended domain count, so
-     repeated merges neither oversubscribe the host nor pay
-     [Domain.spawn] per call. *)
+(* Pool selection.  An external pool (config.pool) is borrowed: the
+   caller owns its lifetime and can read [Parallel.stats] afterwards
+   (the bench drivers do exactly that).  An explicit [config.domains]
+   gets a raw transient pool — the determinism cross-checks need the
+   exact (possibly oversubscribed) domain count.  The default borrows
+   the process-wide warm pool ([Parallel.global]), whose implicit
+   sizing is clamped to the host's recommended domain count, so
+   repeated merges neither oversubscribe the host nor pay
+   [Domain.spawn] per call. *)
+let with_pool ~config ~nranks f =
   let owned, pool =
     match config.pool with
     | Some p -> (false, if Parallel.size p > 1 && nranks > 1 then Some p else None)
@@ -262,20 +444,31 @@ let merge_streams ?(config = default_config) ~nranks streams =
               (false, if Parallel.size p > 1 then Some p else None)
             else (false, None))
   in
-  let domains = match pool with Some p -> Parallel.size p | None -> 1 in
   Fun.protect ~finally:(fun () -> if owned then Option.iter Parallel.shutdown pool)
-  @@ fun () ->
-  let pmap f arr = match pool with Some p -> Parallel.map ~pool:p f arr | None -> Array.mapi f arr in
-  let grammars =
-    Span.with_ ~cat:"merge" "merge.sequitur" (fun () ->
-        pmap (fun _ seq -> Sequitur.of_seq ~rle:config.rle seq) seqs)
-  in
+  @@ fun () -> f pool
+
+let pm_of_pool pool =
+  {
+    pmap =
+      (fun (type a b) (f : int -> a -> b) (arr : a array) ->
+        match pool with Some p -> Parallel.map ~pool:p f arr | None -> Array.mapi f arr);
+  }
+
+(* From per-rank grammars over the canonical terminal numbering to the
+   merged program grammar.  The per-rank stages — main-rule positioning
+   and exact-main keying — and the merge tree's fan-out run over one
+   domain pool; every parallel result is slotted by index and all
+   cross-chunk state is merged deterministically, so the output is
+   byte-identical to the sequential path (domains = 1 / small inputs
+   skip the pool entirely). *)
+let merge_grammars ~config ~pm ~nranks ~terminals grammars =
   let { global_rules; rule_maps } =
-    Span.with_ ~cat:"merge" "merge.nonterminals" (fun () -> merge_nonterminals grammars)
+    Span.with_ ~cat:"merge" "merge.nonterminals" (fun () ->
+        merge_nonterminals ~arity:config.arity ~pm grammars)
   in
   let positioned =
     Span.with_ ~cat:"merge" "merge.position" (fun () ->
-        pmap
+        pm.pmap
           (fun r g ->
             let ps = positions_of_main rule_maps.(r) g.Grammar.main in
             (ps, Array.map id_of_pos ps))
@@ -296,17 +489,90 @@ let merge_streams ?(config = default_config) ~nranks streams =
           ("nranks", string_of_int nranks);
           ("rules", string_of_int (Array.length global_rules));
           ("clusters", string_of_int (Array.length mains));
-          ("domains", string_of_int domains);
         ] ));
-  {
-    Merged.nranks;
-    terminals = Terminal_table.terminals table;
-    rules = global_rules;
-    mains;
-    main_ranks;
-  }
+  { Merged.nranks; terminals; rules = global_rules; mains; main_ranks }
+
+let merge_streams ?(config = default_config) ~nranks streams =
+  if Array.length streams <> nranks then invalid_arg "Pipeline.merge_streams: stream count";
+  Span.with_ ~cat:"pipeline" ~attrs:[ ("nranks", string_of_int nranks) ] "merge" @@ fun () ->
+  if Metrics.enabled () then begin
+    Metrics.incr (Metrics.counter "merge.invocations") 1;
+    Metrics.incr
+      (Metrics.counter "merge.events_in")
+      (Array.fold_left (fun a s -> a + Array.length s) 0 streams)
+  end;
+  let table = Span.with_ ~cat:"merge" "merge.terminal_table" (fun () -> Terminal_table.build streams) in
+  let seqs = Terminal_table.sequences table in
+  with_pool ~config ~nranks @@ fun pool ->
+  let pm = pm_of_pool pool in
+  let grammars =
+    Span.with_ ~cat:"merge" "merge.sequitur" (fun () ->
+        pm.pmap (fun _ seq -> Sequitur.of_seq ~rle:config.rle seq) seqs)
+  in
+  merge_grammars ~config ~pm ~nranks ~terminals:(Terminal_table.terminals table) grammars
+
+let merge_packed ?(config = default_config) (pk : Trace_io.packed) =
+  let nranks = pk.Trace_io.p_nranks in
+  if Array.length pk.Trace_io.p_codes <> nranks then
+    invalid_arg "Pipeline.merge_packed: stream count";
+  Span.with_ ~cat:"pipeline" ~attrs:[ ("nranks", string_of_int nranks) ] "merge" @@ fun () ->
+  if Metrics.enabled () then begin
+    Metrics.incr (Metrics.counter "merge.invocations") 1;
+    Metrics.incr (Metrics.counter "merge.events_in") (Trace_io.packed_total_events pk)
+  end;
+  (* Canonicalize terminal codes.  Record-time interning numbers events
+     in engine-interleaving order; the batch path numbers them by first
+     occurrence scanning rank 0, 1, … (Terminal_table.build).  One
+     sequential integer scan over the code buffers rebuilds that exact
+     numbering, and because Sequitur's construction commutes with
+     terminal bijections ({!Grammar.map_terminals}), rebasing the online
+     grammars afterwards yields bit-for-bit the batch grammars. *)
+  let defs = pk.Trace_io.p_defs in
+  let canon = Array.make (Array.length defs) (-1) in
+  let n_canon = ref 0 in
+  Span.with_ ~cat:"merge" "merge.canon" (fun () ->
+      Array.iter
+        (fun codes ->
+          Soa.iter
+            (fun c ->
+              if canon.(c) < 0 then begin
+                canon.(c) <- !n_canon;
+                incr n_canon
+              end)
+            codes)
+        pk.Trace_io.p_codes);
+  let terminals =
+    if !n_canon = 0 then [||]
+    else begin
+      let t = Array.make !n_canon defs.(0) in
+      Array.iteri (fun c id -> if id >= 0 then t.(id) <- defs.(c)) canon;
+      t
+    end
+  in
+  with_pool ~config ~nranks @@ fun pool ->
+  let pm = pm_of_pool pool in
+  let grammars =
+    Span.with_ ~cat:"merge" "merge.sequitur" (fun () ->
+        match pk.Trace_io.p_grammars with
+        | Some gs when config.rle ->
+            (* Grammars already built online during recording (always
+               with the run-length constraint on): just rebase their
+               terminals. *)
+            pm.pmap (fun _ g -> Grammar.map_terminals (fun c -> canon.(c)) g) gs
+        | Some _ | None ->
+            pm.pmap
+              (fun _ codes ->
+                let b = Sequitur.create ~rle:config.rle () in
+                Soa.iter (fun c -> Sequitur.push b canon.(c)) codes;
+                Sequitur.finalize b)
+              pk.Trace_io.p_codes)
+  in
+  merge_grammars ~config ~pm ~nranks ~terminals grammars
 
 let merge_recorder ?config recorder =
-  let nranks = Recorder.nranks recorder in
-  let streams = Array.init nranks (fun r -> Recorder.events recorder r) in
-  merge_streams ?config ~nranks streams
+  match Recorder.mode recorder with
+  | Recorder.Streamed -> merge_packed ?config (Trace_io.pack recorder)
+  | Recorder.Boxed ->
+      let nranks = Recorder.nranks recorder in
+      let streams = Array.init nranks (fun r -> Recorder.events recorder r) in
+      merge_streams ?config ~nranks streams

@@ -39,6 +39,12 @@ type config = {
           caller may read {!Siesta_util.Parallel.stats} afterwards (used
           by the bench drivers to measure per-domain efficiency).
           Default [None]: a transient pool is created per call. *)
+  arity : int;
+      (** fan-in of the hierarchical non-terminal merge tree (default 2:
+          pairwise).  Any arity >= 2 produces the identical merged
+          grammar — the per-node ordered dedup-concatenation is
+          associative — so this only trades tree depth against per-node
+          work. *)
 }
 
 val default_config : config
@@ -46,7 +52,19 @@ val default_config : config
 val merge_streams :
   ?config:config -> nranks:int -> Siesta_trace.Event.t array array -> Merged.t
 (** [merge_streams ~nranks streams] with [streams.(r)] the encoded event
-    stream of rank [r]. *)
+    stream of rank [r] — the batch path over boxed events. *)
+
+val merge_packed : ?config:config -> Siesta_trace.Trace_io.packed -> Merged.t
+(** The streaming path: merge directly from the struct-of-arrays trace,
+    without materializing boxed event streams.  Terminal codes are first
+    canonicalized to the batch numbering (one sequential int scan), and
+    online-recorded grammars, when the trace carries them, are rebased
+    via {!Siesta_grammar.Grammar.map_terminals} instead of being rebuilt
+    — so the result is {!Merged.equal} (indeed structurally identical)
+    to [merge_streams] over the same events, at any pool size and tree
+    arity. *)
 
 val merge_recorder : ?config:config -> Siesta_trace.Recorder.t -> Merged.t
-(** Convenience over a finished {!Siesta_trace.Recorder}. *)
+(** Convenience over a finished {!Siesta_trace.Recorder}: routes to
+    {!merge_packed} for a streamed-mode recorder, {!merge_streams} for a
+    boxed one. *)

@@ -11,7 +11,12 @@ module Linreg = Siesta_numerics.Linreg
 exception Corrupt of string
 
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
-let schema_version = 1
+
+(* v2: trace blobs switched from boxed per-rank event streams to the
+   struct-of-arrays layout (definition table + chunked dense-code
+   streams).  Cached v1 blobs fail the version check and degrade to a
+   cache miss — the store re-encodes on the next run. *)
+let schema_version = 2
 let magic = "SSB1"
 let float_repr f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
 
@@ -272,7 +277,13 @@ let meta_overhead m =
   if m.tm_original_elapsed = 0.0 then 0.0
   else (m.tm_instrumented_elapsed -. m.tm_original_elapsed) /. m.tm_original_elapsed
 
-let encode_trace ~meta (t : Trace_io.t) =
+(* Codes per chunk of a serialized stream.  Encoding walks the SoA
+   buffers directly and decoding appends into fresh SoA buffers chunk by
+   chunk, so neither side ever materializes a boxed event stream and the
+   working set per rank is one chunk of varints. *)
+let trace_chunk_codes = 65536
+
+let encode_trace ~meta (pk : Trace_io.packed) =
   let b = writer () in
   w_float b meta.tm_original_elapsed;
   w_float b meta.tm_instrumented_elapsed;
@@ -280,42 +291,35 @@ let encode_trace ~meta (t : Trace_io.t) =
   w_varint b meta.tm_instrumented_calls;
   w_varint b meta.tm_total_events;
   w_varint b meta.tm_raw_bytes;
-  w_varint b t.Trace_io.nranks;
-  w_varint b (Array.length t.Trace_io.centroids);
+  w_varint b pk.Trace_io.p_nranks;
+  w_varint b (Array.length pk.Trace_io.p_centroids);
   Array.iter
     (fun (c, members) ->
       Array.iter (w_float b) (Counters.to_array c);
       w_varint b members)
-    t.Trace_io.centroids;
-  (* Event keys are interned: the table holds each distinct key once,
-     streams are varint ids into it.  SPMD traces repeat a handful of
-     relative-rank-encoded events millions of times, so this is the
-     difference between O(trace) and O(distinct events) text. *)
-  let table = Hashtbl.create 256 in
-  let keys_rev = ref [] in
-  let nkeys = ref 0 in
-  let intern ev =
-    let key = Event.to_key ev in
-    match Hashtbl.find_opt table key with
-    | Some id -> id
-    | None ->
-        let id = !nkeys in
-        incr nkeys;
-        keys_rev := key :: !keys_rev;
-        Hashtbl.replace table key id;
-        id
-  in
-  let streams_ids =
-    Array.map (fun evs -> Array.map intern evs) t.Trace_io.streams
-  in
-  w_varint b !nkeys;
-  List.iter (w_string b) (List.rev !keys_rev);
-  w_varint b (Array.length streams_ids);
+    pk.Trace_io.p_centroids;
+  (* The definition table holds each distinct event once (as its text
+     key, in code order); streams are varint codes into it.  SPMD traces
+     repeat a handful of relative-rank-encoded events millions of times,
+     so this is the difference between O(trace) and O(distinct events)
+     text — and with the SoA representation the codes already exist. *)
+  w_varint b (Array.length pk.Trace_io.p_defs);
+  Array.iter (fun ev -> w_string b (Event.to_key ev)) pk.Trace_io.p_defs;
+  w_varint b (Array.length pk.Trace_io.p_codes);
   Array.iter
-    (fun ids ->
-      w_varint b (Array.length ids);
-      Array.iter (w_varint b) ids)
-    streams_ids;
+    (fun codes ->
+      let n = Siesta_trace.Soa.length codes in
+      w_varint b n;
+      let i = ref 0 in
+      while !i < n do
+        let len = min trace_chunk_codes (n - !i) in
+        w_varint b len;
+        for j = !i to !i + len - 1 do
+          w_varint b (Siesta_trace.Soa.unsafe_get codes j)
+        done;
+        i := !i + len
+      done)
+    pk.Trace_io.p_codes;
   frame ~kind:"trace" (contents b)
 
 let decode_trace blob =
@@ -337,9 +341,9 @@ let decode_trace blob =
         let members = r_varint r in
         (Counters.of_array a, members))
   in
-  let nkeys = r_count r "event key" in
-  let events =
-    Array.init nkeys (fun _ ->
+  let ndefs = r_count r "event definition" in
+  let defs =
+    Array.init ndefs (fun _ ->
         let key = r_string r in
         match Event.of_key key with
         | ev -> ev
@@ -347,13 +351,24 @@ let decode_trace blob =
   in
   let nstreams = r_count r "stream" in
   if nstreams <> nranks then corrupt "stream count %d <> nranks %d" nstreams nranks;
-  let streams =
-    Array.init nstreams (fun _ ->
-        let n = r_count r "event" in
-        Array.init n (fun _ ->
-            let id = r_varint r in
-            if id < 0 || id >= nkeys then corrupt "event id %d out of range" id;
-            events.(id)))
+  let p_codes =
+    Array.init nstreams (fun rank ->
+        let total = r_count r "event" in
+        let buf = Siesta_trace.Soa.create ~capacity:(max 16 total) () in
+        while Siesta_trace.Soa.length buf < total do
+          let len = r_varint r in
+          if len <= 0 then corrupt "bad chunk length %d in stream %d" len rank;
+          if Siesta_trace.Soa.length buf + len > total then
+            corrupt "chunk overruns stream %d (%d codes declared, %d expected)" rank len
+              (total - Siesta_trace.Soa.length buf);
+          for _ = 1 to len do
+            let code = r_varint r in
+            if code < 0 || code >= ndefs then
+              corrupt "event code %d out of range in stream %d" code rank;
+            Siesta_trace.Soa.append buf code
+          done
+        done;
+        buf)
   in
   if not (at_end r) then corrupt "trailing bytes after trace payload";
   ( {
@@ -364,7 +379,13 @@ let decode_trace blob =
       tm_total_events;
       tm_raw_bytes;
     },
-    { Trace_io.nranks; streams; centroids } )
+    {
+      Trace_io.p_nranks = nranks;
+      p_defs = defs;
+      p_codes;
+      p_centroids = centroids;
+      p_grammars = None;
+    } )
 
 (* ------------------------------------------------------------------ *)
 (* Per-rank grammar set *)

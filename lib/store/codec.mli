@@ -66,11 +66,14 @@ type trace_meta = {
 val meta_overhead : trace_meta -> float
 (** [(instrumented - original) / original]; [0.] when original is 0. *)
 
-val encode_trace : meta:trace_meta -> Siesta_trace.Trace_io.t -> string
-(** Framed; event keys are interned in a table so repeated events cost
-    one varint each. *)
+val encode_trace : meta:trace_meta -> Siesta_trace.Trace_io.packed -> string
+(** Framed; the distinct-event definition table is written once and the
+    per-rank streams as chunks of varint codes, read straight out of the
+    SoA buffers — encoding never materializes boxed events. *)
 
-val decode_trace : string -> trace_meta * Siesta_trace.Trace_io.t
+val decode_trace : string -> trace_meta * Siesta_trace.Trace_io.packed
+(** Decodes chunk by chunk into fresh SoA buffers (codes validated
+    against the definition table; truncated chunks raise {!Corrupt}). *)
 
 val encode_grammars : Siesta_grammar.Grammar.t array -> string
 (** The per-rank grammar set (one Sequitur grammar per rank). *)

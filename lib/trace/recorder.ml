@@ -2,9 +2,20 @@ module Call = Siesta_mpi.Call
 module Engine = Siesta_mpi.Engine
 module Papi = Siesta_perf.Papi
 module Counters = Siesta_perf.Counters
+module Sequitur = Siesta_grammar.Sequitur
+
+type mode = Streamed | Boxed
+
+(* Streamed per-rank state: the dense-code stream and the online Sequitur
+   builder it feeds.  The boxed [Event.t] values exist only transiently
+   inside [on_event]; what persists is the off-heap code buffer plus the
+   grammar under construction, so GC-visible memory stays proportional to
+   grammar size. *)
+type stream_state = { codes : Soa.buf; seq : Sequitur.t }
 
 type rank_state = {
-  mutable events_rev : Event.t list;
+  mutable events_rev : Event.t list;  (* Boxed mode only *)
+  stream : stream_state option;  (* Streamed mode only *)
   mutable n_events : int;
   mutable raw_bytes : int;
   req_pool : Pools.t;
@@ -19,6 +30,8 @@ type t = {
   nranks : int;
   per_event_overhead : float;
   relative_ranks : bool;
+  mode : mode;
+  intern : Soa.Intern.t;  (* shared across ranks; codes are process-global *)
   table : Compute_table.t;
   ranks : rank_state array;
 }
@@ -28,7 +41,7 @@ type t = {
 let compute_record_bytes = 64
 
 let create ~nranks ?(cluster_threshold = 0.05) ?(per_event_overhead = 0.6e-6)
-    ?(relative_ranks = true) () =
+    ?(relative_ranks = true) ?(mode = Streamed) () =
   let make_rank () =
     let comm_pool = Pools.create () in
     let comm_map = Hashtbl.create 8 in
@@ -36,6 +49,10 @@ let create ~nranks ?(cluster_threshold = 0.05) ?(per_event_overhead = 0.6e-6)
     Hashtbl.replace comm_map 0 (Pools.acquire comm_pool);
     {
       events_rev = [];
+      stream =
+        (match mode with
+        | Boxed -> None
+        | Streamed -> Some { codes = Soa.create (); seq = Sequitur.create ~rle:true () });
       n_events = 0;
       raw_bytes = 0;
       req_pool = Pools.create ();
@@ -50,6 +67,8 @@ let create ~nranks ?(cluster_threshold = 0.05) ?(per_event_overhead = 0.6e-6)
     nranks;
     per_event_overhead;
     relative_ranks;
+    mode;
+    intern = Soa.Intern.create ();
     table = Compute_table.create ~threshold:cluster_threshold;
     ranks = Array.init nranks (fun _ -> make_rank ());
   }
@@ -172,8 +191,15 @@ let encode t ~rank (call : Call.t) : Event.t =
       Event.File_read_at
         { file = Option.value ~default:0 (Hashtbl.find_opt st.file_map file); dt; count }
 
-let push st ev bytes =
-  st.events_rev <- ev :: st.events_rev;
+let push t st ev bytes =
+  (match st.stream with
+  | Some ss ->
+      (* Streamed: intern to a dense code, append it off-heap, feed the
+         online grammar.  The boxed [ev] becomes garbage immediately. *)
+      let code = Soa.Intern.intern t.intern ev in
+      Soa.append ss.codes code;
+      Sequitur.push ss.seq code
+  | None -> st.events_rev <- ev :: st.events_rev);
   st.n_events <- st.n_events + 1;
   st.raw_bytes <- st.raw_bytes + bytes
 
@@ -182,9 +208,9 @@ let on_event t ~rank ~papi ~call =
   let delta = Papi.read_delta papi in
   if delta.Counters.cyc > 0.0 then begin
     let cluster = Compute_table.classify t.table delta in
-    push st (Event.Compute cluster) compute_record_bytes
+    push t st (Event.Compute cluster) compute_record_bytes
   end;
-  push st (encode t ~rank call) (Call.record_bytes call)
+  push t st (encode t ~rank call) (Call.record_bytes call)
 
 let hook t =
   {
@@ -192,7 +218,35 @@ let hook t =
     per_event_overhead = t.per_event_overhead;
   }
 
-let events t rank = Array.of_list (List.rev t.ranks.(rank).events_rev)
+let mode t = t.mode
+
+let events t rank =
+  let st = t.ranks.(rank) in
+  match st.stream with
+  | None -> Array.of_list (List.rev st.events_rev)
+  | Some ss ->
+      let defs = Soa.Intern.defs t.intern in
+      Array.init (Soa.length ss.codes) (fun i -> defs.(Soa.unsafe_get ss.codes i))
+
+let event_defs t =
+  match t.mode with
+  | Streamed -> Soa.Intern.defs t.intern
+  | Boxed -> invalid_arg "Recorder.event_defs: boxed-mode recorder"
+
+let codes t rank =
+  match t.ranks.(rank).stream with
+  | Some ss -> ss.codes
+  | None -> invalid_arg "Recorder.codes: boxed-mode recorder"
+
+let online_grammars t =
+  match t.mode with
+  | Boxed -> invalid_arg "Recorder.online_grammars: boxed-mode recorder"
+  | Streamed ->
+      Array.map
+        (fun st ->
+          match st.stream with Some ss -> Sequitur.finalize ss.seq | None -> assert false)
+        t.ranks
+
 let compute_table t = t.table
 let raw_trace_bytes t = Array.fold_left (fun acc st -> acc + st.raw_bytes) 0 t.ranks
 let total_events t = Array.fold_left (fun acc st -> acc + st.n_events) 0 t.ranks

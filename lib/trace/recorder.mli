@@ -11,11 +11,25 @@
 
 type t
 
+type mode =
+  | Streamed
+      (** Events are interned to dense int codes on arrival, appended to
+          off-heap {!Soa} buffers and fed straight into an online
+          {!Siesta_grammar.Sequitur} builder per rank, so grammar
+          construction overlaps the simulation and GC-visible memory
+          scales with grammar size rather than trace length.  The
+          default. *)
+  | Boxed
+      (** The historical representation: one [Event.t] list per rank,
+          fully materialized.  Kept as the reference path for the
+          streamed-vs-batch equivalence tests. *)
+
 val create :
   nranks:int ->
   ?cluster_threshold:float ->
   ?per_event_overhead:float ->
   ?relative_ranks:bool ->
+  ?mode:mode ->
   unit ->
   t
 (** [cluster_threshold] defaults to 0.05 (5% mean relative distance);
@@ -23,12 +37,32 @@ val create :
     call (interception + two counter reads); [relative_ranks] (default
     true) can disable the relative-rank encoding for the ablation study —
     peers are then recorded as absolute ranks, and SPMD neighbour
-    exchanges no longer dedupe across ranks. *)
+    exchanges no longer dedupe across ranks.  [mode] (default
+    {!Streamed}) selects the event representation. *)
 
 val hook : t -> Siesta_mpi.Engine.hook
 
+val mode : t -> mode
+
 val events : t -> int -> Event.t array
-(** The encoded event stream of one rank, in program order. *)
+(** The encoded event stream of one rank, in program order.  Works in
+    both modes; in {!Streamed} mode it materializes boxed events from the
+    code stream (intended for reports and tests, not the hot path). *)
+
+val event_defs : t -> Event.t array
+(** Distinct events in record-interning (first-appearance) order: the
+    definition table the per-rank code streams reference.
+    @raise Invalid_argument on a {!Boxed}-mode recorder. *)
+
+val codes : t -> int -> Soa.buf
+(** One rank's dense-code stream.
+    @raise Invalid_argument on a {!Boxed}-mode recorder. *)
+
+val online_grammars : t -> Siesta_grammar.Grammar.t array
+(** Per-rank grammars built online during recording, over record-order
+    terminal codes (the merge rebases them onto the canonical numbering
+    via {!Siesta_grammar.Grammar.map_terminals}).
+    @raise Invalid_argument on a {!Boxed}-mode recorder. *)
 
 val compute_table : t -> Compute_table.t
 

@@ -1,0 +1,93 @@
+(* Struct-of-arrays event storage for the streaming trace path.
+
+   A trace is two things: a small table of distinct event definitions
+   (SPMD programs repeat a handful of relative-rank-encoded events
+   millions of times) and, per rank, a long sequence of references into
+   that table.  The boxed representation ([Event.t list] per rank) costs
+   tens of heap words per event and keeps the GC walking the whole trace
+   on every major cycle.  Here the sequence side lives in a flat
+   [Bigarray] of dense int codes instead: appends are O(1) amortized
+   stores into malloc'd memory, the OCaml heap holds only the intern
+   table and the definitions, and major GC cost is proportional to the
+   number of *distinct* events, not the trace length.
+
+   [Buf] is the growable code buffer (one per rank); [Intern] maps
+   events to dense codes at record time.  Codes are assigned in first-
+   appearance order of whatever interleaving the recording produced;
+   the merge layer canonicalizes them (see
+   {!Siesta_merge.Pipeline.merge_packed}), so two recordings of the same
+   program always converge to the same merged grammar. *)
+
+module A1 = Bigarray.Array1
+
+type buf = {
+  mutable data : (int, Bigarray.int_elt, Bigarray.c_layout) A1.t;
+  mutable len : int;
+}
+
+let create ?(capacity = 1024) () =
+  let capacity = max 16 capacity in
+  { data = A1.create Bigarray.int Bigarray.c_layout capacity; len = 0 }
+
+let length b = b.len
+
+let append b code =
+  let cap = A1.dim b.data in
+  if b.len = cap then begin
+    let bigger = A1.create Bigarray.int Bigarray.c_layout (2 * cap) in
+    A1.blit b.data (A1.sub bigger 0 cap);
+    b.data <- bigger
+  end;
+  A1.unsafe_set b.data b.len code;
+  b.len <- b.len + 1
+
+let get b i =
+  if i < 0 || i >= b.len then invalid_arg "Soa.get: index out of bounds";
+  A1.unsafe_get b.data i
+
+let unsafe_get b i = A1.unsafe_get b.data i
+
+let iter f b =
+  for i = 0 to b.len - 1 do
+    f (A1.unsafe_get b.data i)
+  done
+
+let to_array b = Array.init b.len (fun i -> A1.unsafe_get b.data i)
+
+let of_array a =
+  let b = create ~capacity:(max 16 (Array.length a)) () in
+  Array.iter (append b) a;
+  b
+
+let mem_bytes b = 8 * A1.dim b.data
+
+(* ------------------------------------------------------------------ *)
+(* Record-time event interning *)
+
+module Intern = struct
+  type t = {
+    codes : (Event.t, int) Hashtbl.t;
+    mutable defs_rev : Event.t list;
+    mutable count : int;
+  }
+
+  let create () = { codes = Hashtbl.create 256; defs_rev = []; count = 0 }
+
+  (* Structural hashing/equality on [Event.t] is exact: events are pure
+     int/enum records (no floats, no cycles), so [Hashtbl.hash] may
+     truncate deep [Alltoallv] count arrays but equality never lies.
+     This replaces the batch path's per-event [Event.to_key] string
+     build — the single hottest allocation of the old merge front end. *)
+  let intern t ev =
+    match Hashtbl.find_opt t.codes ev with
+    | Some code -> code
+    | None ->
+        let code = t.count in
+        t.count <- code + 1;
+        Hashtbl.replace t.codes ev code;
+        t.defs_rev <- ev :: t.defs_rev;
+        code
+
+  let size t = t.count
+  let defs t = Array.of_list (List.rev t.defs_rev)
+end

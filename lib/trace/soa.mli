@@ -1,0 +1,51 @@
+(** Struct-of-arrays event storage for the streaming trace path.
+
+    Splits a trace into a small table of distinct event definitions and,
+    per rank, a flat [Bigarray]-backed buffer of dense int codes
+    referencing that table.  The code buffers live outside the OCaml
+    heap, so peak GC-managed memory scales with the number of {e
+    distinct} events (grammar-sized), not with trace length — the
+    success metric of the streaming pipeline. *)
+
+type buf
+(** A growable buffer of int event codes (8 bytes per event, ×2 growth,
+    malloc-backed — invisible to [Gc.quick_stat] heap statistics). *)
+
+val create : ?capacity:int -> unit -> buf
+val length : buf -> int
+
+val append : buf -> int -> unit
+(** Amortized O(1); no OCaml-heap allocation except on growth. *)
+
+val get : buf -> int -> int
+(** @raise Invalid_argument on out-of-bounds index. *)
+
+val unsafe_get : buf -> int -> int
+(** No bounds check: for the merge layer's sequential scans, where the
+    loop bound is [length]. *)
+
+val iter : (int -> unit) -> buf -> unit
+val to_array : buf -> int array
+val of_array : int array -> buf
+
+val mem_bytes : buf -> int
+(** Bytes of off-heap storage currently reserved (capacity, not length). *)
+
+(** Record-time interner: [Event.t] -> dense code, first-appearance
+    order.  One interner is shared across all ranks of a recording so
+    codes are process-global; the merge layer canonicalizes them to the
+    rank-major numbering afterwards. *)
+module Intern : sig
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> Event.t -> int
+  (** Code of [ev], assigning the next dense code on first sight. *)
+
+  val size : t -> int
+  (** Number of distinct events interned so far. *)
+
+  val defs : t -> Event.t array
+  (** Definitions in code order: [(defs t).(intern t ev) = ev]. *)
+end

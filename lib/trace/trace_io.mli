@@ -4,7 +4,9 @@
     computation-event table — can be saved to a portable text file and
     reloaded later, so tracing and synthesis can run as separate steps
     (the workflow of the real tool: trace on the cluster, synthesize on a
-    workstation).  The format is line-oriented and versioned:
+    workstation).  The format is line-oriented and versioned.
+
+    v1 (boxed): one event key per line per rank:
 
     {v
     siesta-trace v1
@@ -15,7 +17,26 @@
     rank <r> <nevents>
     <event key per line>
     ...
-    v} *)
+    v}
+
+    v2 (streamed): the distinct event definitions once, then per-rank
+    dense-code chunks, mirroring the in-memory SoA layout so neither
+    writer nor reader materializes boxed events:
+
+    {v
+    siesta-trace v2
+    nranks <P>
+    compute-table <n>
+    <centroid lines>
+    events <K>
+    <event key per line, in code order>
+    rank <r> <ncodes>
+    chunk <len>
+    <len space-separated codes>
+    ...
+    v}
+
+    Loaders accept both versions. *)
 
 type t = {
   nranks : int;
@@ -24,17 +45,56 @@ type t = {
       (** per computation cluster: centroid and member count *)
 }
 
+type packed = {
+  p_nranks : int;
+  p_defs : Event.t array;  (** distinct events, indexed by code *)
+  p_codes : Soa.buf array;  (** per-rank dense-code streams *)
+  p_centroids : (Siesta_perf.Counters.t * int) array;
+  p_grammars : Siesta_grammar.Grammar.t array option;
+      (** per-rank grammars built online during recording, over
+          record-order codes; [None] when the trace was loaded or
+          decoded rather than freshly recorded *)
+}
+(** The struct-of-arrays trace: the streaming pipeline's native
+    representation.  Boxed [Event.t] values exist only in [p_defs] (one
+    per {e distinct} event), so holding a packed trace costs GC-visible
+    memory proportional to the definition table, not the event count. *)
+
 val of_recorder : Recorder.t -> t
+
+val pack : Recorder.t -> packed
+(** Zero-copy from a {!Recorder.Streamed} recorder (code buffers are
+    shared, online grammars carried along); a {!Recorder.Boxed} recorder
+    is interned on the spot (grammars [None]). *)
+
+val of_packed : packed -> t
+(** Materialize boxed streams — for reports, extrapolation and the
+    equivalence tests, not the hot path. *)
+
+val to_packed : t -> packed
+(** Intern boxed streams to the SoA representation (grammars [None]). *)
 
 val compute_table : t -> Compute_table.t
 (** Rebuild a {!Compute_table} with the loaded centroids (cluster ids are
     preserved). *)
 
+val packed_compute_table : packed -> Compute_table.t
+val packed_total_events : packed -> int
+
 val save : t -> path:string -> unit
+val save_packed : packed -> path:string -> unit
+(** [save] writes v1; [save_packed] writes v2. *)
 
 val load : path:string -> t
-(** @raise Failure on a malformed or wrong-version file. *)
+val load_packed : path:string -> packed
+(** Accept v1 or v2. @raise Failure on a malformed or wrong-version
+    file. *)
 
 val to_string : t -> string
+val to_string_packed : packed -> string
+
 val of_string : string -> t
-(** @raise Failure on malformed input. *)
+val of_string_packed : string -> packed
+(** Accept v1 or v2; a binary store blob ("SSB1" magic) is rejected with
+    a pointed diagnostic. @raise Failure on malformed input, always with
+    a ["Trace_io: ..."] message. *)

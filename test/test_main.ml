@@ -10,6 +10,7 @@ let () =
       ("engine", Test_engine.suite);
       ("engine-timing", Test_engine_timing.suite);
       ("trace", Test_trace.suite);
+      ("streaming", Test_streaming.suite);
       ("grammar", Test_grammar.suite);
       ("merge", Test_merge.suite);
       ("merge-mains", Test_merge_mains.suite);

@@ -146,7 +146,7 @@ let test_frame_rejects_schema_bump () =
      fix up the checksum — instead we just check kind_of still works on a
      valid frame and that unframe demands the current version via the
      constant. *)
-  Alcotest.(check int) "schema is v1" 1 Codec.schema_version
+  Alcotest.(check int) "schema is v2" 2 Codec.schema_version
 
 (* ------------------------------------------------------------------ *)
 (* Stage-artifact codecs *)
@@ -168,13 +168,15 @@ let meta_of traced =
 
 let test_codec_trace_roundtrip () =
   let traced = Lazy.force traced_once in
-  let t = Trace_io.of_recorder traced.Pipeline.recorder in
+  let pk = Trace_io.pack traced.Pipeline.recorder in
   let meta = meta_of traced in
-  let blob = Codec.encode_trace ~meta t in
+  let blob = Codec.encode_trace ~meta pk in
   Alcotest.(check (option string)) "kind" (Some "trace") (Codec.kind_of blob);
-  let meta', t' = Codec.decode_trace blob in
+  let meta', pk' = Codec.decode_trace blob in
   Alcotest.(check bool) "meta" true (meta = meta');
-  Alcotest.(check int) "nranks" t.Trace_io.nranks t'.Trace_io.nranks;
+  Alcotest.(check int) "nranks" pk.Trace_io.p_nranks pk'.Trace_io.p_nranks;
+  Alcotest.(check bool) "defs" true (pk.Trace_io.p_defs = pk'.Trace_io.p_defs);
+  let t = Trace_io.of_packed pk and t' = Trace_io.of_packed pk' in
   Alcotest.(check bool) "streams" true (t.Trace_io.streams = t'.Trace_io.streams);
   Alcotest.(check bool) "centroids bit-exact" true
     (Array.for_all2
@@ -212,7 +214,8 @@ let prop_codec_trace_roundtrip =
           tm_raw_bytes = 13;
         }
       in
-      let meta', t' = Codec.decode_trace (Codec.encode_trace ~meta t) in
+      let meta', pk' = Codec.decode_trace (Codec.encode_trace ~meta (Trace_io.to_packed t)) in
+      let t' = Trace_io.of_packed pk' in
       meta = meta'
       && t'.Trace_io.streams = t.Trace_io.streams
       && Array.for_all2
@@ -225,8 +228,8 @@ let prop_codec_trace_roundtrip =
 
 let test_codec_trace_rejects_corruption () =
   let traced = Lazy.force traced_once in
-  let t = Trace_io.of_recorder traced.Pipeline.recorder in
-  let blob = Codec.encode_trace ~meta:(meta_of traced) t in
+  let pk = Trace_io.pack traced.Pipeline.recorder in
+  let blob = Codec.encode_trace ~meta:(meta_of traced) pk in
   (* a few representative truncations — full sweep is the frame test *)
   List.iter
     (fun len ->
