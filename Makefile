@@ -9,6 +9,7 @@ SMOKE_METRICS := /tmp/siesta_smoke_metrics.json
 SMOKE_STORE := /tmp/siesta_smoke_store
 SMOKE_PROXY_STREAMED := /tmp/siesta_smoke_proxy_streamed.c
 SMOKE_PROXY_BOXED := /tmp/siesta_smoke_proxy_boxed.c
+SMOKE_TREND_HTML := /tmp/siesta_smoke_trends.html
 
 .PHONY: all build test check smoke bench-check bench-quick clean
 
@@ -51,6 +52,25 @@ smoke: build
 	cmp $(SMOKE_PROXY) $(SMOKE_PROXY_WARM)
 	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store verify
 	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store gc --expect-clean
+	@# Run ledger & regression radar: the two cached synth runs above
+	@# each appended a run record; comparing them must pass, a perturbed
+	@# diff must flip the radar to exit 1, and retention gc must leave
+	@# the store verifiable with stage artifacts untouched.
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- runs ls
+	@test "$$(SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- runs ls | grep -c ' synth ')" -ge 2 \
+		|| { echo "smoke: expected two synth records in the ledger" >&2; exit 1; }
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- runs compare --baseline last
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- diff -w CG -n 8 --cache
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- diff -w CG -n 8 --cache --perturb comm || true
+	@SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- runs compare --baseline last; \
+		st=$$?; [ $$st -eq 1 ] \
+		|| { echo "smoke: expected regression exit 1 from perturbed diff, got $$st" >&2; exit 1; }
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- runs html -o $(SMOKE_TREND_HTML)
+	@grep -q 'ledger-data' $(SMOKE_TREND_HTML) \
+		|| { echo "smoke: trend HTML missing its data block" >&2; exit 1; }
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- runs gc --keep 2
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store ls --long
+	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store verify
 	@# Streaming equivalence at scale: a >= 10^6-event seeded run through
 	@# the default streamed recorder must emit a proxy byte-identical to
 	@# the boxed reference path.
@@ -61,7 +81,7 @@ smoke: build
 	cmp $(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED)
 	@rm -f $(SMOKE_TRACE) $(SMOKE_TIMELINE) $(SMOKE_TIMELINE_HTML) \
 		$(SMOKE_PROXY) $(SMOKE_PROXY_WARM) $(SMOKE_METRICS) \
-		$(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED)
+		$(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED) $(SMOKE_TREND_HTML)
 	@rm -rf $(SMOKE_STORE)
 
 # regression gates, failing the build instead of printing a warning:

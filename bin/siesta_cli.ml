@@ -12,6 +12,8 @@
      diff        -w <workload>    proxy-vs-original fidelity report
      check-trace <file>           validate a --trace-out / --timeline-out trace
      store       ls|verify|gc|rm  inspect / maintain the artifact store
+     runs        ls|show|compare|gc|html
+                                  browse / regress / chart the run ledger
 
    Pipeline subcommands (trace, synth, report, diff) take --cache /
    --no-cache to memoize stage outputs in the content-addressed store
@@ -40,6 +42,10 @@ module Critical_path = Siesta_analysis.Critical_path
 module Divergence = Siesta_analysis.Divergence
 module Store = Siesta_store.Store
 module Bytes_fmt = Siesta_util.Bytes_fmt
+module Run_id = Siesta_obs.Run_id
+module Ledger = Siesta_ledger.Ledger
+module Regression = Siesta_ledger.Regression
+module Trend_html = Siesta_ledger.Trend_html
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags (shared by every subcommand)                     *)
@@ -80,6 +86,7 @@ let with_obs o f =
   | _ -> Obs_log.set_level Obs_log.Debug);
   if o.trace_out <> None then Obs_span.set_enabled true;
   if o.metrics_out <> None then Obs_metrics.set_enabled true;
+  if Obs_metrics.enabled () then Run_id.publish ();
   Fun.protect
     ~finally:(fun () ->
       Option.iter
@@ -203,6 +210,18 @@ let cache_term =
 
 let store_of_opts o = if o.cache then Some (Store.open_ ?root:o.store_root ()) else None
 
+(* Whenever a pipeline subcommand runs with the cache on, its store also
+   receives a run-ledger record.  Metrics are force-enabled so the
+   record's snapshot has content, and the run id is published as a
+   labeled metric tying the snapshot to the log/span streams. *)
+let with_ledger store =
+  Option.iter
+    (fun st ->
+      Obs_metrics.set_enabled true;
+      Run_id.publish ();
+      Ledger.set_sink (Some st))
+    store
+
 let print_cache_status (st : Pipeline.cache_status) =
   Option.iter
     (fun root ->
@@ -304,6 +323,7 @@ let trace_cmd =
     with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
     let store = store_of_opts cache_opts in
+    with_ledger store;
     let ts =
       Pipeline.trace_stage ~cache:cache_opts.cache ?store ~mode:(mode_of_boxed boxed) s
     in
@@ -390,9 +410,11 @@ let synth_cmd =
         emit ~proxy ~merged ~path ~bundle
     | None ->
         let s = spec_of workload nranks iters platform impl seed in
+        let store = store_of_opts cache_opts in
+        with_ledger store;
         let sy =
-          Pipeline.synthesize_spec ~cache:cache_opts.cache ?store:(store_of_opts cache_opts)
-            ~factor ~mode:(mode_of_boxed boxed) s
+          Pipeline.synthesize_spec ~cache:cache_opts.cache ?store ~factor
+            ~mode:(mode_of_boxed boxed) s
         in
         print_cache_status sy.Pipeline.sy_status;
         print_merge_sched sy;
@@ -492,10 +514,9 @@ let report_cmd =
   let run obs workload nranks iters platform impl seed output factor timeline_out cache_opts =
     with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
-    let sy =
-      Pipeline.synthesize_spec ~cache:cache_opts.cache ?store:(store_of_opts cache_opts)
-        ~factor s
-    in
+    let store = store_of_opts cache_opts in
+    with_ledger store;
+    let sy = Pipeline.synthesize_spec ~cache:cache_opts.cache ?store ~factor s in
     Option.iter
       (fun path -> write_timeline ~path (fst (Pipeline.record_timeline s)))
       timeline_out;
@@ -602,10 +623,9 @@ let diff_cmd =
       timeline_html cache_opts =
     with_obs obs @@ fun () ->
     let s = spec_of workload nranks iters platform impl seed in
-    let sy =
-      Pipeline.synthesize_spec ~cache:cache_opts.cache ?store:(store_of_opts cache_opts)
-        ~factor s
-    in
+    let store = store_of_opts cache_opts in
+    with_ledger store;
+    let sy = Pipeline.synthesize_spec ~cache:cache_opts.cache ?store ~factor s in
     let sy =
       match perturb with
       | None -> sy
@@ -674,23 +694,68 @@ let diff_cmd =
 let store_cmd =
   let open_store root = Store.open_ ?root () in
   let ls_cmd =
-    let run root =
+    let long_arg =
+      let doc =
+        "Long listing: per-blob size on each line, plus per-kind subtotals, total store \
+         footprint, and the count of unreferenced objects awaiting gc."
+      in
+      Arg.(value & flag & info [ "long"; "l" ] ~doc)
+    in
+    let run root long =
       let st = open_store root in
       let entries = Store.entries st in
       Printf.printf "store %s: %d binding(s), %s in objects\n" (Store.root st)
         (List.length entries)
         (Bytes_fmt.to_string (Store.size_bytes st));
-      List.iter
-        (fun (e : Store.entry) ->
-          Printf.printf "%s  %s  %-7s %s\n"
-            (String.sub e.Store.e_key 0 12)
-            (String.sub e.Store.e_hash 0 12)
-            e.Store.e_kind e.Store.e_descr)
-        entries
+      if not long then
+        List.iter
+          (fun (e : Store.entry) ->
+            Printf.printf "%s  %s  %-7s %s\n"
+              (String.sub e.Store.e_key 0 12)
+              (String.sub e.Store.e_hash 0 12)
+              e.Store.e_kind e.Store.e_descr)
+          entries
+      else begin
+        let by_kind = Hashtbl.create 8 in
+        List.iter
+          (fun (e : Store.entry) ->
+            let size = Option.value ~default:0 (Store.object_size st e.Store.e_hash) in
+            let n, b = Option.value ~default:(0, 0) (Hashtbl.find_opt by_kind e.Store.e_kind) in
+            Hashtbl.replace by_kind e.Store.e_kind (n + 1, b + size);
+            Printf.printf "%s  %s  %-7s %10s  %s\n"
+              (String.sub e.Store.e_key 0 12)
+              (String.sub e.Store.e_hash 0 12)
+              e.Store.e_kind
+              (Bytes_fmt.to_string size)
+              e.Store.e_descr)
+          entries;
+        print_newline ();
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
+        |> List.sort compare
+        |> List.iter (fun (kind, (n, b)) ->
+               Printf.printf "%-7s %4d blob(s)  %10s\n" kind n (Bytes_fmt.to_string b));
+        let objects = Store.objects st in
+        let referenced =
+          List.fold_left
+            (fun acc (e : Store.entry) ->
+              if List.mem_assoc e.Store.e_hash acc then acc else (e.Store.e_hash, ()) :: acc)
+            [] entries
+        in
+        let unref =
+          List.filter (fun (h, _) -> not (List.mem_assoc h referenced)) objects
+        in
+        Printf.printf "total   %4d object(s)  %10s" (List.length objects)
+          (Bytes_fmt.to_string (List.fold_left (fun a (_, s) -> a + s) 0 objects));
+        if unref <> [] then
+          Printf.printf "  (%d unreferenced, %s — run `siesta store gc`)"
+            (List.length unref)
+            (Bytes_fmt.to_string (List.fold_left (fun a (_, s) -> a + s) 0 unref));
+        print_newline ()
+      end
     in
     Cmd.v
       (Cmd.info "ls" ~doc:"List stage-key bindings and store size")
-      Term.(const run $ store_root_arg)
+      Term.(const run $ store_root_arg $ long_arg)
   in
   let verify_cmd =
     let run root =
@@ -752,6 +817,210 @@ let store_cmd =
   Cmd.group
     (Cmd.info "store" ~doc:"Inspect and maintain the content-addressed artifact store")
     [ ls_cmd; verify_cmd; gc_cmd; rm_cmd ]
+
+(* runs: front end for the persistent run ledger.  `ls`/`show` browse
+   the records a pipeline subcommand appended under --cache, `compare`
+   is the regression radar (exit 1 on regression — CI-gateable),
+   `html` renders the trend dashboard and `gc` bounds retention. *)
+let runs_cmd =
+  let open_store root = Store.open_ ?root () in
+  let utc t =
+    let tm = Unix.gmtime t in
+    Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+  in
+  let total_s (r : Ledger.record) =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.Ledger.r_timings
+  in
+  let spec_cell (r : Ledger.record) =
+    Printf.sprintf "%s@%s"
+      (Option.value ~default:"?" (List.assoc_opt "workload" r.Ledger.r_spec))
+      (Option.value ~default:"?" (List.assoc_opt "nranks" r.Ledger.r_spec))
+  in
+  let resolve st sel =
+    match Ledger.find st sel with
+    | Some r -> r
+    | None ->
+        Printf.eprintf "runs: no ledger record matching %S (see `siesta runs ls`)\n" sel;
+        exit 2
+  in
+  let newest st =
+    match List.rev (Ledger.runs st) with
+    | r :: _ -> r
+    | [] ->
+        Printf.eprintf "runs: ledger is empty — run a pipeline subcommand with --cache\n";
+        exit 2
+  in
+  let ls_cmd =
+    let run root =
+      let st = open_store root in
+      let rs = Ledger.runs st in
+      Printf.printf "ledger %s: %d run record(s)\n" (Store.root st) (List.length rs);
+      List.iter
+        (fun (r : Ledger.record) ->
+          Printf.printf "#%-4d %s  %-6s %-12s id=%s  total %8.4f s  %s\n" r.Ledger.r_seq
+            (utc r.Ledger.r_time) r.Ledger.r_kind (spec_cell r)
+            (String.sub r.Ledger.r_id 0 (min 8 (String.length r.Ledger.r_id)))
+            (total_s r)
+            (match r.Ledger.r_fidelity with
+            | Some f -> f.Ledger.lf_verdict
+            | None -> "-"))
+        rs
+    in
+    Cmd.v
+      (Cmd.info "ls" ~doc:"List the run records in the ledger")
+      Term.(const run $ store_root_arg)
+  in
+  let show_cmd =
+    let sel_arg =
+      let doc = "Record selector: a sequence number or a run-id prefix." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN" ~doc)
+    in
+    let run root sel =
+      let st = open_store root in
+      let r = resolve st sel in
+      let open Ledger in
+      Printf.printf "run #%d  %s  %s\n" r.r_seq r.r_kind (utc r.r_time);
+      Printf.printf "id      : %s\n" r.r_id;
+      Printf.printf "git     : %s\n" r.r_git;
+      Printf.printf "argv    : %s\n" (String.concat " " r.r_argv);
+      let kvs name l =
+        if l <> [] then
+          Printf.printf "%-8s: %s\n" name
+            (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) l))
+      in
+      kvs "env" r.r_env;
+      kvs "spec" r.r_spec;
+      kvs "cache" r.r_cache;
+      if r.r_timings <> [] then begin
+        Printf.printf "timings :\n";
+        List.iter (fun (n, s) -> Printf.printf "  %-24s %10.4f s\n" n s) r.r_timings;
+        Printf.printf "  %-24s %10.4f s\n" "total" (total_s r)
+      end;
+      kvs "sched" (List.map (fun (k, v) -> (k, Printf.sprintf "%g" v)) r.r_sched);
+      kvs "heap" (List.map (fun (k, v) -> (k, Printf.sprintf "%.0f" v)) r.r_heap);
+      match r.r_fidelity with
+      | None -> ()
+      | Some f ->
+          Printf.printf
+            "fidelity: verdict=%s lossless=%b time_error=%.4g timeline_distance=%.4g \
+             comm_matrix_dist=%.4g max_compute_mean=%.4g\n"
+            f.lf_verdict f.lf_lossless f.lf_time_error f.lf_timeline_distance
+            f.lf_comm_matrix_dist f.lf_max_compute_mean
+    in
+    Cmd.v
+      (Cmd.info "show" ~doc:"Print one run record in full")
+      Term.(const run $ store_root_arg $ sel_arg)
+  in
+  let compare_cmd =
+    let a_arg =
+      let doc = "Baseline record (sequence number or run-id prefix)." in
+      Arg.(value & pos 0 (some string) None & info [] ~docv:"BASELINE" ~doc)
+    in
+    let b_arg =
+      let doc = "Current record (default: the newest record)." in
+      Arg.(value & pos 1 (some string) None & info [] ~docv:"CURRENT" ~doc)
+    in
+    let baseline_arg =
+      let doc =
+        "Baseline when no positional records are given: $(b,last) picks the newest older \
+         record with the same kind, workload and rank count as the newest record; anything \
+         else is a selector."
+      in
+      Arg.(value & opt string "last" & info [ "baseline" ] ~docv:"SEL" ~doc)
+    in
+    let ratio_arg =
+      let doc = "Stage-time regression threshold: current >= $(docv) * baseline." in
+      Arg.(value & opt float Regression.default.Regression.t_stage_ratio
+           & info [ "max-stage-ratio" ] ~docv:"R" ~doc)
+    in
+    let floor_arg =
+      let doc =
+        "Absolute stage-time floor in seconds: growth below this never regresses (filters \
+         warm-run microsecond noise)."
+      in
+      Arg.(value & opt float Regression.default.Regression.t_stage_min_s
+           & info [ "min-stage-s" ] ~docv:"S" ~doc)
+    in
+    let fid_arg =
+      let doc = "Allowed absolute worsening of each fidelity error measure." in
+      Arg.(value & opt float Regression.default.Regression.t_fidelity_delta
+           & info [ "max-fidelity-delta" ] ~docv:"D" ~doc)
+    in
+    let run root a b baseline ratio floor fid =
+      let st = open_store root in
+      let thresholds =
+        { Regression.t_stage_ratio = ratio; t_stage_min_s = floor; t_fidelity_delta = fid }
+      in
+      let base, cur =
+        match (a, b) with
+        | Some a, Some b -> (resolve st a, resolve st b)
+        | Some a, None -> (resolve st a, newest st)
+        | None, _ ->
+            let cur = newest st in
+            if baseline = "last" then (
+              match Regression.baseline_for (Ledger.runs st) cur with
+              | Some b -> (b, cur)
+              | None ->
+                  Printf.eprintf
+                    "runs compare: no comparable baseline for #%d (same kind/workload/ranks)\n"
+                    cur.Ledger.r_seq;
+                  exit 2)
+            else (resolve st baseline, cur)
+      in
+      let c = Regression.compare_runs ~thresholds ~baseline:base cur in
+      print_string (Regression.render c);
+      if c.Regression.c_regressed then exit 1
+    in
+    Cmd.v
+      (Cmd.info "compare"
+         ~doc:
+           "Compare two run records against regression thresholds (exit 1 on regression, 2 \
+            when a record cannot be resolved)")
+      Term.(const run $ store_root_arg $ a_arg $ b_arg $ baseline_arg $ ratio_arg $ floor_arg
+            $ fid_arg)
+  in
+  let gc_cmd =
+    let keep_arg =
+      let doc = "Number of newest run records to retain." in
+      Arg.(value & opt int 100 & info [ "keep" ] ~docv:"N" ~doc)
+    in
+    let run root keep =
+      let st = open_store root in
+      let dropped = Ledger.gc st ~keep in
+      let g = Store.gc st in
+      Printf.printf "runs gc: dropped %d record(s), kept %d; swept %d blob(s), %s freed\n"
+        dropped
+        (List.length (Ledger.runs st))
+        g.Store.swept
+        (Bytes_fmt.to_string g.Store.freed_bytes)
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Prune old run records past the retention bound (stage artifacts untouched)")
+      Term.(const run $ store_root_arg $ keep_arg)
+  in
+  let html_cmd =
+    let out_arg =
+      let doc = "Write the dashboard to $(docv)." in
+      Arg.(value & opt string "siesta_trends.html" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+    in
+    let run root out =
+      let st = open_store root in
+      let rs = Ledger.runs st in
+      Trend_html.write ~title:(Printf.sprintf "Siesta run trends — %s" (Store.root st)) rs
+        ~path:out;
+      Printf.printf "runs html: wrote %s (%d record(s), self-contained)\n" out
+        (List.length rs)
+    in
+    Cmd.v
+      (Cmd.info "html"
+         ~doc:"Write a self-contained HTML trend dashboard of stage times and fidelity errors")
+      Term.(const run $ store_root_arg $ out_arg)
+  in
+  Cmd.group
+    (Cmd.info "runs" ~doc:"Browse, compare and prune the persistent run ledger")
+    [ ls_cmd; show_cmd; compare_cmd; gc_cmd; html_cmd ]
 
 (* check-trace: validate any trace artifact the toolchain emits.  The
    file is sniffed by prefix: "SSB1" store blobs are decoded with the
@@ -898,5 +1167,6 @@ let () =
             extrapolate_cmd;
             diff_cmd;
             store_cmd;
+            runs_cmd;
             check_trace_cmd;
           ]))

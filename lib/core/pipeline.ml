@@ -17,6 +17,7 @@ module Store = Siesta_store.Store
 module Codec = Siesta_store.Codec
 module Trace_io = Siesta_trace.Trace_io
 module Compute_table = Siesta_trace.Compute_table
+module Ledger = Siesta_ledger.Ledger
 
 type spec = {
   workload : Registry.t;
@@ -56,6 +57,19 @@ type traced = {
 }
 
 let program_of s = s.workload.Registry.program ~nranks:s.nranks ~iters:s.iters
+
+(* The spec as flat strings, stamped into run-ledger records so
+   [runs compare] can refuse to baseline across different workloads. *)
+let spec_kvs s =
+  [
+    ("workload", s.workload.Registry.name);
+    ("nranks", string_of_int s.nranks);
+    ("iters", (match s.iters with None -> "auto" | Some i -> string_of_int i));
+    ("seed", string_of_int s.seed);
+    ("platform", s.platform.Spec_p.name);
+    ("impl", s.impl.Mpi_impl.name);
+    ("cluster_threshold", Printf.sprintf "%g" s.cluster_threshold);
+  ]
 
 (* Time a stage under a pipeline-category span; wall seconds are kept in
    the result records so `siesta report` can print a stage table without
@@ -155,6 +169,18 @@ let sched_snapshot pool before =
         }
   | _ -> None
 
+let sched_kvs = function
+  | None -> []
+  | Some m ->
+      [
+        ("requested", float_of_int m.ms_requested);
+        ("effective", float_of_int m.ms_effective);
+        ("clamped", if m.ms_clamped then 1.0 else 0.0);
+        ("inline_jobs", float_of_int m.ms_inline_jobs);
+        ("dispatched_jobs", float_of_int m.ms_dispatched_jobs);
+        ("est_item_cost_s", m.ms_est_item_cost_s);
+      ]
+
 let synthesize ?(factor = 1.0) ?(rle = true) ?domains traced =
   with_merge_pool domains @@ fun pool ->
   let config = merge_config ~rle pool in
@@ -222,12 +248,30 @@ type fidelity = {
   f_report : Divergence.report;
 }
 
+let fidelity_of_report (r : Divergence.report) =
+  {
+    Ledger.lf_verdict = Divergence.verdict_name (Divergence.verdict r);
+    lf_lossless = r.Divergence.r_lossless;
+    lf_time_error = r.Divergence.r_time_error;
+    lf_timeline_distance = r.Divergence.r_timeline_distance;
+    lf_comm_matrix_dist = r.Divergence.r_comm_matrix_dist;
+    lf_max_compute_mean =
+      List.fold_left
+        (fun acc (e : Divergence.metric_err) -> Float.max acc e.Divergence.me_mean)
+        0.0 r.Divergence.r_compute_errors;
+  }
+
 let diff_core s proxy_ir =
-  let original = capture_original s in
-  let proxy = capture_proxy_ir s proxy_ir in
-  let report =
-    Span.with_ ~cat:"pipeline" "diff" (fun () -> Divergence.diff ~original ~proxy)
+  let fid, total_s =
+    Clock.wall (fun () ->
+        let original = capture_original s in
+        let proxy = capture_proxy_ir s proxy_ir in
+        let report =
+          Span.with_ ~cat:"pipeline" "diff" (fun () -> Divergence.diff ~original ~proxy)
+        in
+        { f_original = original; f_proxy = proxy; f_report = report })
   in
+  let report = fid.f_report in
   Divergence.publish_metrics report;
   Log.info (fun () ->
       ( "pipeline.diff",
@@ -237,7 +281,11 @@ let diff_core s proxy_ir =
           ("time_error", Printf.sprintf "%.4f" report.Divergence.r_time_error);
           ("timeline_distance", Printf.sprintf "%.4e" report.Divergence.r_timeline_distance);
         ] ));
-  { f_original = original; f_proxy = proxy; f_report = report }
+  Ledger.emit (fun () ->
+      Ledger.make ~kind:"diff" ~spec:(spec_kvs s)
+        ~timings:[ ("diff.total", total_s) ]
+        ~fidelity:(fidelity_of_report report) ());
+  fid
 
 let diff artifact = diff_core artifact.traced.run_spec artifact.proxy
 
@@ -379,22 +427,37 @@ let trace_stage_cached ?mode st s =
         ts_timings = traced.timings @ [ t_store ];
       }
 
+(* One ledger record per public trace invocation.  The cached synth path
+   calls [trace_stage_cached] directly, so a synth run appends a single
+   "synth" record rather than a "trace" + "synth" pair. *)
+let emit_trace_record ts =
+  Ledger.emit (fun () ->
+      Ledger.make ~kind:"trace" ~spec:(spec_kvs ts.ts_spec)
+        ~cache:
+          (("trace", outcome_name ts.ts_outcome)
+          :: (match ts.ts_hash with Some h -> [ ("trace_hash", h) ] | None -> []))
+        ~timings:ts.ts_timings ())
+
 let trace_stage ?(cache = false) ?store ?mode s =
-  if cache then
-    let st = match store with Some st -> st | None -> Store.open_ () in
-    trace_stage_cached ?mode st s
-  else
-    let traced = trace ?mode s in
-    {
-      ts_spec = s;
-      ts_trace = Trace_io.pack traced.recorder;
-      ts_meta = meta_of_traced traced;
-      ts_table = Recorder.compute_table traced.recorder;
-      ts_hash = None;
-      ts_outcome = Cache_off;
-      ts_traced = Some traced;
-      ts_timings = traced.timings;
-    }
+  let ts =
+    if cache then
+      let st = match store with Some st -> st | None -> Store.open_ () in
+      trace_stage_cached ?mode st s
+    else
+      let traced = trace ?mode s in
+      {
+        ts_spec = s;
+        ts_trace = Trace_io.pack traced.recorder;
+        ts_meta = meta_of_traced traced;
+        ts_table = Recorder.compute_table traced.recorder;
+        ts_hash = None;
+        ts_outcome = Cache_off;
+        ts_traced = Some traced;
+        ts_timings = traced.timings;
+      }
+  in
+  emit_trace_record ts;
+  ts
 
 let synthesis_of_artifact (art : artifact) =
   let traced = art.traced in
@@ -418,7 +481,24 @@ let synthesis_of_artifact (art : artifact) =
     sy_status = status_off;
   }
 
-let synthesize_spec ?(cache = false) ?store ?(factor = 1.0) ?(rle = true) ?domains ?mode s =
+let emit_synth_record sy =
+  Ledger.emit (fun () ->
+      let st = sy.sy_status in
+      let cache =
+        (match st.cs_root with Some root -> [ ("root", root) ] | None -> [])
+        @ [
+            ("trace", outcome_name st.cs_trace);
+            ("merge", outcome_name st.cs_merge);
+            ("proxy", outcome_name st.cs_proxy);
+          ]
+        @ (match sy.sy_trace.ts_hash with Some h -> [ ("trace_hash", h) ] | None -> [])
+      in
+      Ledger.make ~kind:"synth"
+        ~spec:(("factor", Printf.sprintf "%g" sy.sy_factor) :: spec_kvs sy.sy_trace.ts_spec)
+        ~cache ~timings:sy.sy_timings
+        ~sched:(sched_kvs sy.sy_merge_sched) ())
+
+let synthesize_spec_inner ~cache ?store ~factor ~rle ?domains ?mode s =
   if not cache then
     synthesis_of_artifact (synthesize ~factor ~rle ?domains (trace ?mode s))
   else begin
@@ -506,5 +586,10 @@ let synthesize_spec ?(cache = false) ?store ?(factor = 1.0) ?(rle = true) ?domai
         };
     }
   end
+
+let synthesize_spec ?(cache = false) ?store ?(factor = 1.0) ?(rle = true) ?domains ?mode s =
+  let sy = synthesize_spec_inner ~cache ?store ~factor ~rle ?domains ?mode s in
+  emit_synth_record sy;
+  sy
 
 let diff_synthesis sy = diff_core sy.sy_trace.ts_spec sy.sy_proxy

@@ -91,7 +91,51 @@ let generate_synthesis (sy : Pipeline.synthesis) =
       if
         st.Pipeline.cs_trace = Pipeline.Cache_hit
         && st.Pipeline.cs_merge = Pipeline.Cache_hit
-      then p "- warm run: tracing, grammar construction and merging were all skipped\n");
+      then p "- warm run: tracing, grammar construction and merging were all skipped\n";
+      (* run history for this spec, read back from the same store *)
+      let history =
+        try
+          Siesta_ledger.Ledger.runs (Siesta_store.Store.open_ ~root ())
+          |> List.filter (fun (r : Siesta_ledger.Ledger.record) ->
+                 List.assoc_opt "workload" r.Siesta_ledger.Ledger.r_spec
+                 = Some spec.Pipeline.workload.Registry.name
+                 && List.assoc_opt "nranks" r.Siesta_ledger.Ledger.r_spec
+                    = Some (string_of_int spec.Pipeline.nranks))
+        with _ -> []
+      in
+      if history <> [] then begin
+        let shown_hist = 8 in
+        let recent =
+          let n = List.length history in
+          if n <= shown_hist then history
+          else List.filteri (fun i _ -> i >= n - shown_hist) history
+        in
+        p "\n## History (run ledger, this spec)\n\n";
+        p "| run | kind | time (UTC) | total (s) | cache | verdict |\n|---|---|---|---|---|---|\n";
+        List.iter
+          (fun (r : Siesta_ledger.Ledger.record) ->
+            let open Siesta_ledger.Ledger in
+            let tm = Unix.gmtime r.r_time in
+            let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.r_timings in
+            let cache_cell =
+              match
+                List.filter_map
+                  (fun stg ->
+                    Option.map (fun o -> stg ^ ":" ^ o) (List.assoc_opt stg r.r_cache))
+                  [ "trace"; "merge"; "proxy" ]
+              with
+              | [] -> "-"
+              | l -> String.concat " " l
+            in
+            p "| #%d | %s | %04d-%02d-%02d %02d:%02d:%02d | %.4f | %s | %s |\n" r.r_seq
+              r.r_kind (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+              tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec total cache_cell
+              (match r.r_fidelity with Some f -> f.lf_verdict | None -> "-"))
+          recent;
+        if List.length history > shown_hist then
+          p "\n(%d older record(s) not shown — `siesta runs ls`)\n"
+            (List.length history - shown_hist)
+      end);
   p "\n## Pipeline stage timings\n\n";
   let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 sy.Pipeline.sy_timings in
   p "| stage | wall (s) | share |\n|---|---|---|\n";

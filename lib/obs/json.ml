@@ -196,6 +196,55 @@ let parse s =
 
 let parse_exn s = match parse s with Ok v -> v | Error m -> failwith m
 
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+(* Integers up to 2^53 print without an exponent (and parse back to the
+   identical float); everything else gets the shortest decimal that
+   round-trips exactly.  nan/inf have no JSON spelling and become null. *)
+let number_repr f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s
+    else
+      let s = Printf.sprintf "%.16g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string v =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Num f -> Buffer.add_string b (number_repr f)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | Arr l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string b ", ";
+            go v)
+          l;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ", ";
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\": ";
+            go v)
+          fields;
+        Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
 let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
 let to_list = function Arr l -> l | _ -> []
 let to_string_opt = function Str s -> Some s | _ -> None

@@ -21,6 +21,13 @@ val parse : string -> (t, string) result
 val parse_exn : string -> t
 (** @raise Failure on invalid input. *)
 
+val to_string : t -> string
+(** Serialize on one line.  [parse (to_string v)] reconstructs [v]
+    exactly: floats print as the shortest decimal that parses back to
+    the identical bits, integers up to 2{^53} without an exponent.
+    [Num nan]/[Num infinity] have no JSON spelling and print as [null]
+    (the parser never produces them). *)
+
 (** {1 Accessors} *)
 
 val member : string -> t -> t option

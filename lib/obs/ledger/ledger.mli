@@ -1,0 +1,114 @@
+(** Persistent run ledger: one schema-versioned record per pipeline
+    invocation, appended into the content-addressed artifact store.
+
+    Each record is a JSON document inside a {!Siesta_store.Codec} frame
+    of kind ["run"] (so [store verify] checks ledger records like any
+    stage blob) bound in the manifest under a content hash of its
+    descriptor, [run #<seq> <kind> id=<id> t=<time>].  Records carry
+    everything needed to compare two runs after the fact: provenance
+    (git describe, argv, the SIESTA_* environment), the spec that ran,
+    per-stage cache keys and outcomes, stage timings, merge-scheduler
+    deltas, heap statistics, the full metrics snapshot, and the
+    divergence verdict when one was computed.
+
+    Emission is gated exactly like the other telemetry streams: library
+    code calls {!emit} unconditionally, and nothing is written until a
+    front end installs a sink with {!set_sink} (the CLI arms it whenever
+    [--cache] is active, the bench driver points it at a bench-local
+    root).  See {!Regression} for the compare path and {!Trend_html} for
+    the dashboard. *)
+
+val schema_version : int
+(** Version of the record's field layout (inside the JSON document —
+    independent of [Codec.schema_version], which frames the container).
+    {!decode} refuses records from a {e newer} schema and keeps reading
+    older ones. *)
+
+val run_kind : string
+(** The codec/manifest kind, ["run"]. *)
+
+type fidelity = {
+  lf_verdict : string;  (** [Divergence.verdict_name] *)
+  lf_lossless : bool;
+  lf_time_error : float;
+  lf_timeline_distance : float;
+  lf_comm_matrix_dist : float;
+  lf_max_compute_mean : float;  (** worst per-metric mean compute error *)
+}
+
+type record = {
+  r_schema : int;
+  r_id : string;  (** {!Siesta_obs.Run_id} of the emitting process *)
+  r_seq : int;  (** per-store sequence number, assigned by {!append} *)
+  r_kind : string;  (** ["trace"], ["synth"], ["diff"] or ["bench"] *)
+  r_time : float;  (** unix time of emission *)
+  r_git : string;  (** [git describe --always --dirty], or ["unknown"] *)
+  r_argv : string list;
+  r_env : (string * string) list;  (** the SIESTA_* knobs that were set *)
+  r_spec : (string * string) list;  (** workload, nranks, seed, ... *)
+  r_cache : (string * string) list;  (** per-stage outcomes, keys, hashes *)
+  r_timings : (string * float) list;  (** stage wall seconds, in order *)
+  r_sched : (string * float) list;  (** flattened merge_sched deltas *)
+  r_heap : (string * float) list;  (** [Gc.quick_stat] highlights *)
+  r_metrics : Siesta_obs.Json.t;  (** full [Metrics.to_json] snapshot *)
+  r_fidelity : fidelity option;  (** present on ["diff"] records *)
+}
+
+val make :
+  kind:string ->
+  ?spec:(string * string) list ->
+  ?cache:(string * string) list ->
+  ?timings:(string * float) list ->
+  ?sched:(string * float) list ->
+  ?fidelity:fidelity ->
+  unit ->
+  record
+(** Capture a record of the current process state: run id, time, git
+    describe (resolved once per process), argv, environment, heap stats
+    and metrics snapshot are filled in; the caller provides the
+    run-shaped fields.  [nan] timings/sched values are dropped (they
+    have no JSON spelling).  [r_seq] is 0 until {!append} assigns it. *)
+
+(** {1 Serialization} *)
+
+val encode : record -> string
+(** The JSON document (not yet framed — {!append} frames it). *)
+
+val decode : string -> record
+(** Inverse of {!encode}; unknown fields are ignored so older readers
+    survive additive schema growth.
+    @raise Failure on malformed input or a newer [ledger_schema]. *)
+
+(** {1 Store I/O} *)
+
+val append : Siesta_store.Store.t -> record -> record
+(** Assign the next sequence number (max existing + 1, monotone across
+    {!gc}), frame, [put] and [bind] the record; returns it with [r_seq]
+    filled in. *)
+
+val runs : Siesta_store.Store.t -> record list
+(** All decodable run records, ordered by sequence number.  Undecodable
+    ones (corrupt blob, newer schema) are skipped with a warning —
+    history stays readable even if one record is damaged. *)
+
+val find : Siesta_store.Store.t -> string -> record option
+(** Select a record: an integer selects by sequence number, anything
+    else is a run-id prefix (the newest match wins, since every record
+    of one process shares its id). *)
+
+val gc : Siesta_store.Store.t -> keep:int -> int
+(** Unbind all but the newest [keep] run records; returns how many were
+    dropped.  Blobs are reclaimed by the next [Store.gc] — stage
+    artifacts and their bindings are never touched. *)
+
+(** {1 Emission sink} *)
+
+val set_sink : Siesta_store.Store.t option -> unit
+(** Arm (or disarm) the global emission sink. *)
+
+val sink : unit -> Siesta_store.Store.t option
+
+val emit : (unit -> record) -> unit
+(** Append [thunk ()] to the sink; a no-op that never forces the thunk
+    when no sink is installed, and logs (rather than raises) on append
+    failure — telemetry must not fail the pipeline. *)

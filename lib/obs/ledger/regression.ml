@@ -1,0 +1,189 @@
+module Json = Siesta_obs.Json
+module Pretty_table = Siesta_util.Pretty_table
+
+type thresholds = {
+  t_stage_ratio : float;
+  t_stage_min_s : float;
+  t_fidelity_delta : float;
+}
+
+let default = { t_stage_ratio = 1.5; t_stage_min_s = 0.05; t_fidelity_delta = 0.05 }
+
+type dimension = {
+  d_name : string;
+  d_base : string;
+  d_cur : string;
+  d_regressed : bool;
+  d_note : string;
+}
+
+type comparison = {
+  c_baseline : Ledger.record;
+  c_current : Ledger.record;
+  c_dimensions : dimension list;
+  c_regressed : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Baseline selection *)
+
+let comparable a b =
+  a.Ledger.r_kind = b.Ledger.r_kind
+  && List.assoc_opt "workload" a.Ledger.r_spec = List.assoc_opt "workload" b.Ledger.r_spec
+  && List.assoc_opt "nranks" a.Ledger.r_spec = List.assoc_opt "nranks" b.Ledger.r_spec
+
+let baseline_for rs cur =
+  List.fold_left
+    (fun acc r ->
+      if r.Ledger.r_seq < cur.Ledger.r_seq && comparable r cur then Some r else acc)
+    None rs
+
+(* ------------------------------------------------------------------ *)
+(* Dimensions *)
+
+(* Worse verdicts rank higher; an unknown verdict name (from a future
+   schema) ranks worst so a transition into it is surfaced. *)
+let verdict_rank = function
+  | "faithful" -> 0
+  | "compute-divergent" -> 1
+  | "comm-divergent" -> 2
+  | _ -> 3
+
+let total_s timings = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 timings
+
+let secs s = Printf.sprintf "%.4f s" s
+
+let verdict_dims t base cur =
+  match (base.Ledger.r_fidelity, cur.Ledger.r_fidelity) with
+  | None, None -> []
+  | None, Some f ->
+      (* no baseline verdict to regress from: informational *)
+      [ { d_name = "verdict"; d_base = "-"; d_cur = f.Ledger.lf_verdict; d_regressed = false;
+          d_note = "no baseline verdict" } ]
+  | Some f, None ->
+      [ { d_name = "verdict"; d_base = f.Ledger.lf_verdict; d_cur = "-"; d_regressed = false;
+          d_note = "current run has no verdict" } ]
+  | Some b, Some c ->
+      let worse = verdict_rank c.Ledger.lf_verdict > verdict_rank b.Ledger.lf_verdict in
+      { d_name = "verdict"; d_base = b.Ledger.lf_verdict; d_cur = c.Ledger.lf_verdict;
+        d_regressed = worse;
+        d_note = (if worse then "verdict degraded" else "") }
+      :: List.map
+           (fun (name, bv, cv) ->
+             let regressed = cv -. bv > t.t_fidelity_delta in
+             {
+               d_name = "fidelity." ^ name;
+               d_base = Printf.sprintf "%.4g" bv;
+               d_cur = Printf.sprintf "%.4g" cv;
+               d_regressed = regressed;
+               d_note =
+                 (if regressed then
+                    Printf.sprintf "+%.4g > allowed +%.4g" (cv -. bv) t.t_fidelity_delta
+                  else "");
+             })
+           [
+             ("time_error", b.Ledger.lf_time_error, c.Ledger.lf_time_error);
+             ("timeline_distance", b.Ledger.lf_timeline_distance, c.Ledger.lf_timeline_distance);
+             ("comm_matrix_dist", b.Ledger.lf_comm_matrix_dist, c.Ledger.lf_comm_matrix_dist);
+             ("max_compute_mean", b.Ledger.lf_max_compute_mean, c.Ledger.lf_max_compute_mean);
+           ]
+
+(* A stage regresses only when it blew up in ratio AND by an absolute
+   floor: warm-cache stage times are microseconds, where pure ratios
+   would flap on scheduler noise. *)
+let stage_dim t name bv cv =
+  let regressed = cv >= bv *. t.t_stage_ratio && cv -. bv >= t.t_stage_min_s in
+  {
+    d_name = "stage." ^ name;
+    d_base = secs bv;
+    d_cur = secs cv;
+    d_regressed = regressed;
+    d_note =
+      (if regressed then
+         Printf.sprintf "%.2fx >= %.2fx and +%.4f s >= %.4f s" (cv /. bv) t.t_stage_ratio
+           (cv -. bv) t.t_stage_min_s
+       else if bv > 0.0 then Printf.sprintf "%.2fx" (cv /. bv)
+       else "");
+  }
+
+let stage_dims t base cur =
+  let common =
+    List.filter_map
+      (fun (name, bv) ->
+        Option.map (fun cv -> (name, bv, cv)) (List.assoc_opt name cur.Ledger.r_timings))
+      base.Ledger.r_timings
+  in
+  stage_dim t "total" (total_s base.Ledger.r_timings) (total_s cur.Ledger.r_timings)
+  :: List.map (fun (name, bv, cv) -> stage_dim t name bv cv) common
+
+(* Counter deltas for a small watchlist — context for the human reading
+   the table, never a regression by themselves. *)
+let counter_value metrics name =
+  match Json.member name metrics with
+  | Some entry -> (
+      match Json.member "value" entry with Some (Json.Num v) -> Some v | _ -> None)
+  | None -> None
+
+let metric_dims base cur =
+  List.filter_map
+    (fun name ->
+      match
+        (counter_value base.Ledger.r_metrics name, counter_value cur.Ledger.r_metrics name)
+      with
+      (* a counter absent on one side reads as 0 — a fully-warm run has
+         no cache.misses counter at all, and that delta is the story *)
+      | None, None -> None
+      | bo, co ->
+          let bv = Option.value ~default:0.0 bo and cv = Option.value ~default:0.0 co in
+          Some
+            {
+              d_name = "metric." ^ name;
+              d_base = Printf.sprintf "%g" bv;
+              d_cur = Printf.sprintf "%g" cv;
+              d_regressed = false;
+              d_note = Printf.sprintf "%+g" (cv -. bv);
+            })
+    [ "cache.hits"; "cache.misses"; "pipeline.traces" ]
+
+let compare_runs ?(thresholds = default) ~baseline current =
+  let dims =
+    verdict_dims thresholds baseline current
+    @ stage_dims thresholds baseline current
+    @ metric_dims baseline current
+  in
+  {
+    c_baseline = baseline;
+    c_current = current;
+    c_dimensions = dims;
+    c_regressed = List.exists (fun d -> d.d_regressed) dims;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let describe r =
+  Printf.sprintf "#%d %s %s@%s (%s)" r.Ledger.r_seq r.Ledger.r_kind
+    (Option.value ~default:"?" (List.assoc_opt "workload" r.Ledger.r_spec))
+    (Option.value ~default:"?" (List.assoc_opt "nranks" r.Ledger.r_spec))
+    r.Ledger.r_git
+
+let render c =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "baseline: %s\ncurrent:  %s\n" (describe c.c_baseline)
+       (describe c.c_current));
+  Buffer.add_string b
+    (Pretty_table.render
+       ~header:[ "dimension"; "baseline"; "current"; "status"; "note" ]
+       ~rows:
+         (List.map
+            (fun d ->
+              [ d.d_name; d.d_base; d.d_cur; (if d.d_regressed then "REGRESSED" else "ok");
+                d.d_note ])
+            c.c_dimensions));
+  Buffer.add_string b
+    (if c.c_regressed then
+       Printf.sprintf "REGRESSION: %d dimension(s) over threshold\n"
+         (List.length (List.filter (fun d -> d.d_regressed) c.c_dimensions))
+     else "no regression\n");
+  Buffer.contents b

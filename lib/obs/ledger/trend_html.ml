@@ -1,0 +1,284 @@
+(* Self-contained HTML trend dashboard over the run ledger.
+
+   Same design constraints as the timeline viewer: one file, zero
+   external requests, plain-JSON data block scrapeable by other tools,
+   small hand-written canvas JS with no framework. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      (* '<' escaped so "</script>" can never terminate the data block *)
+      | '<' -> Buffer.add_string b "\\u003c"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let ledger_json records =
+  let b = Buffer.create 65536 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "{\"runs\":[";
+  List.iteri
+    (fun i (r : Ledger.record) ->
+      if i > 0 then p ",";
+      p "{\"seq\":%d,\"kind\":\"%s\",\"id\":\"%s\",\"time\":%s,\"git\":\"%s\"" r.Ledger.r_seq
+        (json_escape r.Ledger.r_kind) (json_escape r.Ledger.r_id)
+        (json_float r.Ledger.r_time) (json_escape r.Ledger.r_git);
+      p ",\"workload\":\"%s\""
+        (json_escape
+           (Option.value ~default:"" (List.assoc_opt "workload" r.Ledger.r_spec)));
+      p ",\"timings\":[";
+      List.iteri
+        (fun j (name, secs) ->
+          if j > 0 then p ",";
+          p "[\"%s\",%s]" (json_escape name) (json_float secs))
+        r.Ledger.r_timings;
+      p "]";
+      (match r.Ledger.r_fidelity with
+      | None -> p ",\"fidelity\":null"
+      | Some f ->
+          p
+            ",\"fidelity\":{\"verdict\":\"%s\",\"time_error\":%s,\"timeline_distance\":%s,\"comm_matrix_dist\":%s,\"max_compute_mean\":%s}"
+            (json_escape f.Ledger.lf_verdict)
+            (json_float f.Ledger.lf_time_error)
+            (json_float f.Ledger.lf_timeline_distance)
+            (json_float f.Ledger.lf_comm_matrix_dist)
+            (json_float f.Ledger.lf_max_compute_mean));
+      p "}")
+    records;
+  p "]}";
+  Buffer.contents b
+
+(* The viewer script.  Static: it only reads the JSON block, so the
+   OCaml side never splices values into JS. *)
+let viewer_js =
+  {js|
+(function () {
+  'use strict';
+  var data = JSON.parse(document.getElementById('ledger-data').textContent);
+  var runs = data.runs;
+  var PALETTE = ['#2196f3', '#4caf50', '#f44336', '#ff9800', '#9c27b0',
+                 '#00bcd4', '#795548', '#607d8b'];
+
+  function sized(canvas) {
+    var dpr = window.devicePixelRatio || 1;
+    var w = canvas.clientWidth, h = canvas.clientHeight;
+    canvas.width = w * dpr;
+    canvas.height = h * dpr;
+    var ctx = canvas.getContext('2d');
+    ctx.setTransform(dpr, 0, 0, dpr, 0, 0);
+    return { ctx: ctx, w: w, h: h };
+  }
+
+  // series: [{name, points: [[seq, value], ...]}]
+  function plot(canvasId, legendId, series, yLabel) {
+    var canvas = document.getElementById(canvasId);
+    var legend = document.getElementById(legendId);
+    var s = sized(canvas);
+    var ctx = s.ctx, W = s.w, H = s.h;
+    var padL = 56, padR = 12, padT = 12, padB = 28;
+    ctx.clearRect(0, 0, W, H);
+    var xs = [], ys = [];
+    series.forEach(function (sr) {
+      sr.points.forEach(function (pt) {
+        if (pt[1] === null) return;
+        xs.push(pt[0]); ys.push(pt[1]);
+      });
+    });
+    if (xs.length === 0) {
+      ctx.fillStyle = '#888';
+      ctx.font = '13px sans-serif';
+      ctx.fillText('no data', W / 2 - 20, H / 2);
+      return;
+    }
+    var x0 = Math.min.apply(null, xs), x1 = Math.max.apply(null, xs);
+    var y1 = Math.max.apply(null, ys), y0 = 0;
+    if (x1 === x0) x1 = x0 + 1;
+    if (y1 <= y0) y1 = y0 + 1;
+    function X(v) { return padL + (v - x0) / (x1 - x0) * (W - padL - padR); }
+    function Y(v) { return H - padB - (v - y0) / (y1 - y0) * (H - padT - padB); }
+    // axes + gridlines
+    ctx.strokeStyle = '#ddd';
+    ctx.fillStyle = '#666';
+    ctx.font = '11px sans-serif';
+    ctx.lineWidth = 1;
+    for (var g = 0; g <= 4; g++) {
+      var gv = y0 + (y1 - y0) * g / 4;
+      var gy = Y(gv);
+      ctx.beginPath();
+      ctx.moveTo(padL, gy); ctx.lineTo(W - padR, gy);
+      ctx.stroke();
+      ctx.fillText(gv.toPrecision(3), 4, gy + 4);
+    }
+    ctx.fillText(yLabel, padL, H - 8);
+    // one tick per run seq (sparse if many)
+    var step = Math.max(1, Math.ceil((x1 - x0) / 12));
+    for (var t = x0; t <= x1; t += step) {
+      ctx.fillText('#' + t, X(t) - 8, H - padB + 14);
+    }
+    // series lines
+    legend.innerHTML = '';
+    series.forEach(function (sr, i) {
+      var color = PALETTE[i % PALETTE.length];
+      ctx.strokeStyle = color;
+      ctx.fillStyle = color;
+      ctx.lineWidth = 1.5;
+      ctx.beginPath();
+      var started = false;
+      sr.points.forEach(function (pt) {
+        if (pt[1] === null) return;
+        var px = X(pt[0]), py = Y(pt[1]);
+        if (!started) { ctx.moveTo(px, py); started = true; }
+        else ctx.lineTo(px, py);
+      });
+      ctx.stroke();
+      sr.points.forEach(function (pt) {
+        if (pt[1] === null) return;
+        ctx.beginPath();
+        ctx.arc(X(pt[0]), Y(pt[1]), 2.5, 0, Math.PI * 2);
+        ctx.fill();
+      });
+      var chip = document.createElement('span');
+      chip.className = 'chip';
+      chip.innerHTML = '<i style="background:' + color + '"></i>' + sr.name;
+      legend.appendChild(chip);
+    });
+  }
+
+  function stageSeries() {
+    var names = [];
+    runs.forEach(function (r) {
+      r.timings.forEach(function (t) {
+        if (names.indexOf(t[0]) < 0) names.push(t[0]);
+      });
+    });
+    var series = names.map(function (name) {
+      return {
+        name: name,
+        points: runs.map(function (r) {
+          var sum = 0, seen = false;
+          r.timings.forEach(function (t) {
+            if (t[0] === name) { sum += t[1]; seen = true; }
+          });
+          return [r.seq, seen ? sum : null];
+        })
+      };
+    });
+    series.push({
+      name: 'total',
+      points: runs.map(function (r) {
+        var sum = 0;
+        r.timings.forEach(function (t) { sum += t[1]; });
+        return [r.seq, r.timings.length ? sum : null];
+      })
+    });
+    return series;
+  }
+
+  function fidelitySeries() {
+    var keys = ['time_error', 'timeline_distance', 'comm_matrix_dist', 'max_compute_mean'];
+    return keys.map(function (k) {
+      return {
+        name: k,
+        points: runs.map(function (r) {
+          return [r.seq, r.fidelity ? r.fidelity[k] : null];
+        })
+      };
+    });
+  }
+
+  function renderAll() {
+    plot('stage-chart', 'stage-legend', stageSeries(), 'stage wall seconds by run');
+    plot('fidelity-chart', 'fidelity-legend', fidelitySeries(), 'fidelity error by run');
+    var tbody = document.getElementById('run-rows');
+    tbody.innerHTML = '';
+    runs.forEach(function (r) {
+      var total = 0;
+      r.timings.forEach(function (t) { total += t[1]; });
+      var tr = document.createElement('tr');
+      function td(text) {
+        var c = document.createElement('td');
+        c.textContent = text;
+        tr.appendChild(c);
+      }
+      td('#' + r.seq);
+      td(r.kind);
+      td(r.workload || '-');
+      td(new Date(r.time * 1000).toISOString().replace('T', ' ').slice(0, 19));
+      td(r.timings.length ? total.toFixed(4) + ' s' : '-');
+      td(r.fidelity ? r.fidelity.verdict : '-');
+      td(r.git);
+      tbody.appendChild(tr);
+    });
+  }
+
+  window.addEventListener('resize', renderAll);
+  renderAll();
+})();
+|js}
+
+let html_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render ?(title = "siesta run trends") records =
+  let b = Buffer.create 65536 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
+  p "<title>%s</title>\n" (html_escape title);
+  Buffer.add_string b
+    {css|<style>
+  body { font: 14px/1.4 system-ui, sans-serif; margin: 1.5em; color: #222; }
+  h1 { font-size: 1.3em; }
+  h2 { font-size: 1.05em; margin-top: 1.6em; }
+  canvas { width: 100%; height: 260px; display: block; border: 1px solid #e0e0e0;
+           border-radius: 4px; background: #fff; }
+  .legend { margin: 0.4em 0 0; }
+  .chip { display: inline-block; margin-right: 1em; font-size: 12px; color: #444; }
+  .chip i { display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+            margin-right: 4px; }
+  table { border-collapse: collapse; margin-top: 0.5em; font-size: 13px; }
+  th, td { border: 1px solid #e0e0e0; padding: 3px 9px; text-align: left; }
+  th { background: #f5f5f5; }
+</style>
+|css};
+  p "</head>\n<body>\n<h1>%s</h1>\n" (html_escape title);
+  p "<p>%d run record(s)</p>\n" (List.length records);
+  p "<h2>Stage times</h2>\n<canvas id=\"stage-chart\"></canvas>\n";
+  p "<div class=\"legend\" id=\"stage-legend\"></div>\n";
+  p "<h2>Fidelity errors</h2>\n<canvas id=\"fidelity-chart\"></canvas>\n";
+  p "<div class=\"legend\" id=\"fidelity-legend\"></div>\n";
+  p "<h2>Runs</h2>\n<table><thead><tr><th>seq</th><th>kind</th><th>workload</th>";
+  p "<th>time (UTC)</th><th>total</th><th>verdict</th><th>git</th></tr></thead>\n";
+  p "<tbody id=\"run-rows\"></tbody></table>\n";
+  p "<script type=\"application/json\" id=\"ledger-data\">%s</script>\n"
+    (ledger_json records);
+  p "<script>%s</script>\n</body>\n</html>\n" viewer_js;
+  Buffer.contents b
+
+let write ?title records ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?title records))

@@ -1,0 +1,14 @@
+(** Self-contained HTML trend dashboard over {!Ledger} records.
+
+    One file, no external requests: the records are embedded as plain
+    JSON in a [<script type="application/json" id="ledger-data">] block
+    (scrapeable by other tools), and a small hand-written canvas script
+    plots stage-time trajectories and fidelity-error trajectories across
+    run sequence numbers, plus a per-run summary table. *)
+
+val render : ?title:string -> Ledger.record list -> string
+(** The full HTML document.  Pass records in ledger order
+    ({!Ledger.runs} already sorts by sequence). *)
+
+val write : ?title:string -> Ledger.record list -> path:string -> unit
+(** [render] to a file (truncates). *)

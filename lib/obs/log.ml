@@ -83,7 +83,11 @@ let msg l thunk =
   if enabled l then begin
     let event, kvs = thunk () in
     let b = Buffer.create 96 in
-    Buffer.add_string b (Printf.sprintf "[%.6f] [%s] %s" (Clock.now_s ()) (level_name l) event);
+    (* run=<id-prefix> joins the line to the process's other telemetry
+       (span files, metrics snapshots, ledger records). *)
+    Buffer.add_string b
+      (Printf.sprintf "[%.6f] [%s] %s run=%s" (Clock.now_s ()) (level_name l) event
+         (Run_id.short ()));
     List.iter
       (fun (k, v) ->
         Buffer.add_char b ' ';

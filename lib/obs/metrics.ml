@@ -85,18 +85,39 @@ module Histo = struct
     done;
     !out
 
+  let bucket_lower i = if i <= 0 then 0.0 else bucket_upper (i - 1)
+
+  (* Quantile with linear interpolation inside the covering bucket: the
+     continuous rank [q * n] is located in the cumulative counts, then
+     mapped linearly between the bucket's bounds instead of snapping to
+     the upper bound (which made p50 and p99 collapse to the same value
+     whenever the mass shared a bucket).  The underflow bucket
+     interpolates over [0, lo]; the overflow bucket is pinned between
+     its finite [sum_bound] and itself, so the result is always finite.
+     Defined edges: empty histogram -> nan; q <= 0 -> lower bound of the
+     first occupied bucket; q >= 1 -> upper bound of the last occupied
+     bucket. *)
   let quantile h q =
     let n = count h in
     if n = 0 then Float.nan
     else begin
-      let target = Float.max 1.0 (Float.ceil (q *. float_of_int n)) in
-      let acc = ref 0 and ans = ref (bucket_upper (nbuckets - 1)) in
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let target = q *. float_of_int n in
+      let ans = ref (sum_bound (nbuckets - 1)) in
+      let acc = ref 0 in
       (try
          for i = 0 to nbuckets - 1 do
-           acc := !acc + Atomic.get h.counts.(i);
-           if float_of_int !acc >= target then begin
-             ans := bucket_upper i;
-             raise Exit
+           let c = Atomic.get h.counts.(i) in
+           if c > 0 then begin
+             let before = !acc in
+             acc := before + c;
+             if float_of_int !acc >= target then begin
+               let lower = bucket_lower i and upper = sum_bound i in
+               let frac = (target -. float_of_int before) /. float_of_int c in
+               let frac = Float.max 0.0 (Float.min 1.0 frac) in
+               ans := lower +. (frac *. (upper -. lower));
+               raise Exit
+             end
            end
          done
        with Exit -> ());
@@ -199,12 +220,20 @@ let to_text () =
 
 let json_escape = Json.escape
 
+(* Shortest decimal that parses back to the exact float: the ledger's
+   compare path round-trips these documents through [Json.parse], so a
+   lossy "%.9g" here would show up as phantom metric deltas. *)
 let json_float f =
   if Float.is_nan f then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else if f = infinity then "\"inf\""
   else if f = neg_infinity then "\"-inf\""
-  else Printf.sprintf "%.9g" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s
+    else
+      let s = Printf.sprintf "%.16g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
 let to_json () =
   let b = Buffer.create 2048 in

@@ -74,8 +74,13 @@ module Histo : sig
       (identical to the replay idiom this replaces). *)
 
   val quantile : t -> float -> float
-  (** [quantile h q] estimates the [q]-quantile (bucket upper bound);
-      [nan] when empty. *)
+  (** [quantile h q] estimates the [q]-quantile with linear
+      interpolation inside the covering bucket (so p50 and p99 separate
+      even when the mass shares a bucket).  [q] is clamped to [0, 1]:
+      [q = 0] is the lower bound of the first occupied bucket, [q = 1]
+      the upper bound of the last occupied one (the overflow bucket is
+      taken at its largest finite bound, so the result is always
+      finite).  [nan] when the histogram is empty. *)
 end
 
 val observe_histo : Histo.t -> float -> unit

@@ -114,8 +114,10 @@ let chrome_json_of ?(clock = "host") evs =
     evs;
   Buffer.add_string b
     (Printf.sprintf
-       "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"producer\": \"siesta\", \"clock\": \"%s\"}}\n"
-       (escape clock));
+       "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"producer\": \"siesta\", \"clock\": \"%s\", \
+        \"run_id\": \"%s\"}}\n"
+       (escape clock)
+       (escape (Run_id.get ())));
   Buffer.contents b
 
 let to_chrome_json () =

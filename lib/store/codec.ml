@@ -479,3 +479,16 @@ let decode_proxy blob =
     shrink = Shrink.of_parts ~factor ~regression:{ Linreg.slope; intercept };
     generated_on;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Run-ledger records.  The payload is a UTF-8 JSON document (the ledger
+   versions its own field layout inside the document); the frame adds
+   the magic, store schema version and checksum, so `store verify`
+   vets ledger records with the same machinery as stage artifacts. *)
+
+let encode_run payload = frame ~kind:"run" payload
+
+let decode_run blob =
+  let kind, payload = unframe blob in
+  if kind <> "run" then corrupt "expected a run record, got %S" kind;
+  payload

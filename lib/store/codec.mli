@@ -88,6 +88,17 @@ val encode_proxy : Siesta_synth.Proxy_ir.t -> string
 
 val decode_proxy : string -> Siesta_synth.Proxy_ir.t
 
+val encode_run : string -> string
+(** Frame a run-ledger record (kind ["run"]).  Unlike the stage
+    artifacts the payload is a UTF-8 JSON document — the ledger
+    versions its field layout inside the document — so the frame's job
+    is the magic, store schema version and checksum, and [store verify]
+    vets ledger records with the same machinery as everything else. *)
+
+val decode_run : string -> string
+(** The JSON payload of a ["run"] frame.
+    @raise Corrupt on damage or a different kind. *)
+
 (** {1 Primitives (exposed for tests and key building)} *)
 
 module Wire : sig

@@ -226,6 +226,16 @@ let size_bytes t =
   iter_objects t (fun _hash path -> total := !total + (Unix.stat path).Unix.st_size);
   !total
 
+let object_size t hash =
+  match Unix.stat (object_path t hash) with
+  | st -> Some st.Unix.st_size
+  | exception Unix.Unix_error _ -> None
+
+let objects t =
+  let out = ref [] in
+  iter_objects t (fun hash path -> out := (hash, (Unix.stat path).Unix.st_size) :: !out);
+  List.sort compare !out
+
 type verify_report = { v_objects : int; v_entries : int; v_issues : string list }
 
 let verify t =

@@ -97,3 +97,12 @@ val gc : t -> gc_stats
 
 val size_bytes : t -> int
 (** Total bytes under [objects/]. *)
+
+val object_size : t -> string -> int option
+(** On-disk size of one blob by content hash; [None] when absent
+    (drives [store ls --long]). *)
+
+val objects : t -> (string * int) list
+(** Every object on disk as [(hash, bytes)], sorted by hash — including
+    unreferenced ones awaiting {!gc} (set-difference against {!entries}
+    to find them). *)

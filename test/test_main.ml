@@ -26,5 +26,6 @@ let () =
       ("extrapolate", Test_extrapolate.suite);
       ("core", Test_core.suite);
       ("store", Test_store.suite);
+      ("ledger", Test_ledger.suite);
       ("final-coverage", Test_final_coverage.suite);
     ]

@@ -237,8 +237,13 @@ let test_histogram_bucket_boundaries () =
   List.iter (H.observe h) [ 0.001; 0.002; 0.004; 1.0 ];
   Alcotest.(check int) "count" 4 (H.count h);
   Alcotest.(check (float 1e-9)) "sum" 1.007 (H.sum h);
+  (* interpolated: p99's continuous rank (3.96 of 4) falls inside the
+     largest value's bucket, so the estimate sits strictly inside that
+     bucket rather than snapping to its upper bound *)
   let q99 = H.quantile h 0.99 in
-  Alcotest.(check bool) "p99 >= largest value's bucket" true (q99 >= 1.0);
+  let i_max = H.bucket_index 1.0 in
+  Alcotest.(check bool) "p99 inside the largest value's bucket" true
+    (q99 > H.bucket_upper (i_max - 1) && q99 <= H.bucket_upper i_max);
   let nz = H.nonzero_buckets h in
   Alcotest.(check int) "nonzero bucket hits total" 4
     (List.fold_left (fun a (_, _, c) -> a + c) 0 nz)
@@ -311,6 +316,157 @@ let test_histogram_bucket_merge () =
   | _ -> Alcotest.fail "histogram not registered");
   Metrics.set_enabled false;
   Metrics.reset ()
+
+(* Satellite of the run-ledger PR: quantile edge semantics.  Empty
+   histograms, q outside [0,1], q in {0,1}, and within-bucket linear
+   interpolation are all pinned down — `runs compare` and the bench
+   gates consume these numbers. *)
+let test_quantile_edges () =
+  let module H = Metrics.Histo in
+  (* empty: every q is nan *)
+  let h = H.create () in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "empty q=%g is nan" q)
+        true
+        (Float.is_nan (H.quantile h q)))
+    [ 0.0; 0.5; 1.0 ];
+  (* single bucket: q=0 is its lower edge, q=1 its upper bound, and the
+     estimate moves linearly in between *)
+  let h = H.create () in
+  for _ = 1 to 10 do
+    H.observe h 0.02
+  done;
+  let i = H.bucket_index 0.02 in
+  let lower = H.bucket_upper (i - 1) and upper = H.bucket_upper i in
+  Alcotest.(check (float 1e-12)) "q=0 is the occupied bucket's lower edge" lower
+    (H.quantile h 0.0);
+  Alcotest.(check (float 1e-12)) "q=1 is the occupied bucket's upper bound" upper
+    (H.quantile h 1.0);
+  Alcotest.(check (float 1e-12)) "q=0.5 is the bucket midpoint" (lower +. (0.5 *. (upper -. lower)))
+    (H.quantile h 0.5);
+  (* q is clamped, not rejected *)
+  Alcotest.(check (float 1e-12)) "q<0 clamps to 0" (H.quantile h 0.0) (H.quantile h (-3.0));
+  Alcotest.(check (float 1e-12)) "q>1 clamps to 1" (H.quantile h 1.0) (H.quantile h 7.0);
+  (* monotone in q across several occupied buckets, and always finite *)
+  let h = H.create () in
+  List.iter (H.observe h) [ 1e-6; 1e-4; 0.01; 0.5; 2.0; 40.0; 1e9 ];
+  let prev = ref neg_infinity in
+  for k = 0 to 20 do
+    let q = float_of_int k /. 20.0 in
+    let v = H.quantile h q in
+    Alcotest.(check bool) (Printf.sprintf "finite at q=%g" q) true (Float.is_finite v);
+    if v < !prev then Alcotest.failf "quantile not monotone at q=%g (%g < %g)" q v !prev;
+    prev := v
+  done;
+  (* the overflow observation keeps q=1 at the largest finite bound *)
+  Alcotest.(check (float 1e-12)) "overflow q=1 at largest finite bound"
+    (H.bucket_upper (H.nbuckets - 2))
+    (H.quantile h 1.0)
+
+(* Satellite: Siesta_obs.Json must round-trip Metrics.to_json exactly —
+   the run ledger stores that snapshot and `runs compare` reads it back.
+   Escaped metric names, 2^53-magnitude counters and histogram bucket
+   arrays all survive parse -> to_string -> parse unchanged. *)
+let test_metrics_json_roundtrip () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Metrics.incr (Metrics.counter "plain.counter") 3;
+  Metrics.incr (Metrics.counter "esc\"aped\\name\tweird") 1;
+  Metrics.incr (Metrics.counter "run.id{id=\"deadbeef\"}") 1;
+  Metrics.incr (Metrics.counter "big.counter") ((1 lsl 53) - 1);
+  Metrics.set (Metrics.gauge "neg.gauge") (-0.125);
+  let h = Metrics.histogram "some.h" in
+  List.iter (Metrics.observe h) [ 1e-6; 0.02; 0.5; 123.0 ];
+  let txt = Metrics.to_json () in
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  let j = Json.parse_exn txt in
+  let counter name =
+    match Option.bind (Json.member name j) (Json.member "value") with
+    | Some (Json.Num v) -> v
+    | _ -> Alcotest.failf "counter %S missing from snapshot" name
+  in
+  Alcotest.(check (float 0.0)) "plain counter exact" 3.0 (counter "plain.counter");
+  Alcotest.(check (float 0.0)) "escaped name survives" 1.0 (counter "esc\"aped\\name\tweird");
+  Alcotest.(check (float 0.0)) "labeled run.id metric present" 1.0
+    (counter "run.id{id=\"deadbeef\"}");
+  (* 2^53 - 1 is the largest odd integer a float carries exactly; the
+     printer and parser must both preserve it bit-for-bit *)
+  Alcotest.(check (float 0.0)) "2^53-1 counter exact"
+    (float_of_int ((1 lsl 53) - 1))
+    (counter "big.counter");
+  (match Option.bind (Json.member "some.h" j) (Json.member "buckets") with
+  | Some (Json.Arr buckets) ->
+      Alcotest.(check int) "four occupied buckets" 4 (List.length buckets);
+      let total =
+        List.fold_left
+          (fun acc b ->
+            match Json.member "count" b with Some (Json.Num c) -> acc +. c | _ -> acc)
+          0.0 buckets
+      in
+      Alcotest.(check (float 0.0)) "bucket counts sum" 4.0 total
+  | _ -> Alcotest.fail "histogram buckets missing");
+  (* printer round-trip: parse (to_string j) is structurally identical,
+     including nested arrays and the nan/inf -> null rule *)
+  Alcotest.(check bool) "parse . to_string = id" true (Json.parse_exn (Json.to_string j) = j);
+  let weird =
+    Json.Obj
+      [
+        ("nan", Json.Num Float.nan);
+        ("inf", Json.Num Float.infinity);
+        ("nested", Json.Arr [ Json.Arr [ Json.Str "<script>"; Json.Num 0.1 ]; Json.Null ]);
+      ]
+  in
+  let reparsed = Json.parse_exn (Json.to_string weird) in
+  Alcotest.(check bool) "nan prints as null" true (Json.member "nan" reparsed = Some Json.Null);
+  Alcotest.(check bool) "inf prints as null" true (Json.member "inf" reparsed = Some Json.Null);
+  Alcotest.(check bool) "0.1 survives shortest-round-trip printing" true
+    (Json.to_string reparsed = Json.to_string (Json.parse_exn (Json.to_string reparsed)))
+
+(* Satellite: the run id correlates the telemetry streams — log lines
+   carry run=<short>, span traces stamp otherData.run_id, and the id is
+   env-overridable so a driver can pin it. *)
+let test_run_id_correlation () =
+  let module Run_id = Siesta_obs.Run_id in
+  let saved = Run_id.get () in
+  Fun.protect ~finally:(fun () -> Run_id.set saved) @@ fun () ->
+  Alcotest.(check bool) "default id is non-empty hex" true
+    (String.length saved > 0
+    && String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) saved);
+  Run_id.set "feedc0ffee123456";
+  Alcotest.(check string) "set/get" "feedc0ffee123456" (Run_id.get ());
+  Alcotest.(check string) "short is an 8-char prefix" "feedc0ff" (Run_id.short ());
+  Run_id.set "   ";
+  Alcotest.(check string) "blank set is ignored" "feedc0ffee123456" (Run_id.get ());
+  (* log lines carry the id *)
+  let path = tmp_path ".log" in
+  Log.set_sink_file path;
+  Log.set_level Log.Info;
+  Log.info (fun () -> ("runid.test", [ ("k", "v") ]));
+  Log.flush ();
+  Log.set_sink_stderr ();
+  let line =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  Alcotest.(check bool) "log line carries run=<short>" true
+    (contains line "run=feedc0ff");
+  (* span traces stamp the full id into otherData *)
+  Span.reset ();
+  Span.set_enabled true;
+  Span.with_ "stamped" (fun () -> ());
+  Span.set_enabled false;
+  let j = Json.parse_exn (Span.to_chrome_json ()) in
+  Alcotest.(check (option string))
+    "otherData.run_id is the full id" (Some "feedc0ffee123456")
+    (Option.bind (Json.member "otherData" j) (fun o ->
+         Option.bind (Json.member "run_id" o) Json.to_string_opt));
+  Span.reset ()
 
 let test_metrics_registry () =
   Metrics.reset ();
@@ -539,6 +695,9 @@ let suite =
       (protecting test_histogram_bucket_boundaries);
     Alcotest.test_case "histogram bucket-level merge" `Quick
       (protecting test_histogram_bucket_merge);
+    Alcotest.test_case "quantile edge semantics" `Quick (protecting test_quantile_edges);
+    Alcotest.test_case "metrics json roundtrip" `Quick (protecting test_metrics_json_roundtrip);
+    Alcotest.test_case "run id correlation" `Quick (protecting test_run_id_correlation);
     Alcotest.test_case "metrics registry" `Quick (protecting test_metrics_registry);
     QCheck_alcotest.to_alcotest prop_concurrent_counter_exact;
     Alcotest.test_case "log level filtering" `Quick (protecting test_log_level_filtering);
