@@ -10,6 +10,9 @@ SMOKE_STORE := /tmp/siesta_smoke_store
 SMOKE_PROXY_STREAMED := /tmp/siesta_smoke_proxy_streamed.c
 SMOKE_PROXY_BOXED := /tmp/siesta_smoke_proxy_boxed.c
 SMOKE_TREND_HTML := /tmp/siesta_smoke_trends.html
+SMOKE_SWEEP_STORE := /tmp/siesta_smoke_sweep_store
+SMOKE_SWEEP_HTML := /tmp/siesta_smoke_sweep.html
+SMOKE_SWEEP_METRICS := /tmp/siesta_smoke_sweep_metrics.json
 
 .PHONY: all build test check smoke bench-check bench-quick clean
 
@@ -71,6 +74,36 @@ smoke: build
 	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- runs gc --keep 2
 	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store ls --long
 	SIESTA_STORE=$(SMOKE_STORE) dune exec bin/siesta_cli.exe -- store verify
+	@# Fidelity-sweep observatory: a cold sweep populates the store, the
+	@# warm re-sweep must be pure cache replay (hit counters only — any
+	@# trace/merge miss counter means a stage re-ran), the dashboard must
+	@# embed its scrapeable data block, and comparing the two sweep
+	@# records must find identical curves (exit 0).
+	rm -rf $(SMOKE_SWEEP_STORE)
+	SIESTA_STORE=$(SMOKE_SWEEP_STORE) dune exec bin/siesta_cli.exe -- sweep CG -n 8 \
+		--iters 3 --factors 1,2,4 --cache
+	SIESTA_STORE=$(SMOKE_SWEEP_STORE) dune exec bin/siesta_cli.exe -- sweep CG -n 8 \
+		--iters 3 --factors 1,2,4 --cache \
+		--html $(SMOKE_SWEEP_HTML) --metrics-out $(SMOKE_SWEEP_METRICS)
+	@grep -q 'sweep-data' $(SMOKE_SWEEP_HTML) \
+		|| { echo "smoke: sweep HTML missing its data block" >&2; exit 1; }
+	@grep -q '"cache\.trace\.hits"' $(SMOKE_SWEEP_METRICS) \
+		|| { echo "smoke: warm sweep reported no trace cache hits" >&2; exit 1; }
+	@! grep -Eq '"cache\.(trace|merge)\.misses"' $(SMOKE_SWEEP_METRICS) \
+		|| { echo "smoke: warm sweep re-ran a trace/merge stage" >&2; exit 1; }
+	@test "$$(SIESTA_STORE=$(SMOKE_SWEEP_STORE) dune exec bin/siesta_cli.exe -- runs ls | grep -c ' sweep ')" -eq 2 \
+		|| { echo "smoke: expected exactly two sweep records in the ledger" >&2; exit 1; }
+	SIESTA_STORE=$(SMOKE_SWEEP_STORE) dune exec bin/siesta_cli.exe -- runs compare 1 2 --json
+	@# A degraded curve must trip the sweep.f<factor> regression gate.
+	SIESTA_STORE=$(SMOKE_SWEEP_STORE) dune exec bin/siesta_cli.exe -- sweep CG -n 8 \
+		--iters 3 --factors 1,2,4 --cache --perturb compute
+	@SIESTA_STORE=$(SMOKE_SWEEP_STORE) dune exec bin/siesta_cli.exe -- runs compare 2 3; \
+		st=$$?; [ $$st -eq 1 ] \
+		|| { echo "smoke: expected curve-regression exit 1 from perturbed sweep, got $$st" >&2; exit 1; }
+	@SIESTA_STORE=$(SMOKE_SWEEP_STORE) dune exec bin/siesta_cli.exe -- sweep CG -n 8 \
+		--iters 3 --factors 1,2,0,4 --cache 2>/dev/null; \
+		st=$$?; [ $$st -eq 2 ] \
+		|| { echo "smoke: expected exit 2 from a bad --factors schedule, got $$st" >&2; exit 1; }
 	@# Streaming equivalence at scale: a >= 10^6-event seeded run through
 	@# the default streamed recorder must emit a proxy byte-identical to
 	@# the boxed reference path.
@@ -81,8 +114,9 @@ smoke: build
 	cmp $(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED)
 	@rm -f $(SMOKE_TRACE) $(SMOKE_TIMELINE) $(SMOKE_TIMELINE_HTML) \
 		$(SMOKE_PROXY) $(SMOKE_PROXY_WARM) $(SMOKE_METRICS) \
-		$(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED) $(SMOKE_TREND_HTML)
-	@rm -rf $(SMOKE_STORE)
+		$(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED) $(SMOKE_TREND_HTML) \
+		$(SMOKE_SWEEP_HTML) $(SMOKE_SWEEP_METRICS)
+	@rm -rf $(SMOKE_STORE) $(SMOKE_SWEEP_STORE)
 
 # regression gates, failing the build instead of printing a warning:
 # telemetry overhead budget (<= 3%), parallel-merge determinism,
@@ -92,9 +126,11 @@ smoke: build
 # streaming_throughput (streamed trace+grammar >= 0.95x the boxed
 # trace-then-batch-grammar events/sec at >= 10^6 events) and
 # streaming_heap_bounded (streamed retained heap stays flat across a
-# 4x event growth — memory tracks grammar size, not trace length).
+# 4x event growth — memory tracks grammar size, not trace length), and
+# sweep-warm (a warm fidelity re-sweep is pure cache replay: every
+# per-factor point hit/hit/hit with the same curve as the cold sweep).
 bench-check: build
-	dune exec bench/main.exe -- --quick --strict obs-overhead pipeline-scale
+	dune exec bench/main.exe -- --quick --strict obs-overhead pipeline-scale sweep-warm
 
 bench-quick:
 	dune exec bench/main.exe -- --quick all

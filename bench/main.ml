@@ -23,12 +23,13 @@ let experiments =
     ("extrapolate", Exp_extrapolate.run);
     ("scaling", Exp_scaling.run);
     ("pipeline-scale", Exp_pipeline_scale.run);
+    ("sweep-warm", Exp_sweep.run);
     ("obs-overhead", Exp_obs_overhead.run);
     ("bechamel", Exp_bechamel.run);
   ]
 
 let default_order =
-  [ "table2"; "table3"; "fig4"; "fig6"; "fig7"; "fig8"; "fig9"; "ablate"; "io"; "extrapolate"; "scaling"; "pipeline-scale"; "obs-overhead"; "bechamel" ]
+  [ "table2"; "table3"; "fig4"; "fig6"; "fig7"; "fig8"; "fig9"; "ablate"; "io"; "extrapolate"; "scaling"; "pipeline-scale"; "sweep-warm"; "obs-overhead"; "bechamel" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -10,6 +10,7 @@
      report      <workload>       markdown quality report of a full run
      extrapolate <workload>       proxy for an untraced process count
      diff        -w <workload>    proxy-vs-original fidelity report
+     sweep       <workload>       fidelity-vs-factor curve over a factor schedule
      check-trace <file>           validate a --trace-out / --timeline-out trace
      store       ls|verify|gc|rm  inspect / maintain the artifact store
      runs        ls|show|compare|gc|html
@@ -46,6 +47,8 @@ module Run_id = Siesta_obs.Run_id
 module Ledger = Siesta_ledger.Ledger
 module Regression = Siesta_ledger.Regression
 module Trend_html = Siesta_ledger.Trend_html
+module Sweep = Siesta_sweep.Sweep
+module Sweep_html = Siesta_sweep.Sweep_html
 
 (* ------------------------------------------------------------------ *)
 (* Observability flags (shared by every subcommand)                     *)
@@ -687,6 +690,75 @@ let diff_cmd =
       $ impl_arg $ seed_arg $ factor_arg $ json_arg $ perturb_arg $ timeline_out_arg
       $ timeline_html_arg $ cache_term)
 
+(* sweep: the fidelity-vs-factor observatory.  Captures the original
+   once, synthesizes a proxy per scheduled factor (with --cache the
+   trace and merge stages are shared across the whole schedule), diffs
+   each against the shared original with the factor-aware verdict, and
+   emits exactly one "sweep" ledger record carrying the whole curve. *)
+let sweep_cmd =
+  let factors_arg =
+    let doc =
+      "Comma-separated, strictly increasing factor schedule (each a positive number)."
+    in
+    Arg.(value & opt string "1,2,4,8,16,32,64" & info [ "factors" ] ~docv:"LIST" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the curve as JSON instead of the table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let html_arg =
+    let doc =
+      "Write a self-contained HTML dashboard of the curve (log2-factor axis, embedded \
+       $(b,sweep-data) JSON block) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
+  in
+  let perturb_arg =
+    let doc =
+      "Deliberately damage every per-factor proxy before diffing ($(b,comm) bumps a send \
+       count, $(b,compute) scales the block combinations) — for exercising the \
+       curve-regression gate."
+    in
+    Arg.(
+      value
+      & opt (some (enum [ ("comm", `Comm); ("compute", `Compute) ])) None
+      & info [ "perturb" ] ~docv:"WHAT" ~doc)
+  in
+  let run obs workload nranks iters platform impl seed factors_s json html perturb
+      cache_opts =
+    with_obs obs @@ fun () ->
+    let factors =
+      match Sweep.parse_factors factors_s with
+      | Ok l -> l
+      | Error msg ->
+          Printf.eprintf "sweep: bad --factors: %s\n" msg;
+          exit 2
+    in
+    let s = spec_of workload nranks iters platform impl seed in
+    let store = store_of_opts cache_opts in
+    with_ledger store;
+    let t = Sweep.run ~cache:cache_opts.cache ?store ?perturb ~factors s in
+    if json then print_string (Sweep.to_json t) else print_string (Sweep.render t);
+    Option.iter
+      (fun path ->
+        Sweep_html.write
+          ~title:(Printf.sprintf "Siesta fidelity sweep — %s @ %d ranks" workload nranks)
+          t ~path;
+        Printf.eprintf "sweep: wrote %s (self-contained HTML, %d factor(s))\n" path
+          (List.length t.Sweep.s_points))
+      html;
+    if Sweep.comm_divergent t <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep the scaling factor and measure per-factor fidelity (exit 1 when any \
+          factor's verdict crosses the comm-divergence rank, 2 on a bad schedule)")
+    Term.(
+      const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg
+      $ impl_arg $ seed_arg $ factors_arg $ json_arg $ html_arg $ perturb_arg
+      $ cache_term)
+
 (* store: maintenance front end for the content-addressed artifact
    store.  `ls` lists stage-key bindings, `verify` re-hashes and
    unframes every object (exit 1 on damage), `gc` mark-and-sweeps
@@ -862,9 +934,19 @@ let runs_cmd =
             (utc r.Ledger.r_time) r.Ledger.r_kind (spec_cell r)
             (String.sub r.Ledger.r_id 0 (min 8 (String.length r.Ledger.r_id)))
             (total_s r)
-            (match r.Ledger.r_fidelity with
-            | Some f -> f.Ledger.lf_verdict
-            | None -> "-"))
+            (match (r.Ledger.r_fidelity, r.Ledger.r_sweep) with
+            | Some f, _ -> f.Ledger.lf_verdict
+            | None, [] -> "-"
+            | None, sweep ->
+                let worst =
+                  List.fold_left
+                    (fun acc (sp : Ledger.sweep_point) ->
+                      let v = sp.Ledger.sp_fidelity.Ledger.lf_verdict in
+                      if Regression.verdict_rank v > Regression.verdict_rank acc then v
+                      else acc)
+                    "faithful" sweep
+                in
+                Printf.sprintf "%d-factor sweep, worst %s" (List.length sweep) worst))
         rs
     in
     Cmd.v
@@ -899,14 +981,28 @@ let runs_cmd =
       end;
       kvs "sched" (List.map (fun (k, v) -> (k, Printf.sprintf "%g" v)) r.r_sched);
       kvs "heap" (List.map (fun (k, v) -> (k, Printf.sprintf "%.0f" v)) r.r_heap);
-      match r.r_fidelity with
+      (match r.r_fidelity with
       | None -> ()
       | Some f ->
           Printf.printf
             "fidelity: verdict=%s lossless=%b time_error=%.4g timeline_distance=%.4g \
              comm_matrix_dist=%.4g max_compute_mean=%.4g\n"
             f.lf_verdict f.lf_lossless f.lf_time_error f.lf_timeline_distance
-            f.lf_comm_matrix_dist f.lf_max_compute_mean
+            f.lf_comm_matrix_dist f.lf_max_compute_mean);
+      if r.r_sweep <> [] then begin
+        Printf.printf "sweep   : %d factor(s)\n" (List.length r.r_sweep);
+        Printf.printf "  %-8s %-18s %10s %12s %12s %12s %10s %10s  %s\n" "factor"
+          "verdict" "time_err" "timeline" "comm_L1" "compute" "proxy_B" "search_s"
+          "cache";
+        List.iter
+          (fun (sp : Ledger.sweep_point) ->
+            Printf.printf "  x%-7g %-18s %10.4f %12.4e %12.4e %12.4f %10.0f %10.4f  %s\n"
+              sp.sp_factor sp.sp_fidelity.lf_verdict sp.sp_fidelity.lf_time_error
+              sp.sp_fidelity.lf_timeline_distance sp.sp_fidelity.lf_comm_matrix_dist
+              sp.sp_fidelity.lf_max_compute_mean sp.sp_proxy_bytes sp.sp_search_s
+              (String.concat "/" (List.map snd sp.sp_cache)))
+          r.r_sweep
+      end
     in
     Cmd.v
       (Cmd.info "show" ~doc:"Print one run record in full")
@@ -947,7 +1043,11 @@ let runs_cmd =
       Arg.(value & opt float Regression.default.Regression.t_fidelity_delta
            & info [ "max-fidelity-delta" ] ~docv:"D" ~doc)
     in
-    let run root a b baseline ratio floor fid =
+    let json_arg =
+      let doc = "Print the comparison (endpoints, per-dimension verdicts) as JSON." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let run root a b baseline ratio floor fid json =
       let st = open_store root in
       let thresholds =
         { Regression.t_stage_ratio = ratio; t_stage_min_s = floor; t_fidelity_delta = fid }
@@ -969,16 +1069,19 @@ let runs_cmd =
             else (resolve st baseline, cur)
       in
       let c = Regression.compare_runs ~thresholds ~baseline:base cur in
-      print_string (Regression.render c);
+      if json then print_endline (Regression.to_json c)
+      else print_string (Regression.render c);
       if c.Regression.c_regressed then exit 1
     in
     Cmd.v
       (Cmd.info "compare"
          ~doc:
-           "Compare two run records against regression thresholds (exit 1 on regression, 2 \
-            when a record cannot be resolved)")
+           "Compare two run records against regression thresholds.  Exit codes: $(b,0) no \
+            regression, $(b,1) at least one dimension regressed (including any \
+            $(b,sweep.f<factor>) curve point), $(b,2) a record cannot be resolved or the \
+            ledger is empty.")
       Term.(const run $ store_root_arg $ a_arg $ b_arg $ baseline_arg $ ratio_arg $ floor_arg
-            $ fid_arg)
+            $ fid_arg $ json_arg)
   in
   let gc_cmd =
     let keep_arg =
@@ -1166,6 +1269,7 @@ let () =
             report_cmd;
             extrapolate_cmd;
             diff_cmd;
+            sweep_cmd;
             store_cmd;
             runs_cmd;
             check_trace_cmd;

@@ -64,6 +64,10 @@ type report = {
   r_comm_matrix_dist : float;
   r_lossless : bool;
   r_reasons : string list;
+  r_count_delta : int;
+  r_bytes_delta : int;
+  r_unreceived_delta : int;
+  r_ranks_differ : bool;
   r_compute_errors : metric_err list;
   r_compute_unpaired : int;
   r_timeline_distance : float;
@@ -217,12 +221,25 @@ let diff ~original ~proxy =
       !acc /. (float_of_int nr *. ta)
     end
   in
+  let count_delta, bytes_delta =
+    List.fold_left
+      (fun (c, v) s ->
+        ( c + abs (s.cs_count_orig - s.cs_count_proxy),
+          v + abs (s.cs_bytes_orig - s.cs_bytes_proxy) ))
+      (0, 0) call_stats
+  in
   {
     r_nranks = original.c_nranks;
     r_call_stats = call_stats;
     r_comm_matrix_dist = matrix_dist;
     r_lossless = reasons = [];
     r_reasons = reasons;
+    r_count_delta = count_delta;
+    r_bytes_delta = bytes_delta;
+    r_unreceived_delta =
+      proxy.c_result.Engine.unreceived_messages
+      - original.c_result.Engine.unreceived_messages;
+    r_ranks_differ = original.c_nranks <> proxy.c_nranks;
     r_compute_errors = compute_errors;
     r_compute_unpaired = !unpaired;
     r_timeline_distance = tl_dist;
@@ -257,6 +274,53 @@ let verdict_name = function
   | Faithful -> "faithful"
   | Compute_divergent _ -> "compute-divergent"
   | Comm_divergent _ -> "comm-divergent"
+
+(* The replay invariants a computation-shrinking factor must preserve:
+   same ranks, same per-call-type counts, same unreceived-message
+   balance.  Byte/volume deltas are deliberately excluded — shrinking
+   rewrites blocking-transfer volumes by design. *)
+let structural_reasons r =
+  (if r.r_ranks_differ then [ "rank count differs" ] else [])
+  @ List.filter_map
+      (fun s ->
+        if s.cs_count_orig <> s.cs_count_proxy then
+          Some
+            (Printf.sprintf "%s count %d -> %d" s.cs_name s.cs_count_orig s.cs_count_proxy)
+        else None)
+      r.r_call_stats
+  @
+  if r.r_unreceived_delta <> 0 then
+    [ Printf.sprintf "unreceived messages delta %+d" r.r_unreceived_delta ]
+  else []
+
+let structural_lossless r = structural_reasons r = []
+
+let verdict_at ?(compute_tolerance = 0.5) ~factor r =
+  if factor <= 1.0 then verdict ~compute_tolerance r
+  else
+    match structural_reasons r with
+    | _ :: _ as reasons -> Comm_divergent reasons
+    | [] ->
+        (* a factor-f proxy does 1/f of the work, so per-event relative
+           error is expected to sit near 1 - 1/f; only the excess over
+           that is divergence *)
+        let expected = 1.0 -. (1.0 /. factor) in
+        let offenders =
+          List.filter
+            (fun e -> e.me_mean -. expected > compute_tolerance)
+            r.r_compute_errors
+        in
+        (match offenders with
+        | [] -> Faithful
+        | l ->
+            Compute_divergent
+              (String.concat ", "
+                 (List.map
+                    (fun e ->
+                      Printf.sprintf "%s mean error %.2f > expected %.2f + %.2f"
+                        (Counters.metric_name e.me_metric)
+                        e.me_mean expected compute_tolerance)
+                    l)))
 
 (* ------------------------------------------------------------------ *)
 (* Renderings *)
@@ -339,16 +403,9 @@ let to_json r =
   Buffer.contents b
 
 let publish_metrics r =
-  let count_delta, bytes_delta =
-    List.fold_left
-      (fun (c, v) s ->
-        ( c + abs (s.cs_count_orig - s.cs_count_proxy),
-          v + abs (s.cs_bytes_orig - s.cs_bytes_proxy) ))
-      (0, 0) r.r_call_stats
-  in
   Metrics.set (Metrics.gauge "diff.comm.lossless") (if r.r_lossless then 1.0 else 0.0);
-  Metrics.set (Metrics.gauge "diff.comm.count_delta") (float_of_int count_delta);
-  Metrics.set (Metrics.gauge "diff.comm.bytes_delta") (float_of_int bytes_delta);
+  Metrics.set (Metrics.gauge "diff.comm.count_delta") (float_of_int r.r_count_delta);
+  Metrics.set (Metrics.gauge "diff.comm.bytes_delta") (float_of_int r.r_bytes_delta);
   Metrics.set (Metrics.gauge "diff.comm.matrix_distance") r.r_comm_matrix_dist;
   List.iter
     (fun e ->

@@ -67,6 +67,10 @@ type report = {
   r_comm_matrix_dist : float;  (** L1 distance / original volume *)
   r_lossless : bool;
   r_reasons : string list;  (** human-readable lossless violations *)
+  r_count_delta : int;  (** sum over call types of |count delta| *)
+  r_bytes_delta : int;  (** sum over call types of |bytes delta| *)
+  r_unreceived_delta : int;  (** proxy unreceived minus original's *)
+  r_ranks_differ : bool;
   r_compute_errors : metric_err list;  (** one entry per paper metric *)
   r_compute_unpaired : int;  (** computation events without a pair *)
   r_timeline_distance : float;
@@ -87,6 +91,23 @@ type verdict =
 val verdict : ?compute_tolerance:float -> report -> verdict
 (** [compute_tolerance] (default 0.5) bounds each metric's *mean*
     per-event relative error. *)
+
+val structural_reasons : report -> string list
+(** The lossless violations a computation-shrinking factor must never
+    introduce: rank-count mismatch, per-call-type {e count} deltas, and
+    an unreceived-message imbalance.  Byte/volume deltas are excluded —
+    a shrunk proxy rewrites blocking-transfer volumes by design. *)
+
+val structural_lossless : report -> bool
+(** [structural_reasons r = []]. *)
+
+val verdict_at : ?compute_tolerance:float -> factor:float -> report -> verdict
+(** Factor-aware verdict for fidelity sweeps.  At [factor <= 1] this is
+    {!verdict}.  At larger factors, only {!structural_reasons} count as
+    communication divergence (byte deltas are the shrink working as
+    specified), and the compute check bounds the {e excess} of each
+    metric's mean error over the expected shrink error [1 - 1/factor]
+    by [compute_tolerance] (default 0.5). *)
 
 val verdict_name : verdict -> string
 

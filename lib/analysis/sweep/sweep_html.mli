@@ -1,0 +1,12 @@
+(** Self-contained HTML dashboard over one fidelity sweep ([siesta sweep
+    --html]).  Same contract as the other viewers: a single file with
+    zero external requests, the {!Sweep.to_json} curve embedded in a
+    [sweep-data] application/json block other tools can scrape, and
+    canvas charts (fidelity errors, proxy size, synthesis cost vs
+    factor, on a log2 x-axis) via the shared
+    {!Siesta_obs.Html_embed.chart_js} machinery. *)
+
+val render : ?title:string -> Sweep.t -> string
+
+val write : ?title:string -> Sweep.t -> path:string -> unit
+(** {!render} to a file. *)

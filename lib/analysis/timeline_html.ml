@@ -6,28 +6,16 @@
    - the data block is plain JSON in a <script type="application/json">
      tag, so other tools can scrape it back out;
    - the renderer is small hand-written JS over a single canvas — no
-     framework, no build step. *)
+     framework, no build step.
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      (* '<' escaped so "</script>" can never terminate the data block *)
-      | '<' -> Buffer.add_string b "\\u003c"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+   Escaping, data-block embedding and the page skeleton are shared with
+   the other viewers via Siesta_obs.Html_embed; the zoom/pan/hover
+   canvas renderer below is specific to the timeline. *)
 
-let json_float f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.9g" f
+module Html_embed = Siesta_obs.Html_embed
+
+let json_escape = Html_embed.json_escape
+let json_float = Html_embed.json_float
 
 let timeline_json (tl : Timeline.t) =
   let b = Buffer.create 65536 in
@@ -184,39 +172,26 @@ let viewer_js =
 })();
 |js}
 
+let css =
+  {css|
+  body { font-family: sans-serif; margin: 16px; color: #333; }
+  h1 { font-size: 16px; margin: 0 0 4px 0; }
+  .meta { color: #777; font-size: 12px; margin-bottom: 8px; }
+  .legend span { display: inline-block; margin-right: 14px; font-size: 12px; }
+  .chip { display: inline-block; width: 10px; height: 10px; margin-right: 4px;
+          border-radius: 2px; vertical-align: middle; }
+  #tl { width: 100%; display: block; border: 1px solid #ddd; margin-top: 8px;
+        cursor: crosshair; }
+  #hover { display: none; position: fixed; background: #222; color: #fff;
+           font-size: 11px; padding: 4px 7px; border-radius: 3px;
+           pointer-events: none; z-index: 10; max-width: 60ch; }
+  button { font-size: 11px; }
+|css}
+
 let render ?(title = "Siesta timeline") tl =
   let b = Buffer.create (1 lsl 17) in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  let html_escape s =
-    let e = Buffer.create (String.length s) in
-    String.iter
-      (fun c ->
-        match c with
-        | '<' -> Buffer.add_string e "&lt;"
-        | '>' -> Buffer.add_string e "&gt;"
-        | '&' -> Buffer.add_string e "&amp;"
-        | c -> Buffer.add_char e c)
-      s;
-    Buffer.contents e
-  in
-  p "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
-  p "<title>%s</title>\n" (html_escape title);
-  p
-    "<style>\n\
-     body { font-family: sans-serif; margin: 16px; color: #333; }\n\
-     h1 { font-size: 16px; margin: 0 0 4px 0; }\n\
-     .meta { color: #777; font-size: 12px; margin-bottom: 8px; }\n\
-     .legend span { display: inline-block; margin-right: 14px; font-size: 12px; }\n\
-     .chip { display: inline-block; width: 10px; height: 10px; margin-right: 4px;\n\
-    \        border-radius: 2px; vertical-align: middle; }\n\
-     #tl { width: 100%%; display: block; border: 1px solid #ddd; margin-top: 8px;\n\
-    \      cursor: crosshair; }\n\
-     #hover { display: none; position: fixed; background: #222; color: #fff;\n\
-    \         font-size: 11px; padding: 4px 7px; border-radius: 3px;\n\
-    \         pointer-events: none; z-index: 10; max-width: 60ch; }\n\
-     button { font-size: 11px; }\n\
-     </style>\n</head>\n<body>\n";
-  p "<h1>%s</h1>\n" (html_escape title);
+  p "<h1>%s</h1>\n" (Html_embed.html_escape title);
   p "<div class=\"meta\">%d ranks &middot; %.6e s simulated &middot; clock = simulated \
      &middot; wheel = zoom, drag = pan <button id=\"reset\">reset view</button></div>\n"
     tl.Timeline.nranks tl.Timeline.elapsed;
@@ -227,10 +202,9 @@ let render ?(title = "Siesta timeline") tl =
      <span><span class=\"chip\" style=\"background:#f44336\"></span>wait</span>\n\
      </div>\n";
   p "<canvas id=\"tl\"></canvas>\n<div id=\"hover\"></div>\n";
-  p "<script type=\"application/json\" id=\"timeline-data\">%s</script>\n" (timeline_json tl);
+  Buffer.add_string b (Html_embed.data_block ~id:"timeline-data" (timeline_json tl));
   p "<script>%s</script>\n" viewer_js;
-  p "</body>\n</html>\n";
-  Buffer.contents b
+  Html_embed.page ~title ~css ~body:(Buffer.contents b)
 
 let write ?title tl ~path =
   let oc = open_out path in

@@ -248,9 +248,10 @@ type fidelity = {
   f_report : Divergence.report;
 }
 
-let fidelity_of_report (r : Divergence.report) =
+let ledger_fidelity_of_report ?verdict (r : Divergence.report) =
+  let v = match verdict with Some v -> v | None -> Divergence.verdict r in
   {
-    Ledger.lf_verdict = Divergence.verdict_name (Divergence.verdict r);
+    Ledger.lf_verdict = Divergence.verdict_name v;
     lf_lossless = r.Divergence.r_lossless;
     lf_time_error = r.Divergence.r_time_error;
     lf_timeline_distance = r.Divergence.r_timeline_distance;
@@ -284,7 +285,7 @@ let diff_core s proxy_ir =
   Ledger.emit (fun () ->
       Ledger.make ~kind:"diff" ~spec:(spec_kvs s)
         ~timings:[ ("diff.total", total_s) ]
-        ~fidelity:(fidelity_of_report report) ());
+        ~fidelity:(ledger_fidelity_of_report report) ());
   fid
 
 let diff artifact = diff_core artifact.traced.run_spec artifact.proxy

@@ -134,6 +134,28 @@ val capture_proxy :
 (** Same capture for the synthesized proxy replay; platform and
     implementation default to the generation pair. *)
 
+val capture_proxy_ir :
+  ?platform:Siesta_platform.Spec.t ->
+  ?impl:Siesta_platform.Mpi_impl.t ->
+  spec ->
+  Siesta_synth.Proxy_ir.t ->
+  Siesta_analysis.Divergence.capture
+(** {!capture_proxy} over a bare proxy IR — what a fidelity sweep uses
+    to diff each per-factor proxy against one original capture. *)
+
+val spec_kvs : spec -> (string * string) list
+(** The spec as flat strings, as stamped into run-ledger records (so
+    [runs compare] can refuse to baseline across different workloads). *)
+
+val ledger_fidelity_of_report :
+  ?verdict:Siesta_analysis.Divergence.verdict ->
+  Siesta_analysis.Divergence.report ->
+  Siesta_ledger.Ledger.fidelity
+(** The report's headline scores in ledger form.  [verdict] overrides
+    the stamped verdict name — the fidelity sweep passes
+    [Divergence.verdict_at] results so shrunken-by-design byte deltas
+    don't read as communication divergence. *)
+
 type fidelity = {
   f_original : Siesta_analysis.Divergence.capture;
   f_proxy : Siesta_analysis.Divergence.capture;

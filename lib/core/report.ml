@@ -135,7 +135,29 @@ let generate_synthesis (sy : Pipeline.synthesis) =
         if List.length history > shown_hist then
           p "\n(%d older record(s) not shown — `siesta runs ls`)\n"
             (List.length history - shown_hist)
-      end);
+      end;
+      (* the newest factor curve for this spec, if one was swept *)
+      (match
+         List.rev history
+         |> List.find_opt (fun (r : Siesta_ledger.Ledger.record) ->
+                r.Siesta_ledger.Ledger.r_kind = "sweep"
+                && r.Siesta_ledger.Ledger.r_sweep <> [])
+       with
+      | None -> ()
+      | Some r ->
+          let open Siesta_ledger.Ledger in
+          p "\n## Fidelity vs factor (sweep #%d)\n\n" r.r_seq;
+          p
+            "| factor | verdict | time err | timeline | comm L1 | compute mean | proxy \
+             (B) | search (s) |\n\
+             |---|---|---|---|---|---|---|---|\n";
+          List.iter
+            (fun sp ->
+              p "| x%g | %s | %.4f | %.3e | %.3e | %.4f | %.0f | %.4f |\n" sp.sp_factor
+                sp.sp_fidelity.lf_verdict sp.sp_fidelity.lf_time_error
+                sp.sp_fidelity.lf_timeline_distance sp.sp_fidelity.lf_comm_matrix_dist
+                sp.sp_fidelity.lf_max_compute_mean sp.sp_proxy_bytes sp.sp_search_s)
+            r.r_sweep));
   p "\n## Pipeline stage timings\n\n";
   let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 sy.Pipeline.sy_timings in
   p "| stage | wall (s) | share |\n|---|---|---|\n";

@@ -1,0 +1,199 @@
+(* Shared scaffolding for the self-contained HTML viewers (timeline,
+   trend dashboard, sweep dashboard).
+
+   Every viewer obeys the same design constraints: one file, zero
+   external requests (works from file:// and in mail attachments), the
+   data embedded as plain JSON in a <script type="application/json">
+   block so other tools can scrape it back out, and a small hand-written
+   canvas renderer with no framework.  This module owns the escaping,
+   the data-block embedding, the page skeleton and the generic line-plot
+   JS; the viewers keep only their bespoke rendering logic. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      (* '<' escaped so "</script>" can never terminate the data block *)
+      | '<' -> Buffer.add_string b "\\u003c"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let html_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let data_block ~id json =
+  Printf.sprintf "<script type=\"application/json\" id=\"%s\">%s</script>\n" id json
+
+let page ~title ~css ~body =
+  let b = Buffer.create 65536 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
+  p "<title>%s</title>\n" (html_escape title);
+  p "<style>%s</style>\n" css;
+  p "</head>\n<body>\n";
+  Buffer.add_string b body;
+  p "</body>\n</html>\n";
+  Buffer.contents b
+
+(* Generic canvas line-plot machinery, installed as a [SiestaChart]
+   global.  Static JS: the OCaml side never splices values in — viewers
+   call [SiestaChart.linePlot(canvasId, legendId, series, opts)] where
+   series is [{name, points: [[x, y|null], ...]}] and opts supports
+   {yLabel, logX, xTicks, xTickPrefix, xTickFmt}. *)
+let chart_js =
+  {js|
+var SiestaChart = (function () {
+  'use strict';
+  var PALETTE = ['#2196f3', '#4caf50', '#f44336', '#ff9800', '#9c27b0',
+                 '#00bcd4', '#795548', '#607d8b'];
+
+  function sized(canvas) {
+    var dpr = window.devicePixelRatio || 1;
+    var w = canvas.clientWidth, h = canvas.clientHeight;
+    canvas.width = w * dpr;
+    canvas.height = h * dpr;
+    var ctx = canvas.getContext('2d');
+    ctx.setTransform(dpr, 0, 0, dpr, 0, 0);
+    return { ctx: ctx, w: w, h: h };
+  }
+
+  // series: [{name, points: [[x, y|null], ...]}]
+  // opts: {yLabel, logX, xTicks: [x...], xTickPrefix, xTickFmt: fn}
+  function linePlot(canvasId, legendId, series, opts) {
+    opts = opts || {};
+    var canvas = document.getElementById(canvasId);
+    var legend = document.getElementById(legendId);
+    var s = sized(canvas);
+    var ctx = s.ctx, W = s.w, H = s.h;
+    var padL = 56, padR = 12, padT = 12, padB = 28;
+    ctx.clearRect(0, 0, W, H);
+    var tx = opts.logX ? function (v) { return Math.log2(v); }
+                       : function (v) { return v; };
+    var xs = [], ys = [];
+    series.forEach(function (sr) {
+      sr.points.forEach(function (pt) {
+        if (pt[1] === null) return;
+        xs.push(tx(pt[0])); ys.push(pt[1]);
+      });
+    });
+    if (xs.length === 0) {
+      ctx.fillStyle = '#888';
+      ctx.font = '13px sans-serif';
+      ctx.fillText('no data', W / 2 - 20, H / 2);
+      return;
+    }
+    var x0 = Math.min.apply(null, xs), x1 = Math.max.apply(null, xs);
+    var y1 = Math.max.apply(null, ys), y0 = 0;
+    if (x1 === x0) x1 = x0 + 1;
+    if (y1 <= y0) y1 = y0 + 1;
+    function X(v) { return padL + (tx(v) - x0) / (x1 - x0) * (W - padL - padR); }
+    function Y(v) { return H - padB - (v - y0) / (y1 - y0) * (H - padT - padB); }
+    // horizontal gridlines + y labels
+    ctx.strokeStyle = '#ddd';
+    ctx.fillStyle = '#666';
+    ctx.font = '11px sans-serif';
+    ctx.lineWidth = 1;
+    for (var g = 0; g <= 4; g++) {
+      var gv = y0 + (y1 - y0) * g / 4;
+      var gy = Y(gv);
+      ctx.beginPath();
+      ctx.moveTo(padL, gy); ctx.lineTo(W - padR, gy);
+      ctx.stroke();
+      ctx.fillText(gv.toPrecision(3), 4, gy + 4);
+    }
+    if (opts.yLabel) ctx.fillText(opts.yLabel, padL, H - 8);
+    // x ticks: explicit values (log axes) or integer steps
+    var fmt = opts.xTickFmt || function (v) { return (opts.xTickPrefix || '') + v; };
+    if (opts.xTicks) {
+      opts.xTicks.forEach(function (t) {
+        var px = X(t);
+        ctx.strokeStyle = '#eee';
+        ctx.beginPath();
+        ctx.moveTo(px, padT); ctx.lineTo(px, H - padB);
+        ctx.stroke();
+        ctx.fillStyle = '#666';
+        ctx.fillText(fmt(t), px - 8, H - padB + 14);
+      });
+    } else {
+      var d0 = Math.ceil(x0), d1 = Math.floor(x1);
+      var step = Math.max(1, Math.ceil((d1 - d0) / 12));
+      for (var t = d0; t <= d1; t += step) {
+        ctx.fillStyle = '#666';
+        ctx.fillText(fmt(t), X(t) - 8, H - padB + 14);
+      }
+    }
+    // series lines + dots + legend chips
+    if (legend) legend.innerHTML = '';
+    series.forEach(function (sr, i) {
+      var color = PALETTE[i % PALETTE.length];
+      ctx.strokeStyle = color;
+      ctx.fillStyle = color;
+      ctx.lineWidth = 1.5;
+      ctx.beginPath();
+      var started = false;
+      sr.points.forEach(function (pt) {
+        if (pt[1] === null) return;
+        var px = X(pt[0]), py = Y(pt[1]);
+        if (!started) { ctx.moveTo(px, py); started = true; }
+        else ctx.lineTo(px, py);
+      });
+      ctx.stroke();
+      sr.points.forEach(function (pt) {
+        if (pt[1] === null) return;
+        ctx.beginPath();
+        ctx.arc(X(pt[0]), Y(pt[1]), 2.5, 0, Math.PI * 2);
+        ctx.fill();
+      });
+      if (legend) {
+        var chip = document.createElement('span');
+        chip.className = 'chip';
+        chip.innerHTML = '<i style="background:' + color + '"></i>' + sr.name;
+        legend.appendChild(chip);
+      }
+    });
+  }
+
+  return { sized: sized, linePlot: linePlot, PALETTE: PALETTE };
+})();
+|js}
+
+(* The stylesheet the dashboard-style viewers share (the timeline viewer
+   keeps its bespoke one). *)
+let dashboard_css =
+  {css|
+  body { font: 14px/1.4 system-ui, sans-serif; margin: 1.5em; color: #222; }
+  h1 { font-size: 1.3em; }
+  h2 { font-size: 1.05em; margin-top: 1.6em; }
+  canvas { width: 100%; height: 260px; display: block; border: 1px solid #e0e0e0;
+           border-radius: 4px; background: #fff; }
+  .legend { margin: 0.4em 0 0; }
+  .chip { display: inline-block; margin-right: 1em; font-size: 12px; color: #444; }
+  .chip i { display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+            margin-right: 4px; }
+  table { border-collapse: collapse; margin-top: 0.5em; font-size: 13px; }
+  th, td { border: 1px solid #e0e0e0; padding: 3px 9px; text-align: left; }
+  th { background: #f5f5f5; }
+|css}

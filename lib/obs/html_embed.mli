@@ -1,0 +1,47 @@
+(** Shared scaffolding for the self-contained HTML viewers.
+
+    The timeline viewer ({!Siesta_analysis.Timeline_html}), the run-trend
+    dashboard ({!Siesta_ledger.Trend_html}) and the sweep dashboard all
+    obey the same design constraints: one file, zero external requests,
+    the data embedded as plain JSON in a
+    [<script type="application/json">] block (scrapeable by other
+    tools), and a small hand-written canvas renderer.  This module owns
+    the escaping, the data-block embedding, the page skeleton and the
+    generic axis/line-plot JS so the viewers keep only their bespoke
+    rendering logic. *)
+
+val json_escape : string -> string
+(** Escape for inclusion between double quotes in an embedded JSON
+    document.  ['<'] is emitted as the u003c escape so a literal
+    close-script tag can never terminate the data block. *)
+
+val json_float : float -> string
+(** JSON number spelling; [nan]/[inf] print as [null] (they have no
+    JSON spelling), integral values without a fraction. *)
+
+val html_escape : string -> string
+(** Escape for HTML text and attribute contexts (ampersand, angle
+    brackets, double quote). *)
+
+val data_block : id:string -> string -> string
+(** [data_block ~id json] is the
+    [<script type="application/json" id=...>] element other tools grep
+    for.  [json] must already be a complete document (its strings
+    escaped with {!json_escape}). *)
+
+val page : title:string -> css:string -> body:string -> string
+(** Complete HTML document: doctype, head with [title] (escaped) and an
+    inline [<style>], then [body] verbatim. *)
+
+val chart_js : string
+(** Static canvas line-plot machinery, installed as a [SiestaChart]
+    global: [SiestaChart.linePlot(canvasId, legendId, series, opts)]
+    with [series = [{name, points: [[x, y|null], ...]}]] and
+    [opts = {yLabel, logX, xTicks, xTickPrefix, xTickFmt}].  [logX]
+    plots x on a log2 axis (the sweep dashboard's factor schedule);
+    [xTicks] pins tick marks to explicit data values.  Embed once per
+    page before any viewer script that calls it. *)
+
+val dashboard_css : string
+(** The stylesheet shared by the dashboard-style viewers (charts,
+    legend chips, record table). *)

@@ -10,7 +10,7 @@ module Hash = Siesta_store.Hash
    [Codec.schema_version]: the frame versions the wire container, this
    versions the JSON document inside it, so old records survive a codec
    schema bump of the stage artifacts... and vice versa. *)
-let schema_version = 1
+let schema_version = 2
 
 let run_kind = "run"
 
@@ -21,6 +21,21 @@ type fidelity = {
   lf_timeline_distance : float;
   lf_comm_matrix_dist : float;
   lf_max_compute_mean : float;
+}
+
+(* One measured point of a factor sweep (schema v2).  Counts are floats
+   so the whole point round-trips through the JSON Num spelling. *)
+type sweep_point = {
+  sp_factor : float;
+  sp_fidelity : fidelity;
+  sp_count_delta : float;
+  sp_bytes_delta : float;
+  sp_compute_p95 : float;
+  sp_compute_max : float;
+  sp_proxy_bytes : float;
+  sp_search_s : float;
+  sp_total_s : float;
+  sp_cache : (string * string) list;
 }
 
 type record = {
@@ -39,6 +54,7 @@ type record = {
   r_heap : (string * float) list;
   r_metrics : Json.t;
   r_fidelity : fidelity option;
+  r_sweep : sweep_point list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -80,7 +96,8 @@ let heap_stats () =
     ("compactions", float_of_int q.Gc.compactions);
   ]
 
-let make ~kind ?(spec = []) ?(cache = []) ?(timings = []) ?(sched = []) ?fidelity () =
+let make ~kind ?(spec = []) ?(cache = []) ?(timings = []) ?(sched = []) ?fidelity
+    ?(sweep = []) () =
   {
     r_schema = schema_version;
     r_id = Run_id.get ();
@@ -100,10 +117,37 @@ let make ~kind ?(spec = []) ?(cache = []) ?(timings = []) ?(sched = []) ?fidelit
     r_metrics =
       (match Json.parse (Metrics.to_json ()) with Ok j -> j | Error _ -> Json.Obj []);
     r_fidelity = fidelity;
+    r_sweep = sweep;
   }
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding *)
+
+let json_of_fidelity f =
+  Json.Obj
+    [
+      ("verdict", Json.Str f.lf_verdict);
+      ("lossless", Json.Bool f.lf_lossless);
+      ("time_error", Json.Num f.lf_time_error);
+      ("timeline_distance", Json.Num f.lf_timeline_distance);
+      ("comm_matrix_dist", Json.Num f.lf_comm_matrix_dist);
+      ("max_compute_mean", Json.Num f.lf_max_compute_mean);
+    ]
+
+let json_of_sweep_point sp =
+  Json.Obj
+    [
+      ("factor", Json.Num sp.sp_factor);
+      ("fidelity", json_of_fidelity sp.sp_fidelity);
+      ("count_delta", Json.Num sp.sp_count_delta);
+      ("bytes_delta", Json.Num sp.sp_bytes_delta);
+      ("compute_p95", Json.Num sp.sp_compute_p95);
+      ("compute_max", Json.Num sp.sp_compute_max);
+      ("proxy_bytes", Json.Num sp.sp_proxy_bytes);
+      ("search_s", Json.Num sp.sp_search_s);
+      ("total_s", Json.Num sp.sp_total_s);
+      ("cache", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) sp.sp_cache));
+    ]
 
 let json_of_record r =
   let strs l = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) l) in
@@ -129,18 +173,8 @@ let json_of_record r =
       ("heap", nums r.r_heap);
       ("metrics", r.r_metrics);
       ( "fidelity",
-        match r.r_fidelity with
-        | None -> Json.Null
-        | Some f ->
-            Json.Obj
-              [
-                ("verdict", Json.Str f.lf_verdict);
-                ("lossless", Json.Bool f.lf_lossless);
-                ("time_error", Json.Num f.lf_time_error);
-                ("timeline_distance", Json.Num f.lf_timeline_distance);
-                ("comm_matrix_dist", Json.Num f.lf_comm_matrix_dist);
-                ("max_compute_mean", Json.Num f.lf_max_compute_mean);
-              ] );
+        match r.r_fidelity with None -> Json.Null | Some f -> json_of_fidelity f );
+      ("sweep", Json.Arr (List.map json_of_sweep_point r.r_sweep));
     ]
 
 let encode r = Json.to_string (json_of_record r)
@@ -168,6 +202,34 @@ let num_kvs name j =
   | Some (Json.Obj l) ->
       List.filter_map (fun (k, v) -> match v with Json.Num f -> Some (k, f) | _ -> None) l
   | _ -> []
+
+let fidelity_of_json f =
+  {
+    lf_verdict = str_field "verdict" f;
+    lf_lossless =
+      (match Json.member "lossless" f with Some (Json.Bool b) -> b | _ -> false);
+    lf_time_error = num_field "time_error" f;
+    lf_timeline_distance = num_field "timeline_distance" f;
+    lf_comm_matrix_dist = num_field "comm_matrix_dist" f;
+    lf_max_compute_mean = num_field "max_compute_mean" f;
+  }
+
+let sweep_point_of_json p =
+  {
+    sp_factor = num_field "factor" p;
+    sp_fidelity =
+      (match Json.member "fidelity" p with
+      | Some f -> fidelity_of_json f
+      | None -> fail "Ledger: sweep point is missing its fidelity");
+    sp_count_delta = num_field "count_delta" p;
+    sp_bytes_delta = num_field "bytes_delta" p;
+    sp_compute_p95 = num_field "compute_p95" p;
+    sp_compute_max = num_field "compute_max" p;
+    sp_proxy_bytes = num_field "proxy_bytes" p;
+    sp_search_s = num_field "search_s" p;
+    sp_total_s = num_field "total_s" p;
+    sp_cache = str_kvs "cache" p;
+  }
 
 let record_of_json j =
   let schema = int_of_float (num_field "ledger_schema" j) in
@@ -203,17 +265,12 @@ let record_of_json j =
     r_fidelity =
       (match Json.member "fidelity" j with
       | None | Some Json.Null -> None
-      | Some f ->
-          Some
-            {
-              lf_verdict = str_field "verdict" f;
-              lf_lossless =
-                (match Json.member "lossless" f with Some (Json.Bool b) -> b | _ -> false);
-              lf_time_error = num_field "time_error" f;
-              lf_timeline_distance = num_field "timeline_distance" f;
-              lf_comm_matrix_dist = num_field "comm_matrix_dist" f;
-              lf_max_compute_mean = num_field "max_compute_mean" f;
-            });
+      | Some f -> Some (fidelity_of_json f));
+    (* absent on v1 records — decode as an empty curve *)
+    r_sweep =
+      (match Json.member "sweep" j with
+      | Some (Json.Arr l) -> List.map sweep_point_of_json l
+      | _ -> []);
   }
 
 let decode payload = record_of_json (Json.parse_exn payload)

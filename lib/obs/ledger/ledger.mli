@@ -36,11 +36,29 @@ type fidelity = {
   lf_max_compute_mean : float;  (** worst per-metric mean compute error *)
 }
 
+(** One measured point of a factor sweep (schema v2): the fidelity
+    verdict and error measures of the proxy synthesized at [sp_factor],
+    plus its size, search cost and cache outcomes.  Counts are floats so
+    the whole point round-trips through the JSON number spelling. *)
+type sweep_point = {
+  sp_factor : float;  (** computation-shrinking factor (1 = unshrunken) *)
+  sp_fidelity : fidelity;  (** factor-aware verdict + error measures *)
+  sp_count_delta : float;  (** sum of per-call-kind count deltas *)
+  sp_bytes_delta : float;  (** sum of per-call-kind byte deltas *)
+  sp_compute_p95 : float;  (** worst per-metric p95 per-event compute error *)
+  sp_compute_max : float;  (** worst per-metric max per-event compute error *)
+  sp_proxy_bytes : float;  (** encoded proxy IR size *)
+  sp_search_s : float;  (** proxy-search (synthesize stages) wall seconds *)
+  sp_total_s : float;  (** whole synth+diff wall seconds for the point *)
+  sp_cache : (string * string) list;  (** per-stage cache outcomes *)
+}
+
 type record = {
   r_schema : int;
   r_id : string;  (** {!Siesta_obs.Run_id} of the emitting process *)
   r_seq : int;  (** per-store sequence number, assigned by {!append} *)
-  r_kind : string;  (** ["trace"], ["synth"], ["diff"] or ["bench"] *)
+  r_kind : string;
+      (** ["trace"], ["synth"], ["diff"], ["sweep"] or ["bench"] *)
   r_time : float;  (** unix time of emission *)
   r_git : string;  (** [git describe --always --dirty], or ["unknown"] *)
   r_argv : string list;
@@ -52,6 +70,9 @@ type record = {
   r_heap : (string * float) list;  (** [Gc.quick_stat] highlights *)
   r_metrics : Siesta_obs.Json.t;  (** full [Metrics.to_json] snapshot *)
   r_fidelity : fidelity option;  (** present on ["diff"] records *)
+  r_sweep : sweep_point list;
+      (** the factor curve of a ["sweep"] record; [[]] everywhere else
+          (and on records written before schema v2) *)
 }
 
 val make :
@@ -61,6 +82,7 @@ val make :
   ?timings:(string * float) list ->
   ?sched:(string * float) list ->
   ?fidelity:fidelity ->
+  ?sweep:sweep_point list ->
   unit ->
   record
 (** Capture a record of the current process state: run id, time, git

@@ -88,6 +88,81 @@ let verdict_dims t base cur =
              ("max_compute_mean", b.Ledger.lf_max_compute_mean, c.Ledger.lf_max_compute_mean);
            ]
 
+(* Factor-curve comparison for sweep records: one dimension per factor
+   present in either curve, named after the factor, so "fidelity at
+   factor F degraded vs baseline sweep" is visible by name in the table.
+   A factor regresses when its verdict rank worsens or any fidelity
+   error measure worsens past the fidelity delta; factors swept on only
+   one side are informational (nothing to compare against). *)
+let fid_measures (f : Ledger.fidelity) =
+  [
+    ("time_error", f.Ledger.lf_time_error);
+    ("timeline_distance", f.Ledger.lf_timeline_distance);
+    ("comm_matrix_dist", f.Ledger.lf_comm_matrix_dist);
+    ("max_compute_mean", f.Ledger.lf_max_compute_mean);
+  ]
+
+let factor_name f =
+  if Float.is_integer f then Printf.sprintf "sweep.f%.0f" f
+  else Printf.sprintf "sweep.f%g" f
+
+let sweep_dims t base cur =
+  match (base.Ledger.r_sweep, cur.Ledger.r_sweep) with
+  | [], [] -> []
+  | bs, cs ->
+      let point ps f =
+        List.find_opt (fun (p : Ledger.sweep_point) -> p.Ledger.sp_factor = f) ps
+      in
+      let factors =
+        List.sort_uniq compare
+          (List.map (fun (p : Ledger.sweep_point) -> p.Ledger.sp_factor) (bs @ cs))
+      in
+      List.filter_map
+        (fun f ->
+          let name = factor_name f in
+          match (point bs f, point cs f) with
+          | None, None -> None
+          | None, Some c ->
+              Some
+                { d_name = name; d_base = "-";
+                  d_cur = c.Ledger.sp_fidelity.Ledger.lf_verdict; d_regressed = false;
+                  d_note = "factor not in baseline sweep" }
+          | Some b, None ->
+              Some
+                { d_name = name; d_base = b.Ledger.sp_fidelity.Ledger.lf_verdict;
+                  d_cur = "-"; d_regressed = false;
+                  d_note = "factor not in current sweep" }
+          | Some b, Some c ->
+              let bf = b.Ledger.sp_fidelity and cf = c.Ledger.sp_fidelity in
+              let worse_verdict =
+                verdict_rank cf.Ledger.lf_verdict > verdict_rank bf.Ledger.lf_verdict
+              in
+              let worse_measures =
+                List.filter_map
+                  (fun ((n, bv), (_, cv)) ->
+                    if cv -. bv > t.t_fidelity_delta then
+                      Some (Printf.sprintf "%s +%.4g" n (cv -. bv))
+                    else None)
+                  (List.combine (fid_measures bf) (fid_measures cf))
+              in
+              let regressed = worse_verdict || worse_measures <> [] in
+              Some
+                {
+                  d_name = name;
+                  d_base = bf.Ledger.lf_verdict;
+                  d_cur = cf.Ledger.lf_verdict;
+                  d_regressed = regressed;
+                  d_note =
+                    (if regressed then
+                       Printf.sprintf "fidelity at factor %g degraded vs baseline sweep: %s"
+                         f
+                         (String.concat "; "
+                            ((if worse_verdict then [ "verdict degraded" ] else [])
+                            @ worse_measures))
+                     else "");
+                })
+        factors
+
 (* A stage regresses only when it blew up in ratio AND by an absolute
    floor: warm-cache stage times are microseconds, where pure ratios
    would flap on scheduler noise. *)
@@ -148,6 +223,7 @@ let metric_dims base cur =
 let compare_runs ?(thresholds = default) ~baseline current =
   let dims =
     verdict_dims thresholds baseline current
+    @ sweep_dims thresholds baseline current
     @ stage_dims thresholds baseline current
     @ metric_dims baseline current
   in
@@ -187,3 +263,37 @@ let render c =
          (List.length (List.filter (fun d -> d.d_regressed) c.c_dimensions))
      else "no regression\n");
   Buffer.contents b
+
+let to_json c =
+  let endpoint r =
+    Json.Obj
+      ([
+         ("seq", Json.Num (float_of_int r.Ledger.r_seq));
+         ("kind", Json.Str r.Ledger.r_kind);
+         ("git", Json.Str r.Ledger.r_git);
+       ]
+      @
+      match List.assoc_opt "workload" r.Ledger.r_spec with
+      | Some w -> [ ("workload", Json.Str w) ]
+      | None -> [])
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("baseline", endpoint c.c_baseline);
+         ("current", endpoint c.c_current);
+         ("regressed", Json.Bool c.c_regressed);
+         ( "dimensions",
+           Json.Arr
+             (List.map
+                (fun d ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str d.d_name);
+                      ("baseline", Json.Str d.d_base);
+                      ("current", Json.Str d.d_cur);
+                      ("regressed", Json.Bool d.d_regressed);
+                      ("note", Json.Str d.d_note);
+                    ])
+                c.c_dimensions) );
+       ])

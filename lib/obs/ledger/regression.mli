@@ -32,6 +32,11 @@ type comparison = {
   c_regressed : bool;  (** any dimension over threshold *)
 }
 
+val verdict_rank : string -> int
+(** Severity order of {!Ledger.fidelity.lf_verdict} names: faithful (0)
+    < compute-divergent (1) < comm-divergent (2) < anything unknown (3,
+    so a transition into a future verdict name is surfaced). *)
+
 val comparable : Ledger.record -> Ledger.record -> bool
 (** Same kind, workload and nranks — the records a baseline may be
     drawn from. *)
@@ -44,10 +49,19 @@ val compare_runs :
   ?thresholds:thresholds -> baseline:Ledger.record -> Ledger.record -> comparison
 (** Dimensions produced: verdict transition (worse rank = regression)
     and the four fidelity error deltas when both records carry a
-    verdict; total and per-stage wall times for stages present in both
-    records (ratio AND absolute floor must both trip); informational
-    counter deltas (cache hits/misses, traces) that never regress on
-    their own.  Improvements never count as regressions. *)
+    verdict; one [sweep.f<factor>] dimension per factor when either
+    record carries a factor curve (regressed when the verdict rank
+    worsens or any fidelity measure worsens past the fidelity delta at
+    that factor; one-sided factors are informational); total and
+    per-stage wall times for stages present in both records (ratio AND
+    absolute floor must both trip); informational counter deltas (cache
+    hits/misses, traces) that never regress on their own.  Improvements
+    never count as regressions. *)
 
 val render : comparison -> string
 (** Aligned per-dimension table plus a one-line summary. *)
+
+val to_json : comparison -> string
+(** The comparison as a JSON document: [baseline]/[current] endpoints
+    (seq, kind, git, workload when known), the overall [regressed] flag,
+    and a [dimensions] array mirroring the table rows. *)

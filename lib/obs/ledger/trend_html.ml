@@ -2,29 +2,14 @@
 
    Same design constraints as the timeline viewer: one file, zero
    external requests, plain-JSON data block scrapeable by other tools,
-   small hand-written canvas JS with no framework. *)
+   small hand-written canvas JS with no framework.  The escaping, page
+   skeleton and line-plot machinery live in Siesta_obs.Html_embed; this
+   file keeps only the ledger-specific series extraction and table. *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      (* '<' escaped so "</script>" can never terminate the data block *)
-      | '<' -> Buffer.add_string b "\\u003c"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+module Html_embed = Siesta_obs.Html_embed
 
-let json_float f =
-  if Float.is_nan f || Float.abs f = Float.infinity then "null"
-  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.9g" f
+let json_escape = Html_embed.json_escape
+let json_float = Html_embed.json_float
 
 let ledger_json records =
   let b = Buffer.create 65536 in
@@ -56,106 +41,39 @@ let ledger_json records =
             (json_float f.Ledger.lf_timeline_distance)
             (json_float f.Ledger.lf_comm_matrix_dist)
             (json_float f.Ledger.lf_max_compute_mean));
+      (* sweep records carry their factor curve so the data block stays
+         self-describing for scrapers, even though the trend charts plot
+         only the per-run scalars *)
+      if r.Ledger.r_sweep <> [] then begin
+        p ",\"sweep\":[";
+        List.iteri
+          (fun j (sp : Ledger.sweep_point) ->
+            if j > 0 then p ",";
+            p
+              "{\"factor\":%s,\"verdict\":\"%s\",\"time_error\":%s,\"timeline_distance\":%s,\"comm_matrix_dist\":%s,\"max_compute_mean\":%s}"
+              (json_float sp.Ledger.sp_factor)
+              (json_escape sp.Ledger.sp_fidelity.Ledger.lf_verdict)
+              (json_float sp.Ledger.sp_fidelity.Ledger.lf_time_error)
+              (json_float sp.Ledger.sp_fidelity.Ledger.lf_timeline_distance)
+              (json_float sp.Ledger.sp_fidelity.Ledger.lf_comm_matrix_dist)
+              (json_float sp.Ledger.sp_fidelity.Ledger.lf_max_compute_mean))
+          r.Ledger.r_sweep;
+        p "]"
+      end;
       p "}")
     records;
   p "]}";
   Buffer.contents b
 
 (* The viewer script.  Static: it only reads the JSON block, so the
-   OCaml side never splices values into JS. *)
+   OCaml side never splices values into JS.  Plot machinery comes from
+   the shared SiestaChart global (Html_embed.chart_js). *)
 let viewer_js =
   {js|
 (function () {
   'use strict';
   var data = JSON.parse(document.getElementById('ledger-data').textContent);
   var runs = data.runs;
-  var PALETTE = ['#2196f3', '#4caf50', '#f44336', '#ff9800', '#9c27b0',
-                 '#00bcd4', '#795548', '#607d8b'];
-
-  function sized(canvas) {
-    var dpr = window.devicePixelRatio || 1;
-    var w = canvas.clientWidth, h = canvas.clientHeight;
-    canvas.width = w * dpr;
-    canvas.height = h * dpr;
-    var ctx = canvas.getContext('2d');
-    ctx.setTransform(dpr, 0, 0, dpr, 0, 0);
-    return { ctx: ctx, w: w, h: h };
-  }
-
-  // series: [{name, points: [[seq, value], ...]}]
-  function plot(canvasId, legendId, series, yLabel) {
-    var canvas = document.getElementById(canvasId);
-    var legend = document.getElementById(legendId);
-    var s = sized(canvas);
-    var ctx = s.ctx, W = s.w, H = s.h;
-    var padL = 56, padR = 12, padT = 12, padB = 28;
-    ctx.clearRect(0, 0, W, H);
-    var xs = [], ys = [];
-    series.forEach(function (sr) {
-      sr.points.forEach(function (pt) {
-        if (pt[1] === null) return;
-        xs.push(pt[0]); ys.push(pt[1]);
-      });
-    });
-    if (xs.length === 0) {
-      ctx.fillStyle = '#888';
-      ctx.font = '13px sans-serif';
-      ctx.fillText('no data', W / 2 - 20, H / 2);
-      return;
-    }
-    var x0 = Math.min.apply(null, xs), x1 = Math.max.apply(null, xs);
-    var y1 = Math.max.apply(null, ys), y0 = 0;
-    if (x1 === x0) x1 = x0 + 1;
-    if (y1 <= y0) y1 = y0 + 1;
-    function X(v) { return padL + (v - x0) / (x1 - x0) * (W - padL - padR); }
-    function Y(v) { return H - padB - (v - y0) / (y1 - y0) * (H - padT - padB); }
-    // axes + gridlines
-    ctx.strokeStyle = '#ddd';
-    ctx.fillStyle = '#666';
-    ctx.font = '11px sans-serif';
-    ctx.lineWidth = 1;
-    for (var g = 0; g <= 4; g++) {
-      var gv = y0 + (y1 - y0) * g / 4;
-      var gy = Y(gv);
-      ctx.beginPath();
-      ctx.moveTo(padL, gy); ctx.lineTo(W - padR, gy);
-      ctx.stroke();
-      ctx.fillText(gv.toPrecision(3), 4, gy + 4);
-    }
-    ctx.fillText(yLabel, padL, H - 8);
-    // one tick per run seq (sparse if many)
-    var step = Math.max(1, Math.ceil((x1 - x0) / 12));
-    for (var t = x0; t <= x1; t += step) {
-      ctx.fillText('#' + t, X(t) - 8, H - padB + 14);
-    }
-    // series lines
-    legend.innerHTML = '';
-    series.forEach(function (sr, i) {
-      var color = PALETTE[i % PALETTE.length];
-      ctx.strokeStyle = color;
-      ctx.fillStyle = color;
-      ctx.lineWidth = 1.5;
-      ctx.beginPath();
-      var started = false;
-      sr.points.forEach(function (pt) {
-        if (pt[1] === null) return;
-        var px = X(pt[0]), py = Y(pt[1]);
-        if (!started) { ctx.moveTo(px, py); started = true; }
-        else ctx.lineTo(px, py);
-      });
-      ctx.stroke();
-      sr.points.forEach(function (pt) {
-        if (pt[1] === null) return;
-        ctx.beginPath();
-        ctx.arc(X(pt[0]), Y(pt[1]), 2.5, 0, Math.PI * 2);
-        ctx.fill();
-      });
-      var chip = document.createElement('span');
-      chip.className = 'chip';
-      chip.innerHTML = '<i style="background:' + color + '"></i>' + sr.name;
-      legend.appendChild(chip);
-    });
-  }
 
   function stageSeries() {
     var names = [];
@@ -200,8 +118,10 @@ let viewer_js =
   }
 
   function renderAll() {
-    plot('stage-chart', 'stage-legend', stageSeries(), 'stage wall seconds by run');
-    plot('fidelity-chart', 'fidelity-legend', fidelitySeries(), 'fidelity error by run');
+    SiestaChart.linePlot('stage-chart', 'stage-legend', stageSeries(),
+                         { yLabel: 'stage wall seconds by run', xTickPrefix: '#' });
+    SiestaChart.linePlot('fidelity-chart', 'fidelity-legend', fidelitySeries(),
+                         { yLabel: 'fidelity error by run', xTickPrefix: '#' });
     var tbody = document.getElementById('run-rows');
     tbody.innerHTML = '';
     runs.forEach(function (r) {
@@ -218,7 +138,8 @@ let viewer_js =
       td(r.workload || '-');
       td(new Date(r.time * 1000).toISOString().replace('T', ' ').slice(0, 19));
       td(r.timings.length ? total.toFixed(4) + ' s' : '-');
-      td(r.fidelity ? r.fidelity.verdict : '-');
+      td(r.fidelity ? r.fidelity.verdict :
+         (r.sweep ? r.sweep.length + '-factor sweep' : '-'));
       td(r.git);
       tbody.appendChild(tr);
     });
@@ -229,41 +150,10 @@ let viewer_js =
 })();
 |js}
 
-let html_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '&' -> Buffer.add_string b "&amp;"
-      | '<' -> Buffer.add_string b "&lt;"
-      | '>' -> Buffer.add_string b "&gt;"
-      | '"' -> Buffer.add_string b "&quot;"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let render ?(title = "siesta run trends") records =
   let b = Buffer.create 65536 in
   let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  p "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
-  p "<title>%s</title>\n" (html_escape title);
-  Buffer.add_string b
-    {css|<style>
-  body { font: 14px/1.4 system-ui, sans-serif; margin: 1.5em; color: #222; }
-  h1 { font-size: 1.3em; }
-  h2 { font-size: 1.05em; margin-top: 1.6em; }
-  canvas { width: 100%; height: 260px; display: block; border: 1px solid #e0e0e0;
-           border-radius: 4px; background: #fff; }
-  .legend { margin: 0.4em 0 0; }
-  .chip { display: inline-block; margin-right: 1em; font-size: 12px; color: #444; }
-  .chip i { display: inline-block; width: 10px; height: 10px; border-radius: 2px;
-            margin-right: 4px; }
-  table { border-collapse: collapse; margin-top: 0.5em; font-size: 13px; }
-  th, td { border: 1px solid #e0e0e0; padding: 3px 9px; text-align: left; }
-  th { background: #f5f5f5; }
-</style>
-|css};
-  p "</head>\n<body>\n<h1>%s</h1>\n" (html_escape title);
+  p "<h1>%s</h1>\n" (Html_embed.html_escape title);
   p "<p>%d run record(s)</p>\n" (List.length records);
   p "<h2>Stage times</h2>\n<canvas id=\"stage-chart\"></canvas>\n";
   p "<div class=\"legend\" id=\"stage-legend\"></div>\n";
@@ -272,10 +162,10 @@ let render ?(title = "siesta run trends") records =
   p "<h2>Runs</h2>\n<table><thead><tr><th>seq</th><th>kind</th><th>workload</th>";
   p "<th>time (UTC)</th><th>total</th><th>verdict</th><th>git</th></tr></thead>\n";
   p "<tbody id=\"run-rows\"></tbody></table>\n";
-  p "<script type=\"application/json\" id=\"ledger-data\">%s</script>\n"
-    (ledger_json records);
-  p "<script>%s</script>\n</body>\n</html>\n" viewer_js;
-  Buffer.contents b
+  Buffer.add_string b (Html_embed.data_block ~id:"ledger-data" (ledger_json records));
+  p "<script>%s</script>\n" Html_embed.chart_js;
+  p "<script>%s</script>\n" viewer_js;
+  Html_embed.page ~title ~css:Html_embed.dashboard_css ~body:(Buffer.contents b)
 
 let write ?title records ~path =
   let oc = open_out path in

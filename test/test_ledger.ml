@@ -48,7 +48,7 @@ let check_verify_clean what st =
    so compare tests pin exact numbers. *)
 let mk ?(seq = 0) ?(kind = "synth") ?(workload = "CG") ?(nranks = "8")
     ?(timings = [ ("pipeline.trace", 0.10); ("pipeline.merge", 0.20) ]) ?fidelity
-    ?(metrics = Json.Obj []) () =
+    ?(sweep = []) ?(metrics = Json.Obj []) () =
   {
     Ledger.r_schema = Ledger.schema_version;
     r_id = "deadbeefcafe0042";
@@ -65,6 +65,7 @@ let mk ?(seq = 0) ?(kind = "synth") ?(workload = "CG") ?(nranks = "8")
     r_heap = [ ("minor_words", 1234.0) ];
     r_metrics = metrics;
     r_fidelity = fidelity;
+    r_sweep = sweep;
   }
 
 let fid ?(verdict = "faithful") ?(time_error = 0.01) ?(timeline = 0.02) ?(comm = 0.0)

@@ -27,5 +27,6 @@ let () =
       ("core", Test_core.suite);
       ("store", Test_store.suite);
       ("ledger", Test_ledger.suite);
+      ("sweep", Test_sweep.suite);
       ("final-coverage", Test_final_coverage.suite);
     ]
