@@ -104,6 +104,17 @@ smoke: build
 		--iters 3 --factors 1,2,0,4 --cache 2>/dev/null; \
 		st=$$?; [ $$st -eq 2 ] \
 		|| { echo "smoke: expected exit 2 from a bad --factors schedule, got $$st" >&2; exit 1; }
+	@# Static communication check: clean registry workloads exit 0, a
+	@# seeded fault flips the verdict to exit 1, and an unknown
+	@# --perturb token is rejected with exit 2 naming itself.
+	dune exec bin/siesta_cli.exe -- check CG -n 8
+	dune exec bin/siesta_cli.exe -- check Sweep3d -n 8 --iters 2
+	@dune exec bin/siesta_cli.exe -- check CG -n 8 --perturb deadlock; \
+		st=$$?; [ $$st -eq 1 ] \
+		|| { echo "smoke: expected check exit 1 on a seeded deadlock, got $$st" >&2; exit 1; }
+	@dune exec bin/siesta_cli.exe -- check CG -n 8 --perturb bogus 2>/dev/null; \
+		st=$$?; [ $$st -eq 2 ] \
+		|| { echo "smoke: expected exit 2 from a bad --perturb token, got $$st" >&2; exit 1; }
 	@# Streaming equivalence at scale: a >= 10^6-event seeded run through
 	@# the default streamed recorder must emit a proxy byte-identical to
 	@# the boxed reference path.

@@ -11,6 +11,7 @@
      extrapolate <workload>       proxy for an untraced process count
      diff        -w <workload>    proxy-vs-original fidelity report
      sweep       <workload>       fidelity-vs-factor curve over a factor schedule
+     check       <workload>       static communication-correctness check
      check-trace <file>           validate a --trace-out / --timeline-out trace
      store       ls|verify|gc|rm  inspect / maintain the artifact store
      runs        ls|show|compare|gc|html
@@ -41,6 +42,7 @@ module Timeline = Siesta_analysis.Timeline
 module Timeline_html = Siesta_analysis.Timeline_html
 module Critical_path = Siesta_analysis.Critical_path
 module Divergence = Siesta_analysis.Divergence
+module Comm_check = Siesta_analysis.Comm_check
 module Store = Siesta_store.Store
 module Bytes_fmt = Siesta_util.Bytes_fmt
 module Run_id = Siesta_obs.Run_id
@@ -259,6 +261,26 @@ let spec_of workload nranks iters platform impl seed =
   | exception Invalid_argument m ->
       Printf.eprintf "%s\n" m;
       exit 2
+
+(* --perturb tokens are validated by hand rather than with [Arg.enum] so
+   an unknown token exits 2 naming itself (the same contract as a bad
+   --factors schedule), instead of cmdliner's generic usage error. *)
+let divergence_fault_of cmd = function
+  | None -> None
+  | Some "comm" -> Some `Comm
+  | Some "compute" -> Some `Compute
+  | Some tok ->
+      Printf.eprintf "%s: unknown --perturb token %S (expected comm|compute)\n" cmd tok;
+      exit 2
+
+let check_fault_of = function
+  | None -> None
+  | Some tok -> (
+      match Comm_check.fault_of_string tok with
+      | Ok f -> Some f
+      | Error msg ->
+          Printf.eprintf "check: %s\n" msg;
+          exit 2)
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                          *)
@@ -617,14 +639,12 @@ let diff_cmd =
       "Deliberately damage the synthesized proxy before diffing ($(b,comm) bumps a send \
        count, $(b,compute) scales the block combinations) — for exercising the detector."
     in
-    Arg.(
-      value
-      & opt (some (enum [ ("comm", `Comm); ("compute", `Compute) ])) None
-      & info [ "perturb" ] ~docv:"WHAT" ~doc)
+    Arg.(value & opt (some string) None & info [ "perturb" ] ~docv:"WHAT" ~doc)
   in
   let run obs workload nranks iters platform impl seed factor json perturb timeline_out
       timeline_html cache_opts =
     with_obs obs @@ fun () ->
+    let perturb = divergence_fault_of "diff" perturb in
     let s = spec_of workload nranks iters platform impl seed in
     let store = store_of_opts cache_opts in
     with_ledger store;
@@ -719,14 +739,12 @@ let sweep_cmd =
        count, $(b,compute) scales the block combinations) — for exercising the \
        curve-regression gate."
     in
-    Arg.(
-      value
-      & opt (some (enum [ ("comm", `Comm); ("compute", `Compute) ])) None
-      & info [ "perturb" ] ~docv:"WHAT" ~doc)
+    Arg.(value & opt (some string) None & info [ "perturb" ] ~docv:"WHAT" ~doc)
   in
   let run obs workload nranks iters platform impl seed factors_s json html perturb
       cache_opts =
     with_obs obs @@ fun () ->
+    let perturb = divergence_fault_of "sweep" perturb in
     let factors =
       match Sweep.parse_factors factors_s with
       | Ok l -> l
@@ -758,6 +776,55 @@ let sweep_cmd =
       const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg
       $ impl_arg $ seed_arg $ factors_arg $ json_arg $ html_arg $ perturb_arg
       $ cache_term)
+
+(* check: the static correctness observatory.  Synthesizes (or restores
+   from cache) the merged grammar and walks it symbolically — no replay —
+   verifying send/recv matching completeness, rendezvous-deadlock
+   freedom under the implementation's eager threshold, and collective
+   sequence consistency.  Exit 1 on a violation; --perturb seeds one. *)
+let check_cmd =
+  let json_arg =
+    let doc = "Print the check report as JSON instead of markdown." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let perturb_arg =
+    let doc =
+      "Seed a communication fault into the merged program before checking ($(b,mismatch) \
+       adds an unmatched send, $(b,deadlock) a blocking rendezvous ring, $(b,collective) \
+       a collective-sequence inconsistency) — for exercising the checker."
+    in
+    Arg.(value & opt (some string) None & info [ "perturb" ] ~docv:"WHAT" ~doc)
+  in
+  let run obs workload nranks iters platform impl seed json perturb cache_opts =
+    with_obs obs @@ fun () ->
+    let fault = check_fault_of perturb in
+    let s = spec_of workload nranks iters platform impl seed in
+    let store = store_of_opts cache_opts in
+    with_ledger store;
+    let sy = Pipeline.synthesize_spec ~cache:cache_opts.cache ?store s in
+    let report = Pipeline.check_synthesis ?fault sy in
+    if json then print_string (Comm_check.to_json report)
+    else begin
+      Printf.printf "%s @ %d ranks (%s, eager threshold %d B)%s\n" workload nranks
+        impl.Mpi_impl.name report.Comm_check.k_eager_threshold
+        (match perturb with
+        | None -> ""
+        | Some what -> Printf.sprintf " [perturbed: %s]" what);
+      print_cache_status sy.Pipeline.sy_status;
+      print_string (Comm_check.to_markdown report)
+    end;
+    match Comm_check.verdict report with
+    | Comm_check.Violated _ -> exit 1
+    | Comm_check.Clean -> ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify communication correctness of the merged grammar (exit 1 on a \
+          violation, 2 on a bad --perturb token)")
+    Term.(
+      const run $ obs_term $ workload_arg $ nranks_arg $ iters_arg $ platform_arg
+      $ impl_arg $ seed_arg $ json_arg $ perturb_arg $ cache_term)
 
 (* store: maintenance front end for the content-addressed artifact
    store.  `ls` lists stage-key bindings, `verify` re-hashes and
@@ -1270,6 +1337,7 @@ let () =
             extrapolate_cmd;
             diff_cmd;
             sweep_cmd;
+            check_cmd;
             store_cmd;
             runs_cmd;
             check_trace_cmd;

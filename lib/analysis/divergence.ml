@@ -67,6 +67,7 @@ type report = {
   r_count_delta : int;
   r_bytes_delta : int;
   r_unreceived_delta : int;
+  r_orphaned_delta : int;
   r_ranks_differ : bool;
   r_compute_errors : metric_err list;
   r_compute_unpaired : int;
@@ -239,6 +240,13 @@ let diff ~original ~proxy =
     r_unreceived_delta =
       proxy.c_result.Engine.unreceived_messages
       - original.c_result.Engine.unreceived_messages;
+    r_orphaned_delta =
+      (* provably unmatched sends only: leftovers a different wildcard
+         matching could have absorbed don't count against the proxy *)
+      (let orphaned (r : Engine.result) =
+         r.Engine.unreceived_messages - r.Engine.unreceived_wildcard_prone
+       in
+       orphaned proxy.c_result - orphaned original.c_result);
     r_ranks_differ = original.c_nranks <> proxy.c_nranks;
     r_compute_errors = compute_errors;
     r_compute_unpaired = !unpaired;
@@ -276,9 +284,13 @@ let verdict_name = function
   | Comm_divergent _ -> "comm-divergent"
 
 (* The replay invariants a computation-shrinking factor must preserve:
-   same ranks, same per-call-type counts, same unreceived-message
-   balance.  Byte/volume deltas are deliberately excluded — shrinking
-   rewrites blocking-transfer volumes by design. *)
+   same ranks, same per-call-type counts, same unmatched-send balance.
+   Byte/volume deltas are deliberately excluded — shrinking rewrites
+   blocking-transfer volumes by design.  The unmatched-send reason gates
+   on [r_orphaned_delta], not the raw unreceived total: leftovers a
+   different wildcard matching would have absorbed are not structural
+   defects (the wording matches Comm_check's static "unmatched send"
+   violations). *)
 let structural_reasons r =
   (if r.r_ranks_differ then [ "rank count differs" ] else [])
   @ List.filter_map
@@ -289,8 +301,8 @@ let structural_reasons r =
         else None)
       r.r_call_stats
   @
-  if r.r_unreceived_delta <> 0 then
-    [ Printf.sprintf "unreceived messages delta %+d" r.r_unreceived_delta ]
+  if r.r_orphaned_delta <> 0 then
+    [ Printf.sprintf "unmatched sends delta %+d" r.r_orphaned_delta ]
   else []
 
 let structural_lossless r = structural_reasons r = []

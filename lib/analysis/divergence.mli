@@ -69,7 +69,15 @@ type report = {
   r_reasons : string list;  (** human-readable lossless violations *)
   r_count_delta : int;  (** sum over call types of |count delta| *)
   r_bytes_delta : int;  (** sum over call types of |bytes delta| *)
-  r_unreceived_delta : int;  (** proxy unreceived minus original's *)
+  r_unreceived_delta : int;
+      (** proxy unreceived minus original's — the raw
+          {!Engine.result}[.unreceived_messages] totals, wildcard-prone
+          leftovers included *)
+  r_orphaned_delta : int;
+      (** same delta over provably unmatched sends only
+          ([unreceived_messages - unreceived_wildcard_prone] per side):
+          leftovers a later wildcard recv could have absorbed are
+          excluded, so this is the structural quantity *)
   r_ranks_differ : bool;
   r_compute_errors : metric_err list;  (** one entry per paper metric *)
   r_compute_unpaired : int;  (** computation events without a pair *)
@@ -95,7 +103,10 @@ val verdict : ?compute_tolerance:float -> report -> verdict
 val structural_reasons : report -> string list
 (** The lossless violations a computation-shrinking factor must never
     introduce: rank-count mismatch, per-call-type {e count} deltas, and
-    an unreceived-message imbalance.  Byte/volume deltas are excluded —
+    an unmatched-send imbalance.  The last gates on [r_orphaned_delta]
+    (not the raw unreceived total), so wildcard-matching ambiguity can't
+    misfire it; its wording ("unmatched sends delta") matches
+    {!Comm_check}'s static violations.  Byte/volume deltas are excluded —
     a shrunk proxy rewrites blocking-transfer volumes by design. *)
 
 val structural_lossless : report -> bool

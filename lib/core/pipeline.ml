@@ -12,6 +12,7 @@ module Log = Siesta_obs.Log
 module Clock = Siesta_obs.Clock
 module Timeline = Siesta_analysis.Timeline
 module Divergence = Siesta_analysis.Divergence
+module Comm_check = Siesta_analysis.Comm_check
 module Parallel = Siesta_util.Parallel
 module Store = Siesta_store.Store
 module Codec = Siesta_store.Codec
@@ -242,10 +243,36 @@ let capture_proxy_ir ?platform ?impl s proxy =
 let capture_proxy ?platform ?impl artifact =
   capture_proxy_ir ?platform ?impl artifact.traced.run_spec artifact.proxy
 
+(* ------------------------------------------------------------------ *)
+(* Static communication check *)
+
+let ledger_check_of_report (r : Comm_check.report) =
+  {
+    Ledger.lc_verdict = Comm_check.verdict_name (Comm_check.verdict r);
+    lc_violations = List.length r.Comm_check.k_reasons;
+    lc_reasons = r.Comm_check.k_reasons;
+  }
+
+let run_check s merged =
+  let report =
+    Span.with_ ~cat:"pipeline" "check" (fun () -> Comm_check.check ~impl:s.impl merged)
+  in
+  Comm_check.publish_metrics report;
+  Log.info (fun () ->
+      ( "pipeline.check",
+        [
+          ("workload", s.workload.Registry.name);
+          ("nranks", string_of_int s.nranks);
+          ("verdict", Comm_check.verdict_name (Comm_check.verdict report));
+          ("violations", string_of_int (List.length report.Comm_check.k_reasons));
+        ] ));
+  report
+
 type fidelity = {
   f_original : Divergence.capture;
   f_proxy : Divergence.capture;
   f_report : Divergence.report;
+  f_check : Comm_check.report option;
 }
 
 let ledger_fidelity_of_report ?verdict (r : Divergence.report) =
@@ -262,7 +289,7 @@ let ledger_fidelity_of_report ?verdict (r : Divergence.report) =
         0.0 r.Divergence.r_compute_errors;
   }
 
-let diff_core s proxy_ir =
+let diff_core ?check s proxy_ir =
   let fid, total_s =
     Clock.wall (fun () ->
         let original = capture_original s in
@@ -270,7 +297,7 @@ let diff_core s proxy_ir =
         let report =
           Span.with_ ~cat:"pipeline" "diff" (fun () -> Divergence.diff ~original ~proxy)
         in
-        { f_original = original; f_proxy = proxy; f_report = report })
+        { f_original = original; f_proxy = proxy; f_report = report; f_check = check })
   in
   let report = fid.f_report in
   Divergence.publish_metrics report;
@@ -285,10 +312,13 @@ let diff_core s proxy_ir =
   Ledger.emit (fun () ->
       Ledger.make ~kind:"diff" ~spec:(spec_kvs s)
         ~timings:[ ("diff.total", total_s) ]
-        ~fidelity:(ledger_fidelity_of_report report) ());
+        ~fidelity:(ledger_fidelity_of_report report)
+        ?check:(Option.map ledger_check_of_report check) ());
   fid
 
-let diff artifact = diff_core artifact.traced.run_spec artifact.proxy
+let diff artifact =
+  let s = artifact.traced.run_spec in
+  diff_core ~check:(run_check s artifact.merged) s artifact.proxy
 
 (* ------------------------------------------------------------------ *)
 (* Incremental cache (content-addressed artifact store) *)
@@ -593,4 +623,18 @@ let synthesize_spec ?(cache = false) ?store ?(factor = 1.0) ?(rle = true) ?domai
   emit_synth_record sy;
   sy
 
-let diff_synthesis sy = diff_core sy.sy_trace.ts_spec sy.sy_proxy
+let diff_synthesis sy =
+  let s = sy.sy_trace.ts_spec in
+  diff_core ~check:(run_check s sy.sy_merged) s sy.sy_proxy
+
+let check_synthesis ?fault sy =
+  let s = sy.sy_trace.ts_spec in
+  let merged =
+    match fault with None -> sy.sy_merged | Some f -> Comm_check.perturb f sy.sy_merged
+  in
+  let report, total_s = Clock.wall (fun () -> run_check s merged) in
+  Ledger.emit (fun () ->
+      Ledger.make ~kind:"check" ~spec:(spec_kvs s)
+        ~timings:[ ("check.total", total_s) ]
+        ~check:(ledger_check_of_report report) ());
+  report

@@ -156,17 +156,27 @@ val ledger_fidelity_of_report :
     [Divergence.verdict_at] results so shrunken-by-design byte deltas
     don't read as communication divergence. *)
 
+val ledger_check_of_report :
+  Siesta_analysis.Comm_check.report -> Siesta_ledger.Ledger.check
+(** The static checker's verdict, violation count and reasons in ledger
+    form (what [runs compare] gates on via the [check.*] dimensions). *)
+
 type fidelity = {
   f_original : Siesta_analysis.Divergence.capture;
   f_proxy : Siesta_analysis.Divergence.capture;
   f_report : Siesta_analysis.Divergence.report;
+  f_check : Siesta_analysis.Comm_check.report option;
+      (** static communication check of the merged grammar, when the diff
+          path had one in hand ({!diff} / {!diff_synthesis} always do) *)
 }
 
 val diff : artifact -> fidelity
 (** Capture original and proxy on the generation platform, diff them, and
     publish the headline scores as [Siesta_obs.Metrics] gauges (a no-op
-    when the registry is disabled).  Drives [siesta diff] and the
-    report's Fidelity section. *)
+    when the registry is disabled).  Also runs the static communication
+    check ({!Siesta_analysis.Comm_check}) over the merged grammar and
+    stamps its verdict into the ["diff"] ledger record.  Drives
+    [siesta diff] and the report's Fidelity/Correctness sections. *)
 
 (** {1 Incremental cache}
 
@@ -260,3 +270,14 @@ val synthesis_of_artifact : artifact -> synthesis
 
 val diff_synthesis : synthesis -> fidelity
 (** {!diff} over a cached synthesis. *)
+
+val check_synthesis :
+  ?fault:Siesta_analysis.Comm_check.fault -> synthesis -> Siesta_analysis.Comm_check.report
+(** Run the static communication-correctness check over the synthesis'
+    merged grammar — no replay, purely symbolic expansion.  [fault]
+    perturbs the merged program first
+    ({!Siesta_analysis.Comm_check.perturb}), which is how the CLI's
+    [--perturb] flag and the tests prove the checker actually fires.
+    Publishes [check.*] metrics and appends a ["check"] ledger record
+    carrying the verdict, so [runs compare] gates on it.  Drives
+    [siesta check]. *)

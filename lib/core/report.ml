@@ -200,6 +200,11 @@ let generate_synthesis (sy : Pipeline.synthesis) =
              (fun (m, e) -> Printf.sprintf "%s %s" (Counters.metric_name m) (pct e))
              (Evaluate.per_metric_errors ~original:original_run ~proxy:proxy_run)))
    end);
+  (match fid.Pipeline.f_check with
+  | None -> ()
+  | Some ck ->
+      p "\n## Correctness (static check)\n\n";
+      Buffer.add_string buf (Siesta_analysis.Comm_check.to_markdown ck));
   p "\n## Fidelity (simulated clock)\n\n";
   Buffer.add_string buf (Divergence.to_markdown fid.Pipeline.f_report);
   p "\n### Critical path (original run)\n\n```\n%s```\n"

@@ -108,6 +108,10 @@ type engine = {
   runq : int Queue.t;
   unexpected : (int * int, message Queue.t) Hashtbl.t;  (* (comm, dst world rank) *)
   posted : (int * int, posted Queue.t) Hashtbl.t;  (* (comm, owner world rank) *)
+  wildcard_posted : (int * int, unit) Hashtbl.t;
+      (* (comm, owner) keys on which the owner posted at least one
+         ANY_SOURCE/ANY_TAG recv — finalize uses this to split truly
+         orphaned leftovers from wildcard-prone ones *)
   comm_ranks : (int, int array) Hashtbl.t;  (* comm id -> world ranks *)
   pending_colls : (int * int, coll_pending) Hashtbl.t;
       (* (comm id, collective index) -> in-flight collective; the index is
@@ -142,6 +146,7 @@ type result = {
   per_rank_counters : Counters.t array;
   total_calls : int;
   unreceived_messages : int;
+  unreceived_wildcard_prone : int;
 }
 
 type _ Effect.t += Suspend : unit Effect.t
@@ -310,6 +315,8 @@ let deliver eng msg =
   | None -> Queue.push msg (queue_of eng.unexpected (msg.m_comm, msg.m_dst))
 
 let post_recv eng ~owner (post : posted) =
+  if post.p_src = Call.any_source || post.p_tag = Call.any_tag then
+    Hashtbl.replace eng.wildcard_posted (post.p_comm, owner) ();
   let unexpected_q = queue_of eng.unexpected (post.p_comm, owner) in
   match queue_find_remove unexpected_q (fun msg -> matches_post post msg) with
   | Some msg -> pair eng msg post
@@ -844,6 +851,7 @@ let run ~platform ~impl ~nranks ?hook ?observer ?(seed = 42) ?(counter_noise = 0
       runq = Queue.create ();
       unexpected = Hashtbl.create 64;
       posted = Hashtbl.create 64;
+      wildcard_posted = Hashtbl.create 8;
       comm_ranks = Hashtbl.create 8;
       pending_colls = Hashtbl.create 8;
       hook;
@@ -919,6 +927,15 @@ let run ~platform ~impl ~nranks ?hook ?observer ?(seed = 42) ?(counter_noise = 0
   in
   loop ();
   let unreceived = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) eng.unexpected 0 in
+  let unreceived_wildcard_prone =
+    (* leftovers on a (comm, dst) where dst posted a wildcard recv at some
+       point: a different wildcard matching could have absorbed them, so
+       they are not provably orphaned sends *)
+    Hashtbl.fold
+      (fun key q acc ->
+        if Hashtbl.mem eng.wildcard_posted key then acc + Queue.length q else acc)
+      eng.unexpected 0
+  in
   if Metrics.enabled () then begin
     (* flush the per-kind accumulators gathered by [count_call] into the
        shared registry (one lookup + add per kind actually used, instead
@@ -944,4 +961,5 @@ let run ~platform ~impl ~nranks ?hook ?observer ?(seed = 42) ?(counter_noise = 0
     per_rank_counters = Array.map (fun p -> Papi.totals p.papi) procs;
     total_calls = eng.total_calls;
     unreceived_messages = unreceived;
+    unreceived_wildcard_prone;
   }

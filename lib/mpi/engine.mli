@@ -200,7 +200,18 @@ type result = {
   unreceived_messages : int;
       (** messages sent but never matched by a receive when the program
           finished — legal in MPI, but almost always a bug in the traced
-          program or a broken proxy *)
+          program or a broken proxy.  This is the {e total}: it includes
+          messages a different legal wildcard matching would have
+          absorbed (see [unreceived_wildcard_prone]); subtract the two to
+          count provably unmatched sends — the quantity
+          {!Siesta_analysis.Comm_check} establishes statically and
+          [Divergence]'s structural "unmatched sends" reason gates on *)
+  unreceived_wildcard_prone : int;
+      (** the subset of [unreceived_messages] left on a (communicator,
+          destination) pair where the destination posted at least one
+          [ANY_SOURCE]/[ANY_TAG] receive: under a different (equally
+          legal) wildcard matching those messages might have been
+          received, so they are not evidence of a structural defect *)
 }
 
 val estimate_p2p_seconds :

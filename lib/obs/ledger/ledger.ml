@@ -10,7 +10,7 @@ module Hash = Siesta_store.Hash
    [Codec.schema_version]: the frame versions the wire container, this
    versions the JSON document inside it, so old records survive a codec
    schema bump of the stage artifacts... and vice versa. *)
-let schema_version = 2
+let schema_version = 3
 
 let run_kind = "run"
 
@@ -38,6 +38,13 @@ type sweep_point = {
   sp_cache : (string * string) list;
 }
 
+(* Static communication-check outcome (schema v3). *)
+type check = {
+  lc_verdict : string;  (* "clean" | "violated" *)
+  lc_violations : int;
+  lc_reasons : string list;
+}
+
 type record = {
   r_schema : int;
   r_id : string;
@@ -55,6 +62,7 @@ type record = {
   r_metrics : Json.t;
   r_fidelity : fidelity option;
   r_sweep : sweep_point list;
+  r_check : check option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -97,7 +105,7 @@ let heap_stats () =
   ]
 
 let make ~kind ?(spec = []) ?(cache = []) ?(timings = []) ?(sched = []) ?fidelity
-    ?(sweep = []) () =
+    ?(sweep = []) ?check () =
   {
     r_schema = schema_version;
     r_id = Run_id.get ();
@@ -118,6 +126,7 @@ let make ~kind ?(spec = []) ?(cache = []) ?(timings = []) ?(sched = []) ?fidelit
       (match Json.parse (Metrics.to_json ()) with Ok j -> j | Error _ -> Json.Obj []);
     r_fidelity = fidelity;
     r_sweep = sweep;
+    r_check = check;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -149,6 +158,14 @@ let json_of_sweep_point sp =
       ("cache", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) sp.sp_cache));
     ]
 
+let json_of_check c =
+  Json.Obj
+    [
+      ("verdict", Json.Str c.lc_verdict);
+      ("violations", Json.Num (float_of_int c.lc_violations));
+      ("reasons", Json.Arr (List.map (fun s -> Json.Str s) c.lc_reasons));
+    ]
+
 let json_of_record r =
   let strs l = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) l) in
   let nums l = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) l) in
@@ -175,6 +192,7 @@ let json_of_record r =
       ( "fidelity",
         match r.r_fidelity with None -> Json.Null | Some f -> json_of_fidelity f );
       ("sweep", Json.Arr (List.map json_of_sweep_point r.r_sweep));
+      ("check", match r.r_check with None -> Json.Null | Some c -> json_of_check c);
     ]
 
 let encode r = Json.to_string (json_of_record r)
@@ -231,6 +249,17 @@ let sweep_point_of_json p =
     sp_cache = str_kvs "cache" p;
   }
 
+let check_of_json c =
+  {
+    lc_verdict = str_field "verdict" c;
+    lc_violations = int_of_float (num_field "violations" c);
+    lc_reasons =
+      (match Json.member "reasons" c with
+      | Some (Json.Arr l) ->
+          List.filter_map (function Json.Str s -> Some s | _ -> None) l
+      | _ -> []);
+  }
+
 let record_of_json j =
   let schema = int_of_float (num_field "ledger_schema" j) in
   if schema > schema_version then
@@ -271,6 +300,11 @@ let record_of_json j =
       (match Json.member "sweep" j with
       | Some (Json.Arr l) -> List.map sweep_point_of_json l
       | _ -> []);
+    (* absent on v1/v2 records *)
+    r_check =
+      (match Json.member "check" j with
+      | None | Some Json.Null -> None
+      | Some c -> Some (check_of_json c));
   }
 
 let decode payload = record_of_json (Json.parse_exn payload)

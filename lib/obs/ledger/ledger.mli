@@ -53,12 +53,21 @@ type sweep_point = {
   sp_cache : (string * string) list;  (** per-stage cache outcomes *)
 }
 
+(** Outcome of the static communication check (schema v3) — what
+    [runs compare] gates on via the [check.*] dimensions. *)
+type check = {
+  lc_verdict : string;  (** [Comm_check.verdict_name]: "clean"/"violated" *)
+  lc_violations : int;  (** total violations across the three checks *)
+  lc_reasons : string list;  (** the checker's reason strings *)
+}
+
 type record = {
   r_schema : int;
   r_id : string;  (** {!Siesta_obs.Run_id} of the emitting process *)
   r_seq : int;  (** per-store sequence number, assigned by {!append} *)
   r_kind : string;
-      (** ["trace"], ["synth"], ["diff"], ["sweep"] or ["bench"] *)
+      (** ["trace"], ["synth"], ["diff"], ["sweep"], ["check"] or
+          ["bench"] *)
   r_time : float;  (** unix time of emission *)
   r_git : string;  (** [git describe --always --dirty], or ["unknown"] *)
   r_argv : string list;
@@ -73,6 +82,10 @@ type record = {
   r_sweep : sweep_point list;
       (** the factor curve of a ["sweep"] record; [[]] everywhere else
           (and on records written before schema v2) *)
+  r_check : check option;
+      (** present on ["check"] records and on ["diff"] records that ran
+          the static checker; [None] on records written before
+          schema v3 *)
 }
 
 val make :
@@ -83,6 +96,7 @@ val make :
   ?sched:(string * float) list ->
   ?fidelity:fidelity ->
   ?sweep:sweep_point list ->
+  ?check:check ->
   unit ->
   record
 (** Capture a record of the current process state: run id, time, git

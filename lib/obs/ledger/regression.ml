@@ -163,6 +163,40 @@ let sweep_dims t base cur =
                 })
         factors
 
+(* Static-checker outcome: clean ranks below violated, unknown verdict
+   names (future schema) rank worst so a transition into them is
+   surfaced; any growth in the violation count also regresses. *)
+let check_rank = function "clean" -> 0 | "violated" -> 1 | _ -> 2
+
+let check_dims base cur =
+  match (base.Ledger.r_check, cur.Ledger.r_check) with
+  | None, None -> []
+  | None, Some c ->
+      [ { d_name = "check.verdict"; d_base = "-"; d_cur = c.Ledger.lc_verdict;
+          d_regressed = false; d_note = "no baseline check" } ]
+  | Some b, None ->
+      [ { d_name = "check.verdict"; d_base = b.Ledger.lc_verdict; d_cur = "-";
+          d_regressed = false; d_note = "current run has no check" } ]
+  | Some b, Some c ->
+      let worse = check_rank c.Ledger.lc_verdict > check_rank b.Ledger.lc_verdict in
+      let more = c.Ledger.lc_violations > b.Ledger.lc_violations in
+      [
+        { d_name = "check.verdict"; d_base = b.Ledger.lc_verdict;
+          d_cur = c.Ledger.lc_verdict; d_regressed = worse;
+          d_note = (if worse then "communication check degraded" else "") };
+        { d_name = "check.violations";
+          d_base = string_of_int b.Ledger.lc_violations;
+          d_cur = string_of_int c.Ledger.lc_violations;
+          d_regressed = more;
+          d_note =
+            (if more then
+               match c.Ledger.lc_reasons with
+               | r :: _ -> r
+               | [] -> "violation count grew"
+             else "");
+        };
+      ]
+
 (* A stage regresses only when it blew up in ratio AND by an absolute
    floor: warm-cache stage times are microseconds, where pure ratios
    would flap on scheduler noise. *)
@@ -224,6 +258,7 @@ let compare_runs ?(thresholds = default) ~baseline current =
   let dims =
     verdict_dims thresholds baseline current
     @ sweep_dims thresholds baseline current
+    @ check_dims baseline current
     @ stage_dims thresholds baseline current
     @ metric_dims baseline current
   in

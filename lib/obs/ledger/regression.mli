@@ -52,11 +52,14 @@ val compare_runs :
     verdict; one [sweep.f<factor>] dimension per factor when either
     record carries a factor curve (regressed when the verdict rank
     worsens or any fidelity measure worsens past the fidelity delta at
-    that factor; one-sided factors are informational); total and
-    per-stage wall times for stages present in both records (ratio AND
-    absolute floor must both trip); informational counter deltas (cache
-    hits/misses, traces) that never regress on their own.  Improvements
-    never count as regressions. *)
+    that factor; one-sided factors are informational);
+    [check.verdict] / [check.violations] when both records carry a
+    static-check block (regressed when the verdict degrades
+    clean -> violated or the violation count grows; one-sided presence
+    is informational); total and per-stage wall times for stages
+    present in both records (ratio AND absolute floor must both trip);
+    informational counter deltas (cache hits/misses, traces) that never
+    regress on their own.  Improvements never count as regressions. *)
 
 val render : comparison -> string
 (** Aligned per-dimension table plus a one-line summary. *)

@@ -83,8 +83,11 @@ let program params ~nranks ctx =
   let add_kernel =
     K.streaming ~label:"add" ~flops:(5.0 *. cells) ~bytes:(2.0 *. 8.0 *. cells)
   in
-  (* copy_faces: non-blocking exchange with the four grid neighbours *)
+  (* copy_faces: non-blocking exchange with the four grid neighbours.  On
+     a 1x1 grid every periodic neighbour is the rank itself, so there is
+     no exchange to do — skip instead of emitting four self-send pairs. *)
   let copy_faces () =
+    if q > 1 then begin
     let reqs = ref [] in
     let neighbor dx dy = ((py + dy + q) mod q * q) + ((px + dx + q) mod q) in
     let dirs = [ (1, 0); (-1, 0); (0, 1); (0, -1) ] in
@@ -99,6 +102,7 @@ let program params ~nranks ctx =
                 :: !reqs)
       dirs;
     E.waitall ctx (List.rev !reqs)
+    end
   in
   (* A pipelined directional solve.  [coord]/[extent] select the pipeline
      axis; upstream/downstream are the neighbouring ranks along it. *)

@@ -43,15 +43,21 @@ let program ?(iterations = default_iterations) ~nranks () ctx =
     float_of_int lx /. shrink *. (float_of_int ly /. shrink) *. (float_of_int lz /. shrink)
     |> max 1.0
   in
-  (* comm3: exchange both faces along each axis *)
+  (* comm3: exchange both faces along each axis.  A 1-wide axis (nranks=1,
+     or the flat axes of a prime process count) has no neighbour to talk
+     to — the real code copies the periodic boundary locally — so skip it
+     rather than emit self-sends. *)
+  let axis_extent = [| px; py; pz |] in
   let comm3 level =
     for axis = 0 to 2 do
-      let count = face_count level axis in
-      let r1 = E.irecv ctx ~src:(neighbor axis (-1)) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count in
-      let r2 = E.irecv ctx ~src:(neighbor axis 1) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count in
-      E.send ctx ~dest:(neighbor axis 1) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count;
-      E.send ctx ~dest:(neighbor axis (-1)) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count;
-      E.waitall ctx [ r1; r2 ]
+      if axis_extent.(axis) > 1 then begin
+        let count = face_count level axis in
+        let r1 = E.irecv ctx ~src:(neighbor axis (-1)) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count in
+        let r2 = E.irecv ctx ~src:(neighbor axis 1) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count in
+        E.send ctx ~dest:(neighbor axis 1) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count;
+        E.send ctx ~dest:(neighbor axis (-1)) ~tag:(tag_comm3 + axis) ~dt:D.Double ~count;
+        E.waitall ctx [ r1; r2 ]
+      end
     done
   in
   let stencil_kernel label level flops_per_cell =

@@ -48,7 +48,7 @@ let check_verify_clean what st =
    so compare tests pin exact numbers. *)
 let mk ?(seq = 0) ?(kind = "synth") ?(workload = "CG") ?(nranks = "8")
     ?(timings = [ ("pipeline.trace", 0.10); ("pipeline.merge", 0.20) ]) ?fidelity
-    ?(sweep = []) ?(metrics = Json.Obj []) () =
+    ?(sweep = []) ?check ?(metrics = Json.Obj []) () =
   {
     Ledger.r_schema = Ledger.schema_version;
     r_id = "deadbeefcafe0042";
@@ -66,6 +66,7 @@ let mk ?(seq = 0) ?(kind = "synth") ?(workload = "CG") ?(nranks = "8")
     r_metrics = metrics;
     r_fidelity = fidelity;
     r_sweep = sweep;
+    r_check = check;
   }
 
 let fid ?(verdict = "faithful") ?(time_error = 0.01) ?(timeline = 0.02) ?(comm = 0.0)

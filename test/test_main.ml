@@ -23,6 +23,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("analysis", Test_analysis.suite);
       ("fidelity", Test_fidelity.suite);
+      ("comm-check", Test_comm_check.suite);
       ("extrapolate", Test_extrapolate.suite);
       ("core", Test_core.suite);
       ("store", Test_store.suite);

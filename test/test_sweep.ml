@@ -94,6 +94,9 @@ let mk_report ?(count_delta = 0) ?(bytes_delta = 0) ?(unreceived = 0)
     r_count_delta = abs count_delta;
     r_bytes_delta = abs bytes_delta;
     r_unreceived_delta = unreceived;
+    (* the hand-built report has no wildcard recvs, so every unreceived
+       leftover is a provably orphaned send *)
+    r_orphaned_delta = unreceived;
     r_ranks_differ = ranks_differ;
     r_compute_errors =
       [
@@ -201,6 +204,7 @@ let mk_sweep_record ?(seq = 1) points =
     r_metrics = Json.Obj [];
     r_fidelity = None;
     r_sweep = points;
+    r_check = None;
   }
 
 let test_sweep_record_roundtrip () =
