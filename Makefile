@@ -13,6 +13,11 @@ SMOKE_TREND_HTML := /tmp/siesta_smoke_trends.html
 SMOKE_SWEEP_STORE := /tmp/siesta_smoke_sweep_store
 SMOKE_SWEEP_HTML := /tmp/siesta_smoke_sweep.html
 SMOKE_SWEEP_METRICS := /tmp/siesta_smoke_sweep_metrics.json
+SMOKE_SERVE_SOCK := /tmp/siesta_smoke_serve.sock
+SMOKE_SERVE_STORE := /tmp/siesta_smoke_serve_store
+SMOKE_SERVE_LOG := /tmp/siesta_smoke_serve.log
+SMOKE_SERVE_BLOB := /tmp/siesta_smoke_serve_blob.bin
+SMOKE_SERVE_METRICS := /tmp/siesta_smoke_serve_metrics.json
 
 .PHONY: all build test check smoke bench-check bench-quick clean
 
@@ -123,11 +128,60 @@ smoke: build
 	dune exec bin/siesta_cli.exe -- synth CG -n 16 --iters 3000 \
 		--boxed-trace -o $(SMOKE_PROXY_BOXED)
 	cmp $(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED)
+	@# Synthesis as a service: daemon on a temp unix socket; submit a
+	@# job and poll it to done, warm re-submit must replay purely from
+	@# the stage caches (all-hit metrics, zero misses after the warm
+	@# run), the artifact blob over HTTP must be byte-identical to the
+	@# store object on disk, and SIGTERM must drain and exit 0.  The
+	@# daemon runs from _build directly so the background process holds
+	@# no dune lock.
+	@rm -rf $(SMOKE_SERVE_STORE); rm -f $(SMOKE_SERVE_SOCK)
+	@set -e; CLI=_build/default/bin/siesta_cli.exe; \
+	$$CLI serve --socket $(SMOKE_SERVE_SOCK) --store $(SMOKE_SERVE_STORE) \
+		> $(SMOKE_SERVE_LOG) 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+		$$CLI http GET /healthz --socket $(SMOKE_SERVE_SOCK) >/dev/null 2>&1 \
+			&& { up=1; break; }; sleep 0.1; done; \
+	[ $$up -eq 1 ] || { echo "smoke: serve daemon never came up" >&2; cat $(SMOKE_SERVE_LOG) >&2; exit 1; }; \
+	job=$$($$CLI http POST /jobs --socket $(SMOKE_SERVE_SOCK) \
+		--data '{"workload":"CG","nranks":8,"iters":3}' --extract job); \
+	st=queued; for i in $$(seq 1 200); do \
+		st=$$($$CLI http GET /jobs/$$job --socket $(SMOKE_SERVE_SOCK) --extract state); \
+		[ "$$st" = done ] && break; sleep 0.2; done; \
+	[ "$$st" = done ] || { echo "smoke: serve job stuck in state '$$st'" >&2; kill $$pid; exit 1; }; \
+	job2=$$($$CLI http POST /jobs --socket $(SMOKE_SERVE_SOCK) \
+		--data '{"workload":"CG","nranks":8,"iters":3}' --extract job); \
+	[ "$$job2" = "$$job" ] || { echo "smoke: warm re-submit changed the job id" >&2; kill $$pid; exit 1; }; \
+	st=queued; for i in $$(seq 1 100); do \
+		st=$$($$CLI http GET /jobs/$$job --socket $(SMOKE_SERVE_SOCK) --extract state); \
+		[ "$$st" = done ] && break; sleep 0.2; done; \
+	[ "$$st" = done ] || { echo "smoke: warm serve job stuck in state '$$st'" >&2; kill $$pid; exit 1; }; \
+	for stage in trace merge proxy; do \
+		hit=$$($$CLI http GET /jobs/$$job --socket $(SMOKE_SERVE_SOCK) --extract cache/$$stage); \
+		[ "$$hit" = hit ] || { echo "smoke: warm serve job $$stage stage was '$$hit', not a cache hit" >&2; kill $$pid; exit 1; }; \
+	done; \
+	$$CLI http GET /metricsz --socket $(SMOKE_SERVE_SOCK) -o $(SMOKE_SERVE_METRICS); \
+	grep -q '"cache\.trace\.hits"' $(SMOKE_SERVE_METRICS) \
+		|| { echo "smoke: serve /metricsz reports no trace cache hits" >&2; kill $$pid; exit 1; }; \
+	grep -q '"serve\.jobs\.executed"' $(SMOKE_SERVE_METRICS) \
+		|| { echo "smoke: serve /metricsz missing serve.* counters" >&2; kill $$pid; exit 1; }; \
+	h=$$($$CLI http GET /jobs/$$job --socket $(SMOKE_SERVE_SOCK) --extract artifacts/proxy.c/hash); \
+	$$CLI http GET /blobs/$$h --socket $(SMOKE_SERVE_SOCK) -o $(SMOKE_SERVE_BLOB); \
+	cmp $(SMOKE_SERVE_BLOB) \
+		$(SMOKE_SERVE_STORE)/objects/$$(printf %s $$h | cut -c1-2)/$$(printf %s $$h | cut -c3-) \
+		|| { echo "smoke: served blob differs from the store object" >&2; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid; rc=$$?; \
+	[ $$rc -eq 0 ] || { echo "smoke: serve daemon exited $$rc on SIGTERM, not 0" >&2; exit 1; }; \
+	[ ! -e $(SMOKE_SERVE_SOCK) ] || { echo "smoke: serve daemon left its socket behind" >&2; exit 1; }; \
+	echo "smoke: serve cold job + coalesced id + warm all-hit replay + blob cmp + clean SIGTERM drain OK"
 	@rm -f $(SMOKE_TRACE) $(SMOKE_TIMELINE) $(SMOKE_TIMELINE_HTML) \
 		$(SMOKE_PROXY) $(SMOKE_PROXY_WARM) $(SMOKE_METRICS) \
 		$(SMOKE_PROXY_STREAMED) $(SMOKE_PROXY_BOXED) $(SMOKE_TREND_HTML) \
-		$(SMOKE_SWEEP_HTML) $(SMOKE_SWEEP_METRICS)
-	@rm -rf $(SMOKE_STORE) $(SMOKE_SWEEP_STORE)
+		$(SMOKE_SWEEP_HTML) $(SMOKE_SWEEP_METRICS) \
+		$(SMOKE_SERVE_SOCK) $(SMOKE_SERVE_LOG) $(SMOKE_SERVE_BLOB) \
+		$(SMOKE_SERVE_METRICS)
+	@rm -rf $(SMOKE_STORE) $(SMOKE_SWEEP_STORE) $(SMOKE_SERVE_STORE)
 
 # regression gates, failing the build instead of printing a warning:
 # telemetry overhead budget (<= 3%), parallel-merge determinism,

@@ -16,6 +16,8 @@
      store       ls|verify|gc|rm  inspect / maintain the artifact store
      runs        ls|show|compare|gc|html
                                   browse / regress / chart the run ledger
+     serve                        synthesis-as-a-service HTTP daemon
+     http        METHOD PATH      script the daemon's API (smoke tests)
 
    Pipeline subcommands (trace, synth, report, diff) take --cache /
    --no-cache to memoize stage outputs in the content-addressed store
@@ -1320,6 +1322,179 @@ let check_trace_cmd =
     (Cmd.info "check-trace" ~doc:"Validate a --trace-out Chrome trace_event file")
     Term.(const run $ file_arg $ min_spans_arg $ min_tracks_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve: synthesis-as-a-service daemon                                 *)
+
+module Serve_http = Siesta_serve.Http
+module Serve_server = Siesta_serve.Server
+
+let socket_arg =
+  let doc = "Listen on a unix-domain socket at $(docv)." in
+  Arg.(value & opt string ".siesta-serve.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Listen on 127.0.0.1:$(docv) instead of a unix socket." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let listen_of socket port =
+  match port with Some p -> `Tcp ("127.0.0.1", p) | None -> `Unix socket
+
+let serve_cmd =
+  let jobs_arg =
+    let doc = "Worker threads draining the synthesis queue." in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Maximum queued jobs before submissions get 429." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let max_body_arg =
+    let doc = "Request-body byte limit (413 beyond it)." in
+    Arg.(value & opt int (8 * 1024 * 1024) & info [ "max-body" ] ~docv:"BYTES" ~doc)
+  in
+  let read_timeout_arg =
+    let doc = "Per-connection socket read timeout in seconds." in
+    Arg.(value & opt float 10.0 & info [ "read-timeout" ] ~docv:"S" ~doc)
+  in
+  let run socket port store_root jobs queue max_body read_timeout =
+    if jobs < 1 then begin
+      Printf.eprintf "serve: --jobs must be >= 1\n";
+      exit 2
+    end;
+    if queue < 1 then begin
+      Printf.eprintf "serve: --queue must be >= 1\n";
+      exit 2
+    end;
+    let listen = listen_of socket port in
+    let config =
+      {
+        Serve_server.listen;
+        store_root;
+        workers = jobs;
+        max_queue = queue;
+        max_body;
+        read_timeout;
+      }
+    in
+    let t =
+      match Serve_server.create config with
+      | t -> t
+      | exception Unix.Unix_error (e, _, arg) ->
+          Printf.eprintf "serve: cannot listen (%s%s)\n" (Unix.error_message e)
+            (if arg = "" then "" else ": " ^ arg);
+          exit 2
+    in
+    (match listen with
+    | `Unix path -> Printf.printf "siesta serve: listening on unix socket %s" path
+    | `Tcp (host, p) -> Printf.printf "siesta serve: listening on http://%s:%d" host p);
+    Printf.printf " (store %s, %d worker(s), queue %d)\n%!"
+      (Store.root (Serve_server.store t)) jobs queue;
+    Serve_server.install_signals t;
+    Serve_server.serve t
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the synthesis-as-a-service daemon: POST specs to $(b,/jobs), poll \
+          $(b,/jobs/<id>), fetch artifacts and raw store blobs over HTTP.  Identical \
+          in-flight submissions coalesce onto one pipeline execution; completed artifacts \
+          live in the shared content-addressed store.  SIGTERM/SIGINT drain queued jobs \
+          and exit 0.")
+    Term.(const run $ socket_arg $ port_arg $ store_root_arg $ jobs_arg $ queue_arg
+          $ max_body_arg $ read_timeout_arg)
+
+(* http: tiny client for the daemon, so the smoke tests (and humans
+   without curl's --unix-socket) can script the API. *)
+let http_cmd =
+  let meth_arg =
+    let doc = "HTTP method (GET, HEAD, POST, PUT)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"METHOD" ~doc)
+  in
+  let path_arg =
+    let doc = "Request path, e.g. $(b,/healthz) or $(b,/jobs)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PATH" ~doc)
+  in
+  let host_arg =
+    let doc = "Connect to $(docv) (with --port) instead of the unix socket." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let data_arg =
+    let doc = "Request body (e.g. the JSON job spec); $(b,@FILE) reads it from a file." in
+    Arg.(value & opt (some string) None & info [ "d"; "data" ] ~docv:"BODY" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the response body to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let extract_arg =
+    let doc =
+      "Print only this field of a JSON response body (slash-separated path, e.g. \
+       $(b,artifacts/proxy.c/hash))."
+    in
+    Arg.(value & opt (some string) None & info [ "extract" ] ~docv:"PATH" ~doc)
+  in
+  let extract body path =
+    match Obs_json.parse body with
+    | Error e ->
+        Printf.eprintf "http: response is not JSON: %s\n" e;
+        exit 2
+    | Ok doc -> (
+        let segs = List.filter (fun s -> s <> "") (String.split_on_char '/' path) in
+        let v =
+          List.fold_left
+            (fun acc seg -> Option.bind acc (Obs_json.member seg))
+            (Some doc) segs
+        in
+        match v with
+        | None ->
+            Printf.eprintf "http: no %S in response\n" path;
+            exit 2
+        | Some (Obs_json.Str s) -> print_endline s
+        | Some (Obs_json.Bool b) -> print_endline (string_of_bool b)
+        | Some (Obs_json.Num f) ->
+            if Float.is_integer f then Printf.printf "%d\n" (int_of_float f)
+            else Printf.printf "%g\n" f
+        | Some j -> print_endline (Obs_json.to_string j))
+  in
+  let run meth path socket port host data out field =
+    let meth = String.uppercase_ascii meth in
+    let addr =
+      match port with Some p -> `Tcp (host, p) | None -> `Unix socket
+    in
+    let body =
+      match data with
+      | None -> None
+      | Some d when String.length d > 0 && d.[0] = '@' ->
+          let file = String.sub d 1 (String.length d - 1) in
+          let ic = open_in_bin file in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          Some s
+      | Some d -> Some d
+    in
+    match Serve_http.request ~addr ~meth ~path ?body () with
+    | Error e ->
+        Printf.eprintf "http: %s\n" e;
+        exit 2
+    | Ok (status, _headers, body) ->
+        (match (out, field) with
+        | Some file, _ ->
+            let oc = open_out_bin file in
+            output_string oc body;
+            close_out oc
+        | None, Some p -> extract body p
+        | None, None -> if body <> "" then print_string body);
+        if status >= 400 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "http"
+       ~doc:
+         "Talk to a $(b,siesta serve) daemon: one request, response body to stdout (or \
+          $(b,-o)), exit $(b,0) on 2xx, $(b,1) on an HTTP error status, $(b,2) on a \
+          transport error.")
+    Term.(const run $ meth_arg $ path_arg $ socket_arg $ port_arg $ host_arg $ data_arg
+          $ out_arg $ extract_arg)
+
 let () =
   let doc = "synthesize proxy applications for MPI programs (Siesta)" in
   let info = Cmd.info "siesta" ~version:"1.0.0" ~doc in
@@ -1341,4 +1516,6 @@ let () =
             store_cmd;
             runs_cmd;
             check_trace_cmd;
+            serve_cmd;
+            http_cmd;
           ]))

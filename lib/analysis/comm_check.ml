@@ -101,20 +101,24 @@ let coll_sig name ~root ~op =
 
 let world_comm = 0
 
+(* reason-string suffix naming the communicator, silent for world so
+   historical reason spellings (and anything grepping them) survive *)
+let on_comm c = if c = world_comm then "" else Printf.sprintf " on comm %d" c
+
 let check ~impl (m : Merged.t) =
   let n = m.Merged.nranks in
   let thr = impl.Mpi_impl.eager_threshold_bytes in
-  (* (src, dst, tag) -> send occurrences, (pos, is-rendezvous-blocking),
-     reverse program order *)
-  let sends : (int * int * int, (int * bool) list ref) Hashtbl.t =
+  (* (comm, src, dst, tag) -> send occurrences,
+     (pos, is-rendezvous-blocking), reverse program order *)
+  let sends : (int * int * int * int, (int * bool) list ref) Hashtbl.t =
     Hashtbl.create 64
   in
-  (* (dst, src, tag) -> explicit recv occurrences, (pos, is-blocking) *)
-  let recvs : (int * int * int, (int * bool) list ref) Hashtbl.t =
+  (* (comm, dst, src, tag) -> explicit recv occurrences, (pos, is-blocking) *)
+  let recvs : (int * int * int * int, (int * bool) list ref) Hashtbl.t =
     Hashtbl.create 64
   in
-  (* (dst, src pattern, tag pattern) -> wildcard recv count *)
-  let wilds : (int * int option * int option, int ref) Hashtbl.t =
+  (* (comm, dst, src pattern, tag pattern) -> wildcard recv count *)
+  let wilds : (int * int * int option * int option, int ref) Hashtbl.t =
     Hashtbl.create 8
   in
   (* comm -> rank -> collective signatures, reverse program order *)
@@ -143,7 +147,7 @@ let check ~impl (m : Merged.t) =
         incr rdv_total;
         blocking.(r) <- pos :: blocking.(r)
       end;
-      push sends (r, dst, p.Event.tag) (pos, rdv)
+      push sends (p.Event.comm, r, dst, p.Event.tag) (pos, rdv)
     in
     let add_recv ~blocks pos (p : Event.p2p) =
       incr recvs_total;
@@ -153,14 +157,14 @@ let check ~impl (m : Merged.t) =
           if p.Event.rel_peer = Call.any_source then None
           else Some ((r + p.Event.rel_peer) mod n)
         and tp = if p.Event.tag = Call.any_tag then None else Some p.Event.tag in
-        match Hashtbl.find_opt wilds (r, sp, tp) with
+        match Hashtbl.find_opt wilds (p.Event.comm, r, sp, tp) with
         | Some c -> incr c
-        | None -> Hashtbl.add wilds (r, sp, tp) (ref 1)
+        | None -> Hashtbl.add wilds (p.Event.comm, r, sp, tp) (ref 1)
       end
       else begin
         let src = (r + p.Event.rel_peer) mod n in
         if blocks then blocking.(r) <- pos :: blocking.(r);
-        push recvs (r, src, p.Event.tag) (pos, blocks)
+        push recvs (p.Event.comm, r, src, p.Event.tag) (pos, blocks)
       end
     in
     let add_coll comm sg =
@@ -236,28 +240,34 @@ let check ~impl (m : Merged.t) =
             ())
       seq
   done;
-  (* --- check 1: matching completeness per destination --------------- *)
+  (* --- check 1: matching completeness per (communicator, destination) *)
+  (* a send can only ever match a recv posted on the same communicator,
+     so the flow problem decomposes per (comm, dst) pair — p2p traffic
+     balancing globally but not within a sub-communicator is a defect
+     this (and not a world-only keying) catches *)
   let dsts = Hashtbl.create n in
-  Hashtbl.iter (fun (_, dst, _) _ -> Hashtbl.replace dsts dst ()) sends;
-  Hashtbl.iter (fun (dst, _, _) _ -> Hashtbl.replace dsts dst ()) recvs;
-  Hashtbl.iter (fun (dst, _, _) _ -> Hashtbl.replace dsts dst ()) wilds;
+  Hashtbl.iter (fun (c, _, dst, _) _ -> Hashtbl.replace dsts (c, dst) ()) sends;
+  Hashtbl.iter (fun (c, dst, _, _) _ -> Hashtbl.replace dsts (c, dst) ()) recvs;
+  Hashtbl.iter (fun (c, dst, _, _) _ -> Hashtbl.replace dsts (c, dst) ()) wilds;
   let unmatched_send_reasons = ref []
   and unmatched_recv_reasons = ref []
   and unmatched_sends = ref 0
   and unmatched_recvs = ref 0 in
   Hashtbl.iter
-    (fun dst () ->
+    (fun (comm, dst) () ->
       let sclasses = ref [] in
       Hashtbl.iter
-        (fun (src, d, tag) l -> if d = dst then sclasses := (src, tag, List.length !l) :: !sclasses)
+        (fun (c, src, d, tag) l ->
+          if c = comm && d = dst then sclasses := (src, tag, List.length !l) :: !sclasses)
         sends;
       let rclasses = ref [] in
       Hashtbl.iter
-        (fun (d, src, tag) l ->
-          if d = dst then rclasses := (Some src, Some tag, List.length !l) :: !rclasses)
+        (fun (c, d, src, tag) l ->
+          if c = comm && d = dst then rclasses := (Some src, Some tag, List.length !l) :: !rclasses)
         recvs;
       Hashtbl.iter
-        (fun (d, sp, tp) c -> if d = dst then rclasses := (sp, tp, !c) :: !rclasses)
+        (fun (c, d, sp, tp) cnt ->
+          if c = comm && d = dst then rclasses := (sp, tp, !cnt) :: !rclasses)
         wilds;
       let sc = Array.of_list (List.sort compare !sclasses)
       and rc = Array.of_list (List.sort compare !rclasses) in
@@ -277,7 +287,8 @@ let check ~impl (m : Merged.t) =
           if left > 0 then begin
             unmatched_sends := !unmatched_sends + left;
             unmatched_send_reasons :=
-              Printf.sprintf "unmatched send: rank %d -> rank %d tag %d x%d" src dst tag left
+              Printf.sprintf "unmatched send: rank %d -> rank %d tag %d x%d%s" src dst tag
+                left (on_comm comm)
               :: !unmatched_send_reasons
           end)
         sc;
@@ -288,8 +299,8 @@ let check ~impl (m : Merged.t) =
             unmatched_recvs := !unmatched_recvs + left;
             let ps = function None -> "any" | Some v -> string_of_int v in
             unmatched_recv_reasons :=
-              Printf.sprintf "unmatched recv: rank %d <- rank %s tag %s x%d" dst (ps sp)
-                (ps tp) left
+              Printf.sprintf "unmatched recv: rank %d <- rank %s tag %s x%d%s" dst (ps sp)
+                (ps tp) left (on_comm comm)
               :: !unmatched_recv_reasons
           end)
         rc)
@@ -329,8 +340,8 @@ let check ~impl (m : Merged.t) =
   in
   let match_tbl : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
   Hashtbl.iter
-    (fun (src, dst, tag) sl ->
-      match Hashtbl.find_opt recvs (dst, src, tag) with
+    (fun (c, src, dst, tag) sl ->
+      match Hashtbl.find_opt recvs (c, dst, src, tag) with
       | None -> ()
       | Some rl ->
           let sa = Array.of_list (List.rev !sl) and ra = Array.of_list (List.rev !rl) in
@@ -573,7 +584,28 @@ let fault_of_string s =
   | Some f -> Ok f
   | None -> Error (Printf.sprintf "unknown fault %S (expected mismatch|deadlock|collective)" s)
 
-let append_everywhere (m : Merged.t) evs =
+(* Splice [ins] into [l] before position [pos] ([pos >= length] appends). *)
+let insert_at pos ins l =
+  let rec go k rest =
+    if k = pos then ins @ rest
+    else
+      match rest with
+      | [] -> ins
+      | x :: tl -> x :: go (k + 1) tl
+  in
+  go 0 l
+
+(* [sites.(i mod len)] picks the injection position inside main cluster
+   [i]'s entry list (clamped); absent or empty sites = append at the
+   end, the historical behaviour.  All three fault classes flip the
+   verdict at any position — the qcheck placement property drills
+   exactly that. *)
+let site_of sites i len =
+  match sites with
+  | Some a when Array.length a > 0 -> min (max 0 a.(i mod Array.length a)) len
+  | _ -> len
+
+let insert_everywhere ?sites (m : Merged.t) evs =
   let base = Array.length m.Merged.terminals in
   let terminals = Array.append m.Merged.terminals (Array.of_list evs) in
   let extra i =
@@ -582,31 +614,35 @@ let append_everywhere (m : Merged.t) evs =
         { Merged.sym = Grammar.T (base + k); reps = 1; ranks = m.Merged.main_ranks.(i) })
       evs
   in
-  let mains = Array.mapi (fun i entries -> entries @ extra i) m.Merged.mains in
+  let mains =
+    Array.mapi
+      (fun i entries -> insert_at (site_of sites i (List.length entries)) (extra i) entries)
+      m.Merged.mains
+  in
   { m with Merged.terminals; mains }
 
-let perturb (what : fault) (m : Merged.t) =
+let perturb ?sites (what : fault) (m : Merged.t) =
   let n = m.Merged.nranks in
   match what with
   | `Mismatch ->
       (* every rank sends one small message nobody ever receives *)
-      append_everywhere m
-        [ Event.Send { rel_peer = 1 mod n; tag = 9901; dt = Datatype.Byte; count = 1 } ]
+      insert_everywhere ?sites m
+        [ Event.Send { rel_peer = 1 mod n; tag = 9901; dt = Datatype.Byte; count = 1; comm = 0 } ]
   | `Deadlock ->
       (* a ring of above-threshold blocking sends posted before the
          matching recvs: counts match (check 1 stays clean) but every
          rank blocks in its rendezvous send — a full-ring cycle, a
          self-loop at nranks=1 *)
       let big = 1 lsl 20 in
-      append_everywhere m
+      insert_everywhere ?sites m
         [
-          Event.Send { rel_peer = 1 mod n; tag = 9902; dt = Datatype.Byte; count = big };
-          Event.Recv { rel_peer = (n - 1) mod n; tag = 9902; dt = Datatype.Byte; count = big };
+          Event.Send { rel_peer = 1 mod n; tag = 9902; dt = Datatype.Byte; count = big; comm = 0 };
+          Event.Recv { rel_peer = (n - 1) mod n; tag = 9902; dt = Datatype.Byte; count = big; comm = 0 };
         ]
   | `Collective ->
       if n = 1 then
         (* single rank: damage the root instead of the participation *)
-        append_everywhere m
+        insert_everywhere ?sites m
           [ Event.Bcast { comm = world_comm; root = n; dt = Datatype.Byte; count = 1 } ]
       else begin
         (* one rank runs an extra world collective the others never join *)
@@ -624,8 +660,7 @@ let perturb (what : fault) (m : Merged.t) =
           | [] -> 0
         in
         let mains = Array.copy m.Merged.mains in
-        mains.(0) <-
-          mains.(0)
-          @ [ { Merged.sym = Grammar.T base; reps = 1; ranks = Rank_list.singleton lone } ];
+        let entry = { Merged.sym = Grammar.T base; reps = 1; ranks = Rank_list.singleton lone } in
+        mains.(0) <- insert_at (site_of sites 0 (List.length mains.(0))) [ entry ] mains.(0);
         { m with Merged.terminals; mains }
       end

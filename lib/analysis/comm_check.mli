@@ -8,14 +8,18 @@
     - {b matching completeness}: every point-to-point send must have a
       structurally reachable matching recv on its destination (and vice
       versa).  Sends and recvs are grouped into [(src, tag)] classes per
-      destination and matched by an integral max-flow, so wildcard
-      ([MPI_ANY_SOURCE]/[MPI_ANY_TAG]) recv classes are credited
-      optimally rather than greedily.  This is the static analogue of
-      {!Siesta_mpi.Engine}'s dynamic [unreceived_messages] counter.
+      (communicator, destination) pair — a send can only match a recv
+      posted on the same communicator, so traffic that balances globally
+      but not within a sub-communicator is flagged — and matched by an
+      integral max-flow, so wildcard ([MPI_ANY_SOURCE]/[MPI_ANY_TAG])
+      recv classes are credited optimally rather than greedily.  This is
+      the static analogue of {!Siesta_mpi.Engine}'s dynamic
+      [unreceived_messages] counter.
     - {b rendezvous deadlock potential}: messages above the MPI
       profile's [eager_threshold_bytes] block their sender until the
       receiver reaches the matching recv.  The checker FIFO-matches
-      sends to recvs per [(src, dst, tag)] (MPI's non-overtaking rule),
+      sends to recvs per [(comm, src, dst, tag)] (MPI's non-overtaking
+      rule),
       builds the waits-for graph among blocking occurrences
       (rendezvous-sized blocking sends and blocking recvs, chained in
       program order per rank), and reports any cycle — a schedule on
@@ -86,10 +90,15 @@ val fault_names : (string * fault) list
 val fault_of_string : string -> (fault, string) result
 (** The [Error] carries a message naming the offending token. *)
 
-val perturb : fault -> Siesta_merge.Merged.t -> Siesta_merge.Merged.t
-(** [`Mismatch] appends a send nobody receives on every rank;
-    [`Deadlock] appends a ring of above-threshold blocking sends posted
+val perturb : ?sites:int array -> fault -> Siesta_merge.Merged.t -> Siesta_merge.Merged.t
+(** [`Mismatch] injects a send nobody receives on every rank;
+    [`Deadlock] injects a ring of above-threshold blocking sends posted
     before their matching recvs (a self-loop at nranks=1);
     [`Collective] gives one rank an extra world collective the others
-    never join (at nranks=1: an out-of-range root instead).  The result
-    still satisfies {!Siesta_merge.Merged.validate}. *)
+    never join (at nranks=1: an out-of-range root instead).  [sites]
+    picks the injection position inside each main cluster's entry list
+    ([sites.(i mod Array.length sites)] for cluster [i], clamped to the
+    list length); omitted or empty, faults append at the end.  Every
+    fault flips the verdict at every site — the qcheck placement
+    property relies on it.  The result still satisfies
+    {!Siesta_merge.Merged.validate}. *)

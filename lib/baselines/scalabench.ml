@@ -184,13 +184,13 @@ let program t ctx =
   let exec ev =
     match (ev : Event.t) with
     | Event.Compute cid -> Engine.sleep ctx t.sleeps.(cid)
-    | Event.Send { rel_peer; tag; dt; count } ->
+    | Event.Send { rel_peer; tag; dt; count; comm = _ } ->
         Engine.send ctx ~dest:(abs_peer rel_peer) ~tag ~dt ~count
-    | Event.Recv { rel_peer; tag; dt; count } ->
+    | Event.Recv { rel_peer; tag; dt; count; comm = _ } ->
         Engine.recv ctx ~src:(abs_peer rel_peer) ~tag ~dt ~count
-    | Event.Isend ({ rel_peer; tag; dt; count }, slot) ->
+    | Event.Isend ({ rel_peer; tag; dt; count; comm = _ }, slot) ->
         Hashtbl.replace reqs slot (Engine.isend ctx ~dest:(abs_peer rel_peer) ~tag ~dt ~count)
-    | Event.Irecv ({ rel_peer; tag; dt; count }, slot) ->
+    | Event.Irecv ({ rel_peer; tag; dt; count; comm = _ }, slot) ->
         Hashtbl.replace reqs slot (Engine.irecv ctx ~src:(abs_peer rel_peer) ~tag ~dt ~count)
     | Event.Wait slot -> Engine.wait ctx (req_of slot)
     | Event.Waitall slots -> Engine.waitall ctx (List.map req_of slots)

@@ -1,0 +1,274 @@
+(* Minimal HTTP/1.1 over Unix file descriptors — requests parse off a
+   pull-reader so the unit tests can feed raw strings, and every
+   malformed input maps to a typed error instead of an escaping
+   exception.  One request per connection (Connection: close): the
+   daemon's clients are polling scripts and CI, not browsers, so
+   keep-alive buys nothing and connection state machines cost bugs. *)
+
+type request = {
+  meth : string;
+  path : string;
+  version : string;
+  headers : (string * string) list;  (* names lowercased, values trimmed *)
+  body : string;
+}
+
+type parse_error =
+  | Eof  (* clean close before any request bytes: not an error, just done *)
+  | Timeout  (* SO_RCVTIMEO expired mid-request *)
+  | Malformed of string  (* -> 400 *)
+  | Too_large of string  (* -> 413 *)
+
+exception Fail of parse_error
+exception Read_timeout
+
+(* ------------------------------------------------------------------ *)
+(* Pull reader                                                          *)
+
+type reader = {
+  fill : bytes -> int -> int -> int;
+  chunk : bytes;
+  mutable pos : int;
+  mutable len : int;
+  mutable eof : bool;
+}
+
+let reader_of_fill fill = { fill; chunk = Bytes.create 8192; pos = 0; len = 0; eof = false }
+
+let reader_of_fd fd = reader_of_fill (fun b off len -> Unix.read fd b off len)
+
+let reader_of_string s =
+  let off = ref 0 in
+  reader_of_fill (fun b o len ->
+      let n = min len (String.length s - !off) in
+      Bytes.blit_string s !off b o n;
+      off := !off + n;
+      n)
+
+let rec refill r =
+  if r.eof then false
+  else
+    match r.fill r.chunk 0 (Bytes.length r.chunk) with
+    | 0 ->
+        r.eof <- true;
+        false
+    | n ->
+        r.pos <- 0;
+        r.len <- n;
+        true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill r
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+        raise Read_timeout
+
+let read_byte r =
+  if r.pos >= r.len && not (refill r) then None
+  else begin
+    let c = Bytes.get r.chunk r.pos in
+    r.pos <- r.pos + 1;
+    Some c
+  end
+
+let max_line = 8192
+let max_headers = 64
+
+(* One CRLF- (or bare-LF-) terminated line.  [first] distinguishes a
+   clean connection close before any bytes from a truncated message. *)
+let read_line ~first r =
+  let b = Buffer.create 128 in
+  let rec go () =
+    match read_byte r with
+    | None ->
+        if first && Buffer.length b = 0 then raise (Fail Eof)
+        else raise (Fail (Malformed "unexpected end of stream"))
+    | Some '\n' ->
+        let s = Buffer.contents b in
+        let n = String.length s in
+        if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+    | Some c ->
+        if Buffer.length b >= max_line then raise (Fail (Malformed "line too long"));
+        Buffer.add_char b c;
+        go ()
+  in
+  go ()
+
+let read_exact r n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off < n then
+      match read_byte r with
+      | None -> raise (Fail (Malformed "truncated body"))
+      | Some c ->
+          Bytes.set b off c;
+          go (off + 1)
+  in
+  go 0;
+  Bytes.unsafe_to_string b
+
+let read_headers r =
+  let rec go acc count =
+    let line = read_line ~first:false r in
+    if line = "" then List.rev acc
+    else begin
+      if count >= max_headers then raise (Fail (Malformed "too many headers"));
+      match String.index_opt line ':' with
+      | None -> raise (Fail (Malformed "malformed header line"))
+      | Some i ->
+          let name = String.lowercase_ascii (String.sub line 0 i) in
+          let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          go ((name, value) :: acc) (count + 1)
+    end
+  in
+  go [] 0
+
+let read_body ?(max_body = 8 * 1024 * 1024) r headers =
+  match List.assoc_opt "content-length" headers with
+  | None -> ""
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 ->
+          if n > max_body then
+            raise
+              (Fail (Too_large (Printf.sprintf "body of %d bytes exceeds limit %d" n max_body)));
+          read_exact r n
+      | _ -> raise (Fail (Malformed "bad Content-Length")))
+
+let read_request ?max_body r =
+  match
+    let line = read_line ~first:true r in
+    match String.split_on_char ' ' line with
+    | [ meth; path; version ]
+      when meth <> "" && path <> "" && (version = "HTTP/1.1" || version = "HTTP/1.0") ->
+        let headers = read_headers r in
+        let body = read_body ?max_body r headers in
+        { meth; path; version; headers; body }
+    | _ -> raise (Fail (Malformed "malformed request line"))
+  with
+  | req -> Ok req
+  | exception Fail e -> Error e
+  | exception Read_timeout -> Error Timeout
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                            *)
+
+type response = { status : int; headers : (string * string) list; body : string }
+
+let reason_of = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | c -> if c >= 200 && c < 300 then "OK" else "Error"
+
+let response ?(content_type = "application/json") ?(headers = []) status body =
+  { status; headers = ("Content-Type", content_type) :: headers; body }
+
+let render ?(head_only = false) resp =
+  let b = Buffer.create (String.length resp.body + 256) in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" resp.status (reason_of resp.status));
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) resp.headers;
+  Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length resp.body));
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  if not head_only then Buffer.add_string b resp.body;
+  Buffer.contents b
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+  end
+
+let write_response ?head_only fd resp =
+  let s = render ?head_only resp in
+  write_all fd s 0 (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Client (the `siesta http` subcommand and the e2e tests)              *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+let connect = function
+  | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+  | `Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+
+let read_response r =
+  let line = read_line ~first:true r in
+  match String.split_on_char ' ' line with
+  | version :: code :: _ when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+      match int_of_string_opt code with
+      | None -> raise (Fail (Malformed "malformed status line"))
+      | Some status ->
+          let headers = read_headers r in
+          let body =
+            match List.assoc_opt "content-length" headers with
+            | Some v -> (
+                match int_of_string_opt (String.trim v) with
+                | Some n when n >= 0 -> read_exact r n
+                | _ -> raise (Fail (Malformed "bad Content-Length")))
+            | None ->
+                (* read to EOF (the server always closes) *)
+                let b = Buffer.create 1024 in
+                let rec go () =
+                  match read_byte r with
+                  | Some c ->
+                      Buffer.add_char b c;
+                      go ()
+                  | None -> Buffer.contents b
+                in
+                go ()
+          in
+          (status, headers, body))
+  | _ -> raise (Fail (Malformed "malformed status line"))
+
+let request ~addr ~meth ~path ?(headers = []) ?(body = "") () =
+  match connect addr with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connect failed: %s" (Unix.error_message e))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let b = Buffer.create (String.length body + 256) in
+          Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+          Buffer.add_string b "Host: siesta\r\n";
+          List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) headers;
+          if body <> "" || meth = "POST" || meth = "PUT" then
+            Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+          Buffer.add_string b "\r\n";
+          Buffer.add_string b body;
+          let s = Buffer.contents b in
+          match
+            write_all fd s 0 (String.length s);
+            read_response (reader_of_fd fd)
+          with
+          | resp -> Ok resp
+          | exception Fail Eof -> Error "connection closed before a response"
+          | exception Fail (Malformed m) -> Error ("malformed response: " ^ m)
+          | exception Fail (Too_large m) -> Error m
+          | exception Fail Timeout | exception Read_timeout -> Error "read timeout"
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Printf.sprintf "request failed: %s" (Unix.error_message e)))

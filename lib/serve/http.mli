@@ -1,0 +1,68 @@
+(** Hand-rolled HTTP/1.1 over [Unix] file descriptors — the daemon's
+    wire layer and the [siesta http] client.
+
+    Strictly one request per connection ([Connection: close] on every
+    response).  Parsing is defensive by construction: requests come off
+    a pull-{!reader} (so tests can feed raw strings), every limit is
+    enforced while reading (request line / header line length, header
+    count, [Content-Length] vs [max_body]), and every malformed input
+    maps to a typed {!parse_error} — nothing a garbage client sends can
+    raise past {!read_request}. *)
+
+type request = {
+  meth : string;
+  path : string;
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+type parse_error =
+  | Eof  (** clean close before any request bytes — not a protocol error *)
+  | Timeout  (** the socket's [SO_RCVTIMEO] expired mid-request *)
+  | Malformed of string  (** respond 400 *)
+  | Too_large of string  (** declared body exceeds [max_body]: respond 413 *)
+
+(** {1 Reading requests} *)
+
+type reader
+(** Buffered pull-reader; the parser's only input abstraction. *)
+
+val reader_of_fd : Unix.file_descr -> reader
+val reader_of_string : string -> reader
+
+val read_request : ?max_body:int -> reader -> (request, parse_error) result
+(** Parse one request (line, headers, [Content-Length]-framed body).
+    [max_body] defaults to 8 MiB.  Never raises on malformed input. *)
+
+(** {1 Responses} *)
+
+type response = { status : int; headers : (string * string) list; body : string }
+
+val reason_of : int -> string
+
+val response : ?content_type:string -> ?headers:(string * string) list -> int -> string -> response
+(** [content_type] defaults to [application/json]. *)
+
+val render : ?head_only:bool -> response -> string
+(** The full wire bytes ([Content-Length] + [Connection: close] added).
+    [head_only] keeps the headers — including the body's length — but
+    omits the body (HEAD). *)
+
+val write_response : ?head_only:bool -> Unix.file_descr -> response -> unit
+
+(** {1 Client} *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+val request :
+  addr:address ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** One request/response exchange: connect, send, read the reply, close.
+    Returns [(status, headers, body)]; [Error] carries a human-readable
+    reason (connect failure, malformed reply, timeout). *)

@@ -1,0 +1,98 @@
+(** Synthesis job manager: bounded FIFO queue, worker threads, and
+    singleflight dedup keyed by the job's content-hash id.
+
+    A job's id is [Hash.content_hash] of a canonical descriptor built
+    from {!Siesta.Pipeline.spec_kvs} plus the serve-only options
+    (factor / diff / timeline / factors) — identical specs from
+    different clients share one id.  While a job is queued or running,
+    submitting the same spec coalesces onto it ([`Coalesced]); once it
+    completes the singleflight key is evicted, so a later identical
+    submission re-executes and replays through the store's stage caches
+    (the warm-hit path [make check] asserts).
+
+    Artifacts are framed as ["text"] blobs in the shared
+    content-addressed store and bound under deterministic manifest keys,
+    so they survive a daemon restart and are fetchable as raw blobs. *)
+
+type request = {
+  r_spec : Siesta.Pipeline.spec;
+  r_factor : float;
+  r_diff : bool;  (** also produce [diff.json] (runs the fidelity diff) *)
+  r_timeline : bool;  (** also produce [timeline.html] *)
+  r_sweep : float list option;  (** factor schedule: [sweep.json] + [sweep.html] *)
+}
+
+val request_of_json : string -> (request, string) result
+(** Parse a job-submission body.  Required: ["workload"] (string),
+    ["nranks"] (positive int).  Optional: ["iters"], ["seed"],
+    ["platform"], ["impl"], ["factor"], ["diff"], ["timeline"],
+    ["factors"] (a {!Siesta_sweep.Sweep.parse_factors} string).  Every
+    malformed input maps to [Error], never an exception. *)
+
+val id_of_request : request -> string
+val descr_of_request : request -> string
+
+type state = Queued | Running | Done | Failed of string
+
+val state_name : state -> string
+
+type artifact = {
+  a_name : string;  (** e.g. ["proxy.c"], ["report.md"], ["check.json"] *)
+  a_hash : string;  (** content hash of the framed blob in the store *)
+  a_bytes : int;  (** decoded payload size *)
+  a_ctype : string;  (** HTTP content type served for this artifact *)
+}
+
+type job = {
+  id : string;
+  descr : string;
+  request : request;
+  submitted : float;
+  mutable state : state;
+  mutable started : float;
+  mutable finished : float;
+  mutable waiters : int;  (** coalesced submissions that attached to this job *)
+  mutable artifacts : artifact list;
+  mutable cache_status : Siesta.Pipeline.cache_status option;
+}
+
+type t
+
+val create : ?workers:int -> ?max_queue:int -> store:Siesta_store.Store.t -> unit -> t
+(** [workers] (default 1) threads drain the queue; [0] is legal and
+    useful in tests (submit first, then {!add_workers}).  [max_queue]
+    (default 64) bounds the FIFO. *)
+
+val add_workers : t -> int -> unit
+
+val submit :
+  t -> request -> (job * [ `Fresh | `Coalesced ], [ `Queue_full of int | `Draining ]) result
+(** [`Queue_full] carries the current depth (for the 429 body). *)
+
+val find : t -> string -> job option
+val list : t -> job list
+(** Newest submission first. *)
+
+val queue_depth : t -> int
+
+val executed_count : t -> int
+(** Pipeline executions actually run (coalesced submissions don't
+    count) — the singleflight e2e test's ground truth. *)
+
+val idle : t -> bool
+(** Queue empty and no job running. *)
+
+val begin_drain : t -> unit
+(** Refuse new submissions; workers exit once the queue empties. *)
+
+val drain : t -> unit
+(** {!begin_drain}, wait for queued + running jobs, join the workers.
+    With zero workers, returns without waiting for queued jobs. *)
+
+val draining : t -> bool
+
+val job_json : t -> job -> string
+val list_json : t -> string
+
+val artifact_content : t -> job -> string -> (artifact * string) option
+(** Fetch a named artifact's decoded payload from the store. *)

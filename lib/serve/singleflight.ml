@@ -1,0 +1,27 @@
+(* Coalesce identical in-flight work: the first submission under a key
+   creates the job, every later submission while it is still in flight
+   attaches to the same job.  Completed keys are removed by the owner,
+   so a re-submission after completion runs again — that is what lets a
+   warm re-submit replay through the stage caches instead of returning
+   a stale handle forever. *)
+
+type 'a t = { mu : Mutex.t; tbl : (string, 'a) Hashtbl.t }
+
+let create () = { mu = Mutex.create (); tbl = Hashtbl.create 16 }
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let find_or_add t key make =
+  with_mu t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some v -> `Existing v
+      | None ->
+          let v = make () in
+          Hashtbl.add t.tbl key v;
+          `Fresh v)
+
+let find t key = with_mu t (fun () -> Hashtbl.find_opt t.tbl key)
+let remove t key = with_mu t (fun () -> Hashtbl.remove t.tbl key)
+let size t = with_mu t (fun () -> Hashtbl.length t.tbl)

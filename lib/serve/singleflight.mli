@@ -1,0 +1,22 @@
+(** Singleflight: at most one live value per key.
+
+    {!find_or_add} under a key either returns the existing in-flight
+    value ([`Existing]) or installs a fresh one ([`Fresh]) — atomically,
+    so concurrent submitters of the same key all share one value.  The
+    value's owner calls {!remove} on completion; a later
+    {!find_or_add} then runs fresh (for the job manager that means a
+    warm re-submit re-executes through the stage caches rather than
+    being pinned to a finished job). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> [ `Existing of 'a | `Fresh of 'a ]
+(** [make] runs under the internal lock — keep it a cheap constructor. *)
+
+val find : 'a t -> string -> 'a option
+val remove : 'a t -> string -> unit
+
+val size : 'a t -> int
+(** Number of keys currently in flight. *)

@@ -492,3 +492,15 @@ let decode_run blob =
   let kind, payload = unframe blob in
   if kind <> "run" then corrupt "expected a run record, got %S" kind;
   payload
+
+(* Server artifacts (generated C, markdown reports, JSON verdicts, HTML
+   dashboards) are plain text, but they live in the same store as stage
+   blobs, so they get the same framing — `store verify` vets them with
+   no special case. *)
+
+let encode_text payload = frame ~kind:"text" payload
+
+let decode_text blob =
+  let kind, payload = unframe blob in
+  if kind <> "text" then corrupt "expected a text artifact, got %S" kind;
+  payload

@@ -99,6 +99,15 @@ val decode_run : string -> string
 (** The JSON payload of a ["run"] frame.
     @raise Corrupt on damage or a different kind. *)
 
+val encode_text : string -> string
+(** Frame a plain-text server artifact (kind ["text"]) — generated C,
+    report markdown, verdict JSON, dashboard HTML.  Same framing as
+    every other blob, so [store verify] needs no special case. *)
+
+val decode_text : string -> string
+(** The payload of a ["text"] frame.
+    @raise Corrupt on damage or a different kind. *)
+
 (** {1 Primitives (exposed for tests and key building)} *)
 
 module Wire : sig

@@ -138,14 +138,14 @@ let program t ctx =
     match (ev : Event.t) with
     | Event.Compute cid ->
         List.iter (Engine.compute_work ctx) (Block.works_of_combination t.combos.(cid))
-    | Event.Send { rel_peer; tag; dt; count } ->
+    | Event.Send { rel_peer; tag; dt; count; comm = _ } ->
         Engine.send ctx ~dest:(abs_peer rel_peer) ~tag ~dt ~count:(shrunk dt count)
-    | Event.Recv { rel_peer; tag; dt; count } ->
+    | Event.Recv { rel_peer; tag; dt; count; comm = _ } ->
         Engine.recv ctx ~src:(abs_peer rel_peer) ~tag ~dt ~count:(shrunk dt count)
-    | Event.Isend ({ rel_peer; tag; dt; count }, slot) ->
+    | Event.Isend ({ rel_peer; tag; dt; count; comm = _ }, slot) ->
         let r = Engine.isend ctx ~dest:(abs_peer rel_peer) ~tag ~dt ~count in
         Hashtbl.replace reqs slot r
-    | Event.Irecv ({ rel_peer; tag; dt; count }, slot) ->
+    | Event.Irecv ({ rel_peer; tag; dt; count; comm = _ }, slot) ->
         let r = Engine.irecv ctx ~src:(abs_peer rel_peer) ~tag ~dt ~count in
         Hashtbl.replace reqs slot r
     | Event.Wait slot -> Engine.wait ctx (req_of slot)

@@ -1,7 +1,7 @@
 module Datatype = Siesta_mpi.Datatype
 module Op = Siesta_mpi.Op
 
-type p2p = { rel_peer : int; tag : int; dt : Datatype.t; count : int }
+type p2p = { rel_peer : int; tag : int; dt : Datatype.t; count : int; comm : int }
 
 type t =
   | Send of p2p
@@ -37,8 +37,15 @@ type t =
   | File_read_at of { file : int; dt : Datatype.t; count : int }
   | Compute of int
 
+(* World-communicator events keep the historical 4-field spelling so
+   cache keys and stored blobs from older runs remain valid; a
+   sub-communicator id rides along as a "@comm" suffix on the count. *)
 let p2p_key tag_name p =
-  Printf.sprintf "%s(%d,%d,%s,%d)" tag_name p.rel_peer p.tag (Datatype.name p.dt) p.count
+  if p.comm = 0 then
+    Printf.sprintf "%s(%d,%d,%s,%d)" tag_name p.rel_peer p.tag (Datatype.name p.dt) p.count
+  else
+    Printf.sprintf "%s(%d,%d,%s,%d@%d)" tag_name p.rel_peer p.tag (Datatype.name p.dt) p.count
+      p.comm
 
 let to_key = function
   | Send p -> p2p_key "S" p
@@ -93,11 +100,24 @@ let to_key = function
 
 let malformed key = failwith (Printf.sprintf "Event.of_key: malformed %S" key)
 
-(* "peer,tag,DT,count" *)
+(* "peer,tag,DT,count" (world) or "peer,tag,DT,count@comm" *)
 let parse_p2p key s =
   match String.split_on_char ',' s with
   | [ a; b; c; d ] -> begin
-      match { rel_peer = int_of_string a; tag = int_of_string b; dt = Datatype.of_name c; count = int_of_string d } with
+      let count_s, comm_s =
+        match String.index_opt d '@' with
+        | None -> (d, "0")
+        | Some i -> (String.sub d 0 i, String.sub d (i + 1) (String.length d - i - 1))
+      in
+      match
+        {
+          rel_peer = int_of_string a;
+          tag = int_of_string b;
+          dt = Datatype.of_name c;
+          count = int_of_string count_s;
+          comm = int_of_string comm_s;
+        }
+      with
       | p -> p
       | exception _ -> malformed key
     end

@@ -12,8 +12,16 @@
     Computation events appear as the virtual [MPI_Compute] call
     (Section 2.3), reduced to a cluster id into a {!Compute_table}. *)
 
-type p2p = { rel_peer : int; tag : int; dt : Siesta_mpi.Datatype.t; count : int }
-(** [rel_peer] is in [\[0, nranks)], or {!Siesta_mpi.Call.any_source}. *)
+type p2p = {
+  rel_peer : int;
+  tag : int;
+  dt : Siesta_mpi.Datatype.t;
+  count : int;
+  comm : int;  (** pooled communicator id; 0 is the world communicator *)
+}
+(** [rel_peer] is in [\[0, nranks)], or {!Siesta_mpi.Call.any_source}.
+    [comm = 0] events serialize with the historical 4-field key spelling,
+    so world-only traces keep their cache keys and stored blobs. *)
 
 type t =
   | Send of p2p

@@ -29,5 +29,6 @@ let () =
       ("store", Test_store.suite);
       ("ledger", Test_ledger.suite);
       ("sweep", Test_sweep.suite);
+      ("serve", Test_serve.suite);
       ("final-coverage", Test_final_coverage.suite);
     ]

@@ -195,7 +195,7 @@ let test_merge_recorder_mode_equivalence () =
    identical ranks with periodic variants, which is what exercises both
    the dedup (shared bodies) and append (novel bodies) sides of a merge
    node. *)
-let ev_send tag = Event.Send { rel_peer = 1; tag; dt = D.Double; count = 64 }
+let ev_send tag = Event.Send { rel_peer = 1; tag; dt = D.Double; count = 64; comm = 0 }
 let ev_compute c = Event.Compute c
 
 let bundle_gen =

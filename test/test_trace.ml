@@ -84,7 +84,7 @@ let test_pool_random_consistency () =
 (* ------------------------------------------------------------------ *)
 (* Event *)
 
-let p2p = { Event.rel_peer = 3; tag = 7; dt = D.Double; count = 100 }
+let p2p = { Event.rel_peer = 3; tag = 7; dt = D.Double; count = 100; comm = 0 }
 
 let test_event_keys_distinguish () =
   let events =
@@ -113,7 +113,7 @@ let test_event_keys_distinguish () =
 
 let test_event_key_stable () =
   Alcotest.(check string) "same event same key" (Event.to_key (Event.Send p2p))
-    (Event.to_key (Event.Send { Event.rel_peer = 3; tag = 7; dt = D.Double; count = 100 }))
+    (Event.to_key (Event.Send { Event.rel_peer = 3; tag = 7; dt = D.Double; count = 100; comm = 0 }))
 
 let test_event_is_compute () =
   Alcotest.(check bool) "compute" true (Event.is_compute (Event.Compute 3));
@@ -413,7 +413,7 @@ let random_event_gen =
       let* tag = frequency [ (5, 0 -- 99); (1, return Siesta_mpi.Call.any_tag) ] in
       let* dt = dt in
       let* count = 0 -- 1_000_000 in
-      return { Event.rel_peer; tag; dt; count }
+      return { Event.rel_peer; tag; dt; count; comm = 0 }
     in
     oneof
       [
